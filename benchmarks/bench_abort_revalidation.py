@@ -1,0 +1,106 @@
+"""Ablation — rule (ii) abort vs the revalidation alternative.
+
+Section 4.3: "It is possible that the update by P_i may not have
+changed the condition of P_j to false.  One alternative of rule (ii)
+may be to reevaluate P_j's condition to see if abort is necessary, at
+the expense of increased overhead."
+
+We model a workload where a fraction of writes are *harmless* to the
+readers they conflict with.  Unconditional abort wastes the reader's
+work whenever it conflicts; revalidation spares the harmless fraction
+at a per-conflict re-evaluation cost.
+"""
+
+from conftest import report
+
+from repro.locks import RcScheme
+from repro.txn import Transaction
+
+N_READERS = 40
+#: Fraction of Rc-Wa conflicts where the update falsified the reader.
+HARMFUL_FRACTION = 0.3
+#: Modeled cost of re-evaluating one condition (arbitrary units).
+REVALIDATION_COST = 0.1
+#: Modeled work lost per aborted reader.
+ABORT_COST = 1.0
+
+
+def _run(revalidate: bool):
+    harmful = {
+        f"reader-{i}" for i in range(int(N_READERS * HARMFUL_FRACTION))
+    }
+    revalidations = 0
+
+    def revalidator(txn: Transaction, obj) -> bool:
+        nonlocal revalidations
+        revalidations += 1
+        return txn.rule_name not in harmful
+
+    scheme = RcScheme(revalidator=revalidator if revalidate else None)
+    readers = []
+    for i in range(N_READERS):
+        reader = Transaction(rule_name=f"reader-{i}")
+        scheme.lock_condition(reader, "q")
+        readers.append(reader)
+    writer = Transaction(rule_name="writer")
+    scheme.lock_action(writer, writes=["q"])
+    outcome = scheme.commit(writer)
+    for reader in readers:
+        if reader.is_aborted:
+            scheme.abort(reader)
+    cost = (
+        len(outcome.victims) * ABORT_COST
+        + revalidations * REVALIDATION_COST
+    )
+    return outcome, revalidations, cost
+
+
+def test_unconditional_abort(benchmark):
+    outcome, revalidations, cost = benchmark(lambda: _run(False))
+    assert len(outcome.victims) == N_READERS
+    assert revalidations == 0
+    report(
+        "Rule (ii) — unconditional abort",
+        [
+            ("victims", N_READERS, len(outcome.victims)),
+            ("revalidations", 0, revalidations),
+            ("modeled cost", N_READERS * ABORT_COST, cost),
+        ],
+    )
+
+
+def test_revalidation_alternative(benchmark):
+    outcome, revalidations, cost = benchmark(lambda: _run(True))
+    expected_victims = int(N_READERS * HARMFUL_FRACTION)
+    assert len(outcome.victims) == expected_victims
+    assert revalidations == N_READERS
+    report(
+        "Rule (ii) alternative — revalidate before aborting",
+        [
+            ("victims", expected_victims, len(outcome.victims)),
+            ("revalidations", N_READERS, revalidations),
+            ("modeled cost",
+             expected_victims * ABORT_COST + N_READERS * REVALIDATION_COST,
+             cost),
+        ],
+    )
+
+
+def test_crossover_analysis():
+    """Revalidation pays when spared work exceeds re-check overhead:
+    cost_abort = N*A; cost_reval = harmful*N*A + N*R — crossover at
+    harmful_fraction = 1 - R/A."""
+    _, _, abort_cost = _run(False)
+    _, _, reval_cost = _run(True)
+    crossover = 1 - REVALIDATION_COST / ABORT_COST
+    report(
+        "Abort vs revalidation — crossover",
+        [
+            ("abort modeled cost", "-", abort_cost),
+            ("revalidation modeled cost", "-", reval_cost),
+            ("revalidation wins here", "yes" if HARMFUL_FRACTION < crossover else "no",
+             "yes" if reval_cost < abort_cost else "no"),
+            ("crossover harmful fraction", round(crossover, 2), round(crossover, 2)),
+        ],
+    )
+    assert (reval_cost < abort_cost) == (HARMFUL_FRACTION < crossover)

@@ -1,0 +1,70 @@
+"""Example 5.1 — uniprocessor: single thread never loses.
+
+Paper: ``T_single(σ) = Σ T(P_j)`` and ``T_multi,uni(σ) = Σ T(P_j) +
+f · Σ_aborted T(P_k)`` with ``0 <= f < 1``, hence ``T_single <=
+T_multi,uni``: "single thread execution on a uniprocessor is no worse
+than multiple thread execution".
+"""
+
+from conftest import report
+
+from repro.analysis.speedup import (
+    multi_thread_uniprocessor_time,
+    single_thread_time,
+)
+from repro.core import table_5_1
+from repro.core.addsets import SECTION_5_EXEC_TIMES
+from repro.sim.multithread import simulate_uniprocessor_multithread
+
+FRACTIONS = (0.0, 0.25, 0.5, 0.75, 0.99)
+
+
+def test_example_5_1_inequality(benchmark):
+    system = table_5_1()
+
+    def evaluate():
+        rows = []
+        for fraction in FRACTIONS:
+            multi, sequence = simulate_uniprocessor_multithread(
+                system, abort_fraction=fraction
+            )
+            single = single_thread_time(SECTION_5_EXEC_TIMES, sequence)
+            rows.append((fraction, single, multi))
+        return rows
+
+    rows = benchmark(evaluate)
+    for fraction, single, multi in rows:
+        assert single <= multi, (fraction, single, multi)
+
+    report(
+        "Example 5.1 — uniprocessor single vs multiple thread",
+        [
+            (
+                f"f={fraction:.2f}: T_multi,uni - T_single",
+                ">= 0",
+                round(multi - single, 6),
+            )
+            for fraction, single, multi in rows
+        ],
+    )
+    print(
+        "sigma (from infinite-processor probe):",
+        "".join(rows and simulate_uniprocessor_multithread(system, 0.0)[1]),
+    )
+
+
+def test_example_5_1_waste_grows_with_f(benchmark):
+    committed, aborted = ["P2", "P3", "P4"], ["P1"]
+
+    def curve():
+        return [
+            multi_thread_uniprocessor_time(
+                SECTION_5_EXEC_TIMES, committed, aborted, f
+            )
+            for f in FRACTIONS
+        ]
+
+    times = benchmark(curve)
+    assert times == sorted(times)
+    assert times[0] == 9.0           # f=0: pure committed work
+    assert times[-1] == 9.0 + 0.99 * 5.0  # f=0.99 of T(P1)=5

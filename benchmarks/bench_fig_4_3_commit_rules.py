@@ -1,0 +1,65 @@
+"""Figure 4.3 — the Rc-Wa commit-order rules.
+
+Paper: P_j holds Rc(q) while P_i takes Wa(q) (granted over the Rc).
+
+* (a) P_j commits first: both commit; serial order is P_j P_i.
+* (b) P_i commits first: "the lock manager finds all productions
+  holding Rc lock on q and forces them to abort" — P_j aborts.
+"""
+
+from conftest import report
+
+from repro.locks import RcScheme
+from repro.txn import History, Transaction
+from repro.txn.serializability import is_conflict_serializable
+
+
+def _scenario(commit_rc_holder_first: bool):
+    history = History()
+    scheme = RcScheme(history=history)
+    pi = Transaction(rule_name="Pi")
+    pj = Transaction(rule_name="Pj")
+    assert scheme.lock_condition(pj, "q").is_granted
+    assert all(r.is_granted for r in scheme.lock_action(pi, writes=["q"]))
+    if commit_rc_holder_first:
+        scheme.commit(pj)
+        outcome = scheme.commit(pi)
+    else:
+        outcome = scheme.commit(pi)
+        if pj.is_aborted:
+            scheme.abort(pj)
+    return history, pi, pj, outcome
+
+
+def test_fig_4_3a_rc_holder_commits_first(benchmark):
+    history, pi, pj, outcome = benchmark(lambda: _scenario(True))
+    assert pi.is_committed and pj.is_committed
+    assert outcome.victims == []
+    assert history.commit_order() == (pj.txn_id, pi.txn_id)
+    assert is_conflict_serializable(history)
+    report(
+        "Figure 4.3(a) — Pj (Rc holder) commits first",
+        [
+            ("Pj outcome", "commits", pj.state.value),
+            ("Pi outcome", "commits", pi.state.value),
+            ("serial order", "Pj Pi", " ".join(history.commit_order())),
+            ("serializable", "yes", "yes" if is_conflict_serializable(history) else "no"),
+        ],
+    )
+
+
+def test_fig_4_3b_wa_holder_commits_first(benchmark):
+    history, pi, pj, outcome = benchmark(lambda: _scenario(False))
+    assert pi.is_committed
+    assert pj.is_aborted
+    assert [v.txn_id for v in outcome.victims] == [pj.txn_id]
+    assert is_conflict_serializable(history)
+    report(
+        "Figure 4.3(b) — Pi (Wa holder) commits first",
+        [
+            ("Pi outcome", "commits", pi.state.value),
+            ("Pj outcome", "forced abort", pj.state.value),
+            ("victims", 1, len(outcome.victims)),
+            ("serializable", "yes", "yes" if is_conflict_serializable(history) else "no"),
+        ],
+    )

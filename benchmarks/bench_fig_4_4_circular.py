@@ -1,0 +1,76 @@
+"""Figure 4.4 — circular Rc/Wa conflict dependency.
+
+Paper: P_i holds Rc(q) and Wa(r); P_j holds Rc(r) and Wa(q).  "Using
+the rules above, the commitment of one production always forces the
+other to abort.  Thus the consistent execution semantics is once again
+satisfied." — exactly one of the two commits, whichever reaches its
+commit point first.
+"""
+
+from conftest import report
+
+from repro.locks import RcScheme
+from repro.txn import Transaction
+
+
+def _scenario(first_committer: str):
+    scheme = RcScheme()
+    pi = Transaction(rule_name="Pi")
+    pj = Transaction(rule_name="Pj")
+    assert scheme.lock_condition(pi, "q").is_granted
+    assert scheme.lock_condition(pj, "r").is_granted
+    assert all(r.is_granted for r in scheme.lock_action(pi, writes=["r"]))
+    assert all(r.is_granted for r in scheme.lock_action(pj, writes=["q"]))
+    winner, loser = (pi, pj) if first_committer == "Pi" else (pj, pi)
+    outcome = scheme.commit(winner)
+    if loser.is_aborted:
+        scheme.abort(loser)
+    return winner, loser, outcome
+
+
+def test_fig_4_4_pi_commits_first(benchmark):
+    winner, loser, outcome = benchmark(lambda: _scenario("Pi"))
+    assert winner.is_committed
+    assert loser.is_aborted
+    assert [v.txn_id for v in outcome.victims] == [loser.txn_id]
+    report(
+        "Figure 4.4 — circular conflict, Pi commits first",
+        [
+            ("productions committed", 1, 1),
+            ("productions aborted", 1, 1),
+            ("winner", "Pi", winner.rule_name),
+        ],
+    )
+
+
+def test_fig_4_4_pj_commits_first(benchmark):
+    winner, loser, outcome = benchmark(lambda: _scenario("Pj"))
+    assert winner.is_committed and winner.rule_name == "Pj"
+    assert loser.is_aborted
+    report(
+        "Figure 4.4 — circular conflict, Pj commits first",
+        [
+            ("productions committed", 1, 1),
+            ("productions aborted", 1, 1),
+            ("winner", "Pj", winner.rule_name),
+        ],
+    )
+
+
+def test_fig_4_4_no_deadlock_under_rc(benchmark):
+    """The same circular shape deadlocks under 2PL; under Rc both Wa
+    grants go through (the permissive Rc-Wa cell) so no waits-for cycle
+    ever forms — Section 4.3's 'no new kinds of deadlocks' plus one
+    removed kind."""
+    from repro.locks.deadlock import DeadlockDetector
+
+    def run():
+        scheme = RcScheme()
+        pi, pj = Transaction(), Transaction()
+        scheme.lock_condition(pi, "q")
+        scheme.lock_condition(pj, "r")
+        scheme.lock_action(pi, writes=["r"])
+        scheme.lock_action(pj, writes=["q"])
+        return DeadlockDetector(scheme.manager).find_cycle()
+
+    assert benchmark(run) is None

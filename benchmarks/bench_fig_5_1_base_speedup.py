@@ -1,0 +1,43 @@
+"""Figure 5.1 / Table 5.1 — the base speedup case.
+
+Paper: PA = {P1..P4}, T = (5, 3, 2, 4), Np = 4, σ1 allowable with
+T_single(σ1) = 2+3+4 = 9; the multiple-thread run takes 4 (P1 is
+aborted by P2's commit), so speedup = 9/4 = **2.25**.
+"""
+
+import pytest
+from conftest import report
+
+from repro.core import table_5_1
+from repro.sim.multithread import simulate_multithread
+
+PAPER = {"single": 9.0, "multi": 4.0, "speedup": 2.25, "processors": 4}
+
+
+def test_fig_5_1_base_case(benchmark):
+    system = table_5_1()
+    result = benchmark(
+        simulate_multithread, system, PAPER["processors"]
+    )
+
+    assert result.single_thread_time == PAPER["single"]
+    assert result.makespan == PAPER["multi"]
+    assert result.speedup() == pytest.approx(PAPER["speedup"])
+    assert result.aborted == ("P1",)
+    assert system.is_valid_sequence(result.commit_sequence)
+
+    report(
+        "Figure 5.1 — base case (Table 5.1, Np=4, T=(5,3,2,4))",
+        [
+            ("T_single(sigma)", PAPER["single"], result.single_thread_time),
+            ("T_multi(sigma)", PAPER["multi"], result.makespan),
+            ("speedup", PAPER["speedup"], result.speedup()),
+            ("aborted", "P1", ",".join(result.aborted)),
+            (
+                "commit sequence",
+                "p2p3p4 (some order)",
+                "".join(result.commit_sequence).lower(),
+            ),
+        ],
+    )
+    print(result.trace.render(52))

@@ -1,0 +1,37 @@
+"""Figure 5.2 / Table 5.2 — increased degree of conflict.
+
+Paper: with Table 5.2's add/delete sets the selected sequence becomes
+σ2 = p3p2 with T_single(σ2) = 5; the multiple-thread run takes 3 (P3's
+commit aborts P4, P2's commit aborts P1), so speedup drops from 2.25 to
+5/3 ≈ **1.67** — "the degree of conflict is thus an important factor".
+"""
+
+import pytest
+from conftest import report
+
+from repro.core import table_5_2
+from repro.sim.multithread import simulate_multithread
+
+PAPER = {"single": 5.0, "multi": 3.0, "speedup": 5 / 3}
+
+
+def test_fig_5_2_conflict_degree(benchmark):
+    system = table_5_2()
+    result = benchmark(simulate_multithread, system, 4)
+
+    assert result.single_thread_time == PAPER["single"]
+    assert result.makespan == PAPER["multi"]
+    assert result.speedup() == pytest.approx(PAPER["speedup"])
+    assert set(result.aborted) == {"P1", "P4"}
+
+    report(
+        "Figure 5.2 — higher conflict (Table 5.2, Np=4)",
+        [
+            ("T_single(sigma)", PAPER["single"], result.single_thread_time),
+            ("T_multi(sigma)", PAPER["multi"], result.makespan),
+            ("speedup", round(PAPER["speedup"], 4), result.speedup()),
+            ("aborted", "P1,P4", ",".join(sorted(result.aborted))),
+            ("speedup vs Fig 5.1", "2.25 -> 1.67", f"-> {result.speedup():.3f}"),
+        ],
+    )
+    print(result.trace.render(52))

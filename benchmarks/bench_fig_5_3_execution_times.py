@@ -1,0 +1,43 @@
+"""Figure 5.3 — execution-time variation.
+
+Paper: increasing T(P2) by one unit makes T_single(σ1) = 2+4+4 = 10
+while T_multi stays 4, so speedup *rises* from 2.25 to **2.5** — the
+numerator grows while the wave's slowest member still pins the
+denominator.
+"""
+
+import pytest
+from conftest import report
+
+from repro.core import table_5_1
+from repro.core.addsets import SECTION_5_EXEC_TIMES
+from repro.sim.multithread import simulate_multithread
+
+PAPER = {"single": 10.0, "multi": 4.0, "speedup": 2.5}
+
+
+def _slow_p2_times():
+    times = dict(SECTION_5_EXEC_TIMES)
+    times["P2"] = times["P2"] + 1
+    return times
+
+
+def test_fig_5_3_execution_times(benchmark):
+    system = table_5_1(_slow_p2_times())
+    result = benchmark(simulate_multithread, system, 4)
+
+    assert result.single_thread_time == PAPER["single"]
+    assert result.makespan == PAPER["multi"]
+    assert result.speedup() == pytest.approx(PAPER["speedup"])
+
+    report(
+        "Figure 5.3 — T(P2) increased by 1 (Np=4)",
+        [
+            ("T(P2)", 4, system.time("P2")),
+            ("T_single(sigma)", PAPER["single"], result.single_thread_time),
+            ("T_multi(sigma)", PAPER["multi"], result.makespan),
+            ("speedup", PAPER["speedup"], result.speedup()),
+            ("speedup vs Fig 5.1", "2.25 -> 2.5", f"-> {result.speedup():.3f}"),
+        ],
+    )
+    print(result.trace.render(52))

@@ -1,0 +1,44 @@
+"""Figure 5.4 — number-of-processors variation.
+
+Paper: reducing Np from 4 to 3 forces P4 to wait for a free processor
+(it starts when P3 finishes at t=2 and runs to t=6): T_multi rises to 6
+and speedup falls from 2.25 to **1.5** — "intuitive, since now there is
+a processor that has more than one production to execute".
+"""
+
+import pytest
+from conftest import report
+
+from repro.core import table_5_1
+from repro.sim.multithread import simulate_multithread
+
+PAPER = {"single": 9.0, "multi": 6.0, "speedup": 1.5, "processors": 3}
+
+
+def test_fig_5_4_processors(benchmark):
+    system = table_5_1()
+    result = benchmark(
+        simulate_multithread, system, PAPER["processors"]
+    )
+
+    assert result.single_thread_time == PAPER["single"]
+    assert result.makespan == PAPER["multi"]
+    assert result.speedup() == pytest.approx(PAPER["speedup"])
+
+    p4_segments = [
+        s for s in result.trace.segments if s.task == "P4"
+    ]
+    assert p4_segments[0].start == 2.0  # waits for P3's processor
+
+    report(
+        "Figure 5.4 — Np reduced to 3 (Table 5.1)",
+        [
+            ("Np", PAPER["processors"], result.processors),
+            ("T_single(sigma)", PAPER["single"], result.single_thread_time),
+            ("T_multi(sigma)", PAPER["multi"], result.makespan),
+            ("speedup", PAPER["speedup"], result.speedup()),
+            ("P4 start time", 2.0, p4_segments[0].start),
+            ("speedup vs Fig 5.1", "2.25 -> 1.5", f"-> {result.speedup():.3f}"),
+        ],
+    )
+    print(result.trace.render(52))

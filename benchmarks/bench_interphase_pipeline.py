@@ -1,0 +1,75 @@
+"""Extension — inter-phase parallelism (Section 2's classification).
+
+The paper lists "(2) inter-phase parallelism, i.e., overlapped
+execution of different phases" among the user-transparent forms.  This
+bench quantifies it with the two-stage pipeline model of
+:mod:`repro.analysis.pipeline`: overlapping cycle i+1's match with
+cycle i's execute.  Expected shape: speedup ≤ 2, maximized when match
+and execute times balance, negligible when one phase dominates.
+"""
+
+import random
+
+from conftest import report
+
+from repro.analysis.pipeline import (
+    balanced_speedup_bound,
+    overlap_speedup,
+    pipelined_time,
+    sequential_time,
+)
+
+N_CYCLES = 40
+
+
+def _phase_times(ratio: float, seed: int = 0):
+    """Random cycles where execute ≈ ratio × match on average."""
+    rng = random.Random(seed)
+    match = [rng.uniform(0.5, 1.5) for _ in range(N_CYCLES)]
+    execute = [m * ratio * rng.uniform(0.8, 1.2) for m in match]
+    return match, execute
+
+
+def test_pipeline_speedup_by_balance(benchmark):
+    ratios = (0.1, 0.5, 1.0, 2.0, 10.0)
+
+    def sweep():
+        return [
+            (ratio, overlap_speedup(*_phase_times(ratio)))
+            for ratio in ratios
+        ]
+
+    rows = benchmark(sweep)
+    by_ratio = dict(rows)
+    # Balanced phases gain the most; extreme skews gain little.
+    assert by_ratio[1.0] > by_ratio[0.1]
+    assert by_ratio[1.0] > by_ratio[10.0]
+    assert all(1.0 <= s <= 2.0 + 1e-9 for _, s in rows)
+
+    report(
+        "Inter-phase pipeline — speedup vs execute/match ratio",
+        [
+            (f"ratio {ratio:g}", "peak at 1.0", round(speedup, 3))
+            for ratio, speedup in rows
+        ]
+        + [
+            (
+                "balanced bound (2n/(n+1))",
+                round(balanced_speedup_bound(N_CYCLES), 3),
+                round(balanced_speedup_bound(N_CYCLES), 3),
+            )
+        ],
+    )
+
+
+def test_pipeline_never_hurts(benchmark):
+    def check():
+        for seed in range(20):
+            for ratio in (0.2, 1.0, 5.0):
+                match, execute = _phase_times(ratio, seed)
+                assert pipelined_time(match, execute) <= sequential_time(
+                    match, execute
+                ) + 1e-9
+        return True
+
+    assert benchmark(check)

@@ -1,0 +1,57 @@
+"""Extension — intra-phase parallelism: parallelizing match itself.
+
+Section 2's user-transparent form (1), backed by the survey's parallel
+match work [GUPT86, MIRA84, RAMN86].  Production-partitioned match is
+modeled as LPT scheduling of per-production match costs; the key shape
+(Gupta's empirical finding) is early saturation: skewed costs cap the
+attainable speedup at ``Σ cost / max cost`` regardless of processors.
+"""
+
+from conftest import report
+
+from repro.analysis.match_parallel import (
+    match_speedup,
+    skewed_costs,
+    speedup_ceiling,
+    speedup_curve,
+)
+
+PROCESSORS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def test_match_parallel_saturation(benchmark):
+    costs = skewed_costs(60, skew=1.2, seed=11)
+
+    def curve():
+        return speedup_curve(costs, PROCESSORS)
+
+    points = benchmark(curve)
+    ceiling = speedup_ceiling(costs)
+    values = dict(points)
+    assert values[1] == 1.0
+    assert all(s <= ceiling + 1e-9 for _, s in points)
+    # Saturation: the last doubling adds (much) less than the first.
+    assert (values[2] - values[1]) > (values[64] - values[32])
+
+    report(
+        "Intra-phase match parallelism — skewed costs (60 rules)",
+        [
+            (f"speedup @ Np={count}", "<= ceiling", round(speedup, 3))
+            for count, speedup in points
+        ]
+        + [("skew ceiling (sum/max)", "-", round(ceiling, 3))],
+    )
+
+
+def test_balanced_costs_scale_to_ceiling(benchmark):
+    costs = [1.0] * 64
+
+    def run():
+        return match_speedup(costs, 64)
+
+    speedup = benchmark(run)
+    assert speedup == 64.0
+    report(
+        "Intra-phase match parallelism — balanced control",
+        [("speedup @ Np=64, equal costs", 64, speedup)],
+    )

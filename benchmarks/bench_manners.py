@@ -1,0 +1,55 @@
+"""Extension — Miss Manners, the classic production-system benchmark.
+
+A realistic rule program (guest-seating with sex/hobby joins) driving
+the whole engine: parser, matcher, conflict resolution, RHS execution.
+Used to compare the four matchers under a real workload (the synthetic
+delta-stream comparison is in ``bench_match_algorithms.py``) and to
+verify the solution against the manners constraints.
+"""
+
+import pytest
+from conftest import report
+
+from repro.engine import Interpreter
+from repro.workloads import (
+    build_manners_memory,
+    build_manners_rules,
+    seating_order,
+    validate_seating,
+)
+
+N_GUESTS = 24
+
+
+def _run(matcher: str, n_guests: int = N_GUESTS):
+    memory = build_manners_memory(n_guests, seed=1)
+    result = Interpreter(
+        build_manners_rules(),
+        memory,
+        matcher=matcher,
+        strategy="priority",
+    ).run(max_cycles=5 * n_guests)
+    return memory, result
+
+
+@pytest.mark.parametrize("matcher", ["rete", "treat", "cond", "naive"])
+def test_manners_by_matcher(benchmark, matcher):
+    memory, result = benchmark(_run, matcher)
+    assert result.halted
+    validate_seating(memory)
+    assert len(seating_order(memory)) == N_GUESTS
+
+
+def test_manners_report():
+    memory, result = _run("rete")
+    validate_seating(memory)
+    order = seating_order(memory)
+    report(
+        f"Miss Manners — {N_GUESTS} guests seated",
+        [
+            ("guests seated", N_GUESTS, len(order)),
+            ("cycles", N_GUESTS + 1, result.cycles),
+            ("constraints valid", "yes", "yes"),
+        ],
+    )
+    print("seating:", " ".join(order[:8]), "...")

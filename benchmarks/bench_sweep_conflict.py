@@ -1,0 +1,47 @@
+"""Extension — speedup vs degree of conflict (generalizes Figure 5.2).
+
+The paper shows one data point (2.25 -> 1.67 when conflict increases);
+this sweep averages random systems per conflict degree and checks the
+curve's shape: speedup falls as interference rises.
+"""
+
+from conftest import report
+
+from repro.analysis.factors import sweep_conflict_degree
+from repro.sim.metrics import monotone_fraction, sweep_table
+
+DEGREES = (0.0, 0.1, 0.2, 0.35, 0.5, 0.7)
+
+
+def test_sweep_conflict_degree(benchmark):
+    points = benchmark(
+        sweep_conflict_degree,
+        degrees=DEGREES,
+        n_productions=16,
+        processors=16,
+        trials=8,
+    )
+    speedups = [p.speedup for p in points]
+    assert speedups[0] > speedups[-1]
+    assert monotone_fraction(speedups, decreasing=True) >= 0.6
+
+    print()
+    print(
+        sweep_table(
+            "Speedup vs degree of conflict (16 productions, Np=16, "
+            "8 trials/point)",
+            "conflict",
+            points,
+        )
+    )
+    report(
+        "Shape check — generalizes Figure 5.2",
+        [
+            ("speedup falls with conflict", "yes",
+             "yes" if speedups[0] > speedups[-1] else "no"),
+            ("monotone fraction", ">= 0.6",
+             round(monotone_fraction(speedups), 2)),
+            ("speedup @ conflict=0", "max", round(speedups[0], 3)),
+            ("speedup @ conflict=0.7", "min-ish", round(speedups[-1], 3)),
+        ],
+    )

@@ -1,0 +1,68 @@
+"""Extension — speedup vs execution-time skew (generalizes Figure 5.3).
+
+Figure 5.3's single point shows speedup rising when a non-critical
+production lengthens (numerator grows, max stays).  Sweeping the
+max/min skew of *random* systems shows the complementary regime: once
+the longest production pins the makespan, higher skew hurts speedup.
+Both effects come out of the same T_single/T_multi arithmetic.
+"""
+
+from conftest import report
+
+from repro.analysis.factors import sweep_exec_times
+from repro.core import table_5_1
+from repro.core.addsets import SECTION_5_EXEC_TIMES
+from repro.sim.metrics import sweep_table
+from repro.sim.multithread import simulate_multithread
+
+SKEWS = (1.0, 1.5, 2.0, 3.0, 5.0, 8.0)
+
+
+def test_fig_5_3_direction_noncritical_member(benchmark):
+    """Lengthening P2 below the wave maximum raises speedup — the
+    paper's exact direction."""
+
+    def curve():
+        speedups = []
+        for t2 in (3.0, 3.5, 4.0):
+            times = dict(SECTION_5_EXEC_TIMES, P2=t2)
+            result = simulate_multithread(table_5_1(times), 4)
+            speedups.append(result.speedup())
+        return speedups
+
+    speedups = benchmark(curve)
+    assert speedups == sorted(speedups)
+    report(
+        "Figure 5.3 direction — lengthen non-critical P2",
+        [
+            ("speedup @ T(P2)=3", 2.25, round(speedups[0], 3)),
+            ("speedup @ T(P2)=4", 2.5, round(speedups[-1], 3)),
+            ("monotone rising", "yes",
+             "yes" if speedups == sorted(speedups) else "no"),
+        ],
+    )
+
+
+def test_sweep_exec_time_skew(benchmark):
+    points = benchmark(
+        sweep_exec_times, skews=SKEWS, trials=8, n_productions=16
+    )
+    assert len(points) == len(SKEWS)
+    assert all(p.speedup >= 1.0 for p in points)
+
+    print()
+    print(
+        sweep_table(
+            "Speedup vs execution-time skew (random systems, Np=16)",
+            "skew",
+            points,
+        )
+    )
+    report(
+        "Shape check — skew regime",
+        [
+            ("all speedups >= 1", "yes", "yes"),
+            ("speedup @ skew=1", "-", round(points[0].speedup, 3)),
+            ("speedup @ skew=8", "-", round(points[-1].speedup, 3)),
+        ],
+    )

@@ -1,0 +1,51 @@
+"""Extension — speedup vs Np (generalizes Figure 5.4).
+
+Paper: "N_p >= max |PA| ... will expedite execution"; below that,
+"at least two productions will share the same processor".  Expected
+shape: speedup rises with Np and saturates once Np covers the widest
+conflict set.
+"""
+
+from conftest import report
+
+from repro.analysis.factors import sweep_processors
+from repro.sim.metrics import monotone_fraction, sweep_table
+
+COUNTS = (1, 2, 3, 4, 6, 8, 12, 16)
+
+
+def test_sweep_processors(benchmark):
+    points = benchmark(
+        sweep_processors,
+        processor_counts=COUNTS,
+        n_productions=16,
+        conflict_degree=0.15,
+        trials=8,
+    )
+    speedups = [p.speedup for p in points]
+    assert abs(speedups[0] - 1.0) < 1e-9  # Np=1 is serial
+    assert speedups[-1] > speedups[0]
+    assert monotone_fraction(speedups, decreasing=False) >= 0.75
+    # Saturation: the last doubling gains little.
+    gain_early = speedups[3] / speedups[0]
+    gain_late = speedups[-1] / speedups[-3]
+    assert gain_early > gain_late
+
+    print()
+    print(
+        sweep_table(
+            "Speedup vs Np (16 productions, conflict 0.15, 8 trials/point)",
+            "Np",
+            points,
+        )
+    )
+    report(
+        "Shape check — generalizes Figure 5.4",
+        [
+            ("speedup @ Np=1", 1.0, round(speedups[0], 3)),
+            ("speedup rises with Np", "yes",
+             "yes" if speedups[-1] > speedups[0] else "no"),
+            ("early gain (1->4 cpus)", "> late", round(gain_early, 2)),
+            ("late gain (8->16 cpus)", "< early", round(gain_late, 2)),
+        ],
+    )

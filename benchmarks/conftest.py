@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark here plays two roles:
+
+1. **Reproduction** — it asserts the paper's values (so ``--benchmark-
+   only`` runs double as a verification pass) and prints a
+   paper-vs-measured table via :func:`report`.
+2. **Measurement** — it times the underlying computation with
+   pytest-benchmark, giving regression numbers for the library itself.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+
+def report(title: str, rows: list[tuple[str, object, object]]) -> None:
+    """Print a paper-vs-measured table.
+
+    ``rows`` are (quantity, paper value, measured value) triples.
+    """
+    width = max(24, max((len(r[0]) for r in rows), default=0) + 2)
+    line = f"{'quantity':<{width}} {'paper':>14} {'measured':>14}"
+    print()
+    print(f"== {title}")
+    print(line)
+    print("-" * len(line))
+    for name, paper, measured in rows:
+        print(f"{name:<{width}} {_fmt(paper):>14} {_fmt(measured):>14}")
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

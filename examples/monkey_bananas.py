@@ -1,0 +1,102 @@
+"""Monkey and bananas — the classic OPS5 planning problem.
+
+The canonical production-system demo (the paper's Section 2 model is
+OPS5's): a monkey must fetch bananas hanging from the ceiling by
+finding a ladder, dragging it under the bananas, climbing, and
+grabbing.  Written entirely in the rule DSL; state progresses purely
+through working-memory modifications, and MEA-style goal chaining is
+emulated with priorities.
+
+Run with::
+
+    python examples/monkey_bananas.py
+"""
+
+from repro import Interpreter, WorkingMemory, parse_program
+
+RULES = """
+; The monkey walks to the ladder (if it isn't already there).
+(p walk-to-ladder 3
+   (goal ^want "bananas")
+   (monkey ^at <m> ^holding "nothing" ^on "floor")
+   (ladder ^at <l> ^at <> <m>)
+   -->
+   (modify 2 ^at <l>)
+   (write "monkey walks to" <l>))
+
+; The monkey drags the ladder under the bananas.
+(p drag-ladder 4
+   (goal ^want "bananas")
+   (monkey ^at <l> ^on "floor")
+   (ladder ^at <l>)
+   (bananas ^at <b> ^at <> <l>)
+   -->
+   (modify 2 ^at <b>)
+   (modify 3 ^at <b>)
+   (write "monkey drags ladder to" <b>))
+
+; The monkey climbs the ladder once both are under the bananas.
+(p climb-ladder 5
+   (goal ^want "bananas")
+   (monkey ^at <b> ^on "floor")
+   (ladder ^at <b>)
+   (bananas ^at <b>)
+   -->
+   (modify 2 ^on "ladder")
+   (write "monkey climbs the ladder"))
+
+; On the ladder under the bananas: grab them.
+(p grab-bananas 6
+   (goal ^want "bananas")
+   (monkey ^at <b> ^on "ladder" ^holding "nothing")
+   (bananas ^at <b>)
+   -->
+   (modify 2 ^holding "bananas")
+   (remove 3)
+   (write "monkey grabs the bananas!"))
+
+; Goal satisfied: celebrate and stop.
+(p goal-satisfied 9
+   (goal ^want "bananas")
+   (monkey ^holding "bananas")
+   -->
+   (remove 1)
+   (write "goal achieved")
+   (halt))
+"""
+
+
+def main() -> None:
+    rules = parse_program(RULES)
+    wm = WorkingMemory()
+    wm.make("monkey", at="door", on="floor", holding="nothing")
+    wm.make("ladder", at="window")
+    wm.make("bananas", at="center")
+    wm.make("goal", want="bananas")
+
+    result = Interpreter(rules, wm, strategy="priority").run()
+
+    print("plan:")
+    for name in result.firing_sequence():
+        print("  ", name)
+    print("narration:")
+    for line in result.outputs:
+        print("  ", *line)
+
+    assert result.firing_sequence() == (
+        "walk-to-ladder",
+        "drag-ladder",
+        "climb-ladder",
+        "grab-bananas",
+        "goal-satisfied",
+    )
+    monkey = wm.elements("monkey")[0]
+    assert monkey["holding"] == "bananas"
+    assert monkey["at"] == "center"
+    assert wm.count("bananas") == 0
+    assert wm.count("goal") == 0
+    print("\nmonkey_bananas OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Section 5 interactively: speedup under the multiple-thread mechanism.
+
+Reproduces every worked example of the paper's Section 5 on the
+discrete-event multiprocessor simulator, prints the Gantt charts the
+paper draws as Figures 5.1-5.4, then sweeps the three factors the paper
+names (degree of conflict, execution times, number of processors).
+
+Run with::
+
+    python examples/parallel_speedup.py
+"""
+
+from repro import section_5_cases, simulate_multithread, table_5_1, table_5_2
+from repro.analysis.factors import sweep_conflict_degree, sweep_processors
+from repro.core.addsets import SECTION_5_EXEC_TIMES
+from repro.sim.metrics import sweep_table
+
+
+def worked_examples() -> None:
+    print("=" * 64)
+    print("Worked examples (Figures 5.1-5.4)")
+    print("=" * 64)
+    for case in section_5_cases():
+        measured = case.run()
+        status = "OK" if case.matches_paper() else "MISMATCH"
+        print(
+            f"{case.name:<20s} T_single={measured['single']:>4g} "
+            f"(paper {case.expected_single:g})  "
+            f"T_multi={measured['multi']:>3g} "
+            f"(paper {case.expected_multi:g})  "
+            f"speedup={measured['speedup']:.3f} "
+            f"(paper {case.expected_speedup:.3f})  [{status}]"
+        )
+
+
+def gantt_charts() -> None:
+    print()
+    print("Figure 5.1 — base case, Np=4 (x = aborted work):")
+    result = simulate_multithread(table_5_1(), 4)
+    print(result.trace.render(48))
+    print()
+    print("Figure 5.4 — same system, Np=3 (P4 waits for a processor):")
+    result = simulate_multithread(table_5_1(), 3)
+    print(result.trace.render(48))
+    print()
+    print("Figure 5.2 — Table 5.2's higher conflict, Np=4:")
+    result = simulate_multithread(table_5_2(), 4)
+    print(result.trace.render(48))
+
+
+def factor_sweeps() -> None:
+    print()
+    print("=" * 64)
+    print("Factor sweeps (random systems; generalizing the examples)")
+    print("=" * 64)
+    print(
+        sweep_table(
+            "Speedup vs degree of conflict",
+            "conflict",
+            sweep_conflict_degree(trials=6),
+        )
+    )
+    print()
+    print(
+        sweep_table(
+            "Speedup vs number of processors",
+            "Np",
+            sweep_processors(trials=6),
+        )
+    )
+
+
+def main() -> None:
+    worked_examples()
+    for case in section_5_cases():
+        assert case.matches_paper(), case.name
+    gantt_charts()
+    factor_sweeps()
+    print("\nparallel_speedup OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Process control: rule-based monitoring over a sensor database.
+
+Section 1 names "manufacturing and process control" as the new database
+applications needing rule-based reasoning.  This example monitors a
+small plant: sensors stream readings into working memory; rules raise,
+escalate and clear alarms, and shut a unit down when it overheats while
+its coolant valve reports closed — exercising negation, variable joins,
+predicates, arithmetic, priorities and halt.
+
+Run with::
+
+    python examples/process_control.py
+"""
+
+from repro import Interpreter, WorkingMemory, parse_program
+
+RULES = """
+(p raise-alarm 5
+   (reading ^sensor <s> ^value <v> ^value > 90)
+   (sensor ^id <s> ^unit <u>)
+   -(alarm ^sensor <s>)
+   -->
+   (make alarm ^sensor <s> ^unit <u> ^level 1 ^peak <v>)
+   (remove 1)
+   (write "ALARM raised for" <s>))
+
+(p escalate-alarm 6
+   (reading ^sensor <s> ^value <v> ^value > 90)
+   (alarm ^sensor <s> ^level <l> ^peak < <v>)
+   -->
+   (modify 2 ^level (<l> + 1) ^peak <v>)
+   (remove 1)
+   (write "alarm escalated for" <s>))
+
+(p acknowledge-hot-reading 6
+   (reading ^sensor <s> ^value <v> ^value > 90)
+   (alarm ^sensor <s> ^level <l> ^peak >= <v>)
+   -->
+   (modify 2 ^level (<l> + 1))
+   (remove 1)
+   (write "alarm escalated for" <s>))
+
+(p clear-alarm 4
+   (reading ^sensor <s> ^value <= 90)
+   (alarm ^sensor <s>)
+   -->
+   (remove 2)
+   (remove 1)
+   (write "alarm cleared for" <s>))
+
+(p drop-normal-reading 1
+   (reading ^sensor <s> ^value <= 90)
+   -(alarm ^sensor <s>)
+   -->
+   (remove 1))
+
+(p emergency-shutdown 9
+   (alarm ^sensor <s> ^unit <u> ^level >= 3)
+   (valve ^unit <u> ^state "closed")
+   -->
+   (make shutdown ^unit <u>)
+   (write "EMERGENCY SHUTDOWN of unit" <u>)
+   (halt))
+"""
+
+
+def feed_readings(wm: WorkingMemory) -> None:
+    """A burst of telemetry: boiler-1 overheats three times running
+    while its coolant valve is stuck closed; mixer-2 stays healthy."""
+    wm.make("sensor", id="temp-b1", unit="boiler-1")
+    wm.make("sensor", id="temp-m2", unit="mixer-2")
+    wm.make("valve", unit="boiler-1", state="closed")
+    wm.make("valve", unit="mixer-2", state="open")
+    for value in (95, 97, 99):
+        wm.make("reading", sensor="temp-b1", value=value)
+    for value in (70, 85, 60):
+        wm.make("reading", sensor="temp-m2", value=value)
+
+
+def main() -> None:
+    rules = parse_program(RULES)
+    wm = WorkingMemory()
+    feed_readings(wm)
+
+    interpreter = Interpreter(rules, wm, strategy="priority")
+    result = interpreter.run()
+
+    print("firing sequence:")
+    for name in result.firing_sequence():
+        print("  ", name)
+    print("console output:")
+    for line in result.outputs:
+        print("  ", *line)
+
+    # boiler-1: alarm raised on the hottest reading (99, LEX recency),
+    # then the two remaining hot readings escalate it to level 3;
+    # valve closed -> shutdown fires at priority 9 and halts.
+    assert result.halted
+    alarms = wm.elements("alarm")
+    assert len(alarms) == 1
+    assert alarms[0]["sensor"] == "temp-b1"
+    assert alarms[0]["level"] == 3
+    assert alarms[0]["peak"] == 99
+    assert [w["unit"] for w in wm.elements("shutdown")] == ["boiler-1"]
+    # mixer-2 never alarmed (halt preempts its low-priority cleanup).
+    assert all(w["sensor"] != "temp-m2" for w in wm.elements("alarm"))
+    print("\nprocess_control OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: define rules, run the production system, inspect results.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Interpreter, RuleBuilder, WorkingMemory, parse_production, var
+from repro.lang.builder import gt
+
+
+def main() -> None:
+    # -- 1. Rules can be written in the OPS5-style DSL... ------------------
+    ship = parse_production(
+        """
+        (p ship-order
+           (order ^id <o> ^status "open" ^total > 50)
+           -(hold ^order <o>)
+           -->
+           (modify 1 ^status "shipped")
+           (make shipment ^order <o>)
+           (write "shipped order" <o>))
+        """
+    )
+
+    # -- ...or built programmatically with the fluent builder. -------------
+    audit = (
+        RuleBuilder("audit-shipment")
+        .when("shipment", order=var("o"))
+        .when("order", id=var("o"), status="shipped")
+        .make("audit", order=var("o"))
+        .remove(1)
+        .build()
+    )
+    flag_big = (
+        RuleBuilder("flag-big-order")
+        .when("order", id=var("o"), total=gt(200))
+        .when_not("review", order=var("o"))
+        .make("review", order=var("o"))
+        .build()
+    )
+
+    # -- 2. Populate working memory (the "database"). ----------------------
+    wm = WorkingMemory()
+    for order_id, total in [(1, 40), (2, 120), (3, 80), (4, 250)]:
+        wm.make("order", id=order_id, status="open", total=total)
+    wm.make("hold", order=3)  # order 3 is held: ship-order must skip it
+
+    # -- 3. Run the match-select-execute cycle to quiescence. --------------
+    interpreter = Interpreter([ship, audit, flag_big], wm, matcher="rete")
+    result = interpreter.run()
+
+    print("firing sequence:", " ".join(result.firing_sequence()))
+    print("stop reason:    ", result.stop_reason)
+    print("write output:   ", result.outputs)
+    print()
+    print("final working memory:")
+    for wme in sorted(wm, key=lambda w: (w.relation, w.timetag)):
+        print("  ", wme)
+
+    # Orders 2 and 4 shipped (order 1 too small, order 3 held); order 4
+    # also got a review; every shipment was consumed by the audit rule.
+    assert {w["order"] for w in wm.elements("audit")} == {2, 4}
+    assert wm.count("shipment") == 0
+    assert {w["order"] for w in wm.elements("review")} == {4}
+    print("\nquickstart OK")
+
+
+if __name__ == "__main__":
+    main()

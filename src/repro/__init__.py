@@ -1,0 +1,180 @@
+"""repro — a reproduction of *Parallelism in Database Production
+Systems* (Srivastava, Hwang & Tan, ICDE 1990).
+
+An OPS5-style database production system with:
+
+* a rule DSL and programmatic builder (:mod:`repro.lang`),
+* relational working memory with undo/snapshots (:mod:`repro.wm`),
+* naive, Rete and TREAT matchers (:mod:`repro.match`),
+* the paper's execution-semantics formalism — execution graphs,
+  ``ES_single``, semantic consistency (:mod:`repro.core`),
+* a conventional 2PL lock manager and the paper's novel Rc/Ra/Wa
+  scheme with commit-time conflict resolution (:mod:`repro.locks`),
+* single-thread, wave-parallel and real-thread engines
+  (:mod:`repro.engine`),
+* a deterministic multiprocessor simulator reproducing every Section 5
+  figure (:mod:`repro.sim`, :mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import Interpreter, RuleBuilder, var, WorkingMemory
+
+    rule = (
+        RuleBuilder("ship-open-orders")
+        .when("order", id=var("o"), status="open")
+        .when_not("hold", order=var("o"))
+        .modify(1, status="shipped")
+        .build()
+    )
+    wm = WorkingMemory()
+    wm.make("order", id=1, status="open")
+    result = Interpreter([rule], wm).run()
+    print(result.firing_sequence())      # ('ship-open-orders',)
+"""
+
+from repro.errors import (
+    DeadlockDetected,
+    EngineError,
+    LockError,
+    ParseError,
+    ReproError,
+    SchemaError,
+    TransactionAborted,
+    ValidationError,
+)
+from repro.wm import (
+    Catalog,
+    DurableStore,
+    Query,
+    RelationSchema,
+    WME,
+    WMSnapshot,
+    WorkingMemory,
+)
+from repro.lang import (
+    Production,
+    RuleBuilder,
+    parse_production,
+    parse_program,
+)
+from repro.lang.builder import var, gt, ge, lt, le, ne
+from repro.match import (
+    CondRelationMatcher,
+    ConflictSet,
+    Instantiation,
+    NaiveMatcher,
+    ReteMatcher,
+    TreatMatcher,
+    make_strategy,
+)
+from repro.core import (
+    AddDeleteSystem,
+    ConsistencyChecker,
+    ExecutionGraph,
+    check_theorem_1,
+    check_theorem_2,
+    interferes,
+    section_3_3_example,
+    table_5_1,
+    table_5_2,
+)
+from repro.locks import (
+    ConservativeTwoPhaseScheme,
+    LockMode,
+    RcScheme,
+    TwoPhaseScheme,
+    table_4_1,
+)
+from repro.txn import History, Transaction, is_conflict_serializable
+from repro.engine import (
+    Interpreter,
+    MultiUserEngine,
+    ParallelEngine,
+    PartitionedEngine,
+    Session,
+    ThreadedWaveExecutor,
+    replay_commit_sequence,
+)
+from repro.lang.lint import lint_program
+from repro.sim import (
+    FiringSpec,
+    simulate_lock_scheme,
+    simulate_multithread,
+    simulate_single_thread,
+)
+from repro.analysis import section_5_cases
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "ParseError",
+    "ValidationError",
+    "SchemaError",
+    "TransactionAborted",
+    "LockError",
+    "DeadlockDetected",
+    "EngineError",
+    # working memory
+    "WME",
+    "WorkingMemory",
+    "WMSnapshot",
+    "RelationSchema",
+    "Catalog",
+    "DurableStore",
+    "Query",
+    # language
+    "Production",
+    "RuleBuilder",
+    "parse_production",
+    "parse_program",
+    "var",
+    "gt",
+    "ge",
+    "lt",
+    "le",
+    "ne",
+    # match
+    "Instantiation",
+    "ConflictSet",
+    "NaiveMatcher",
+    "ReteMatcher",
+    "TreatMatcher",
+    "CondRelationMatcher",
+    "make_strategy",
+    # core semantics
+    "AddDeleteSystem",
+    "ExecutionGraph",
+    "ConsistencyChecker",
+    "check_theorem_1",
+    "check_theorem_2",
+    "interferes",
+    "section_3_3_example",
+    "table_5_1",
+    "table_5_2",
+    # locks & transactions
+    "LockMode",
+    "TwoPhaseScheme",
+    "ConservativeTwoPhaseScheme",
+    "RcScheme",
+    "table_4_1",
+    "Transaction",
+    "History",
+    "is_conflict_serializable",
+    # engines
+    "Interpreter",
+    "ParallelEngine",
+    "ThreadedWaveExecutor",
+    "MultiUserEngine",
+    "Session",
+    "PartitionedEngine",
+    "replay_commit_sequence",
+    "lint_program",
+    # simulation & analysis
+    "simulate_multithread",
+    "simulate_single_thread",
+    "simulate_lock_scheme",
+    "FiringSpec",
+    "section_5_cases",
+]

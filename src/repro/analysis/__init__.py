@@ -1,0 +1,47 @@
+"""Section 5 analytics: speedup models and factor sweeps."""
+
+from repro.analysis.speedup import (
+    multi_thread_uniprocessor_time,
+    single_thread_time,
+    speedup_bound,
+    SpeedupCase,
+    section_5_cases,
+)
+from repro.analysis.factors import (
+    sweep_conflict_degree,
+    sweep_exec_times,
+    sweep_processors,
+)
+from repro.analysis.pipeline import (
+    balanced_speedup_bound,
+    overlap_speedup,
+    pipelined_time,
+    sequential_time,
+)
+from repro.analysis.match_parallel import (
+    lpt_makespan,
+    match_speedup,
+    skewed_costs,
+    speedup_ceiling,
+    speedup_curve,
+)
+
+__all__ = [
+    "single_thread_time",
+    "multi_thread_uniprocessor_time",
+    "speedup_bound",
+    "SpeedupCase",
+    "section_5_cases",
+    "sweep_conflict_degree",
+    "sweep_exec_times",
+    "sweep_processors",
+    "sequential_time",
+    "pipelined_time",
+    "overlap_speedup",
+    "balanced_speedup_bound",
+    "lpt_makespan",
+    "match_speedup",
+    "speedup_ceiling",
+    "skewed_costs",
+    "speedup_curve",
+]

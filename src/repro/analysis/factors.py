@@ -1,0 +1,129 @@
+"""Parameter sweeps around Section 5's factors.
+
+"The degree of parallelism attained by the multiple thread mechanism
+depends on various factors.  The ones we discuss are (i) Degree of
+interference (ii) Number of available processors (iii) Execution times
+of individual productions."  The paper varies each by one worked
+example; these sweeps generalize each example over randomized
+workloads so the *shape* claims become measurable curves.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+from typing import Sequence
+
+from repro.sim.metrics import SweepPoint
+from repro.sim.multithread import simulate_multithread
+from repro.sim.workload import random_add_delete_system
+
+
+def sweep_conflict_degree(
+    degrees: Sequence[float] = (0.0, 0.1, 0.2, 0.35, 0.5, 0.7),
+    n_productions: int = 16,
+    processors: int = 16,
+    trials: int = 10,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Speedup vs. degree of conflict (generalizes Figure 5.2).
+
+    Each point averages ``trials`` random systems at that conflict
+    degree.  Expected shape: speedup decreases as conflict increases —
+    more productions are deactivated/aborted instead of running in
+    parallel.
+    """
+    points: list[SweepPoint] = []
+    for degree in degrees:
+        singles: list[float] = []
+        multis: list[float] = []
+        for trial in range(trials):
+            system = random_add_delete_system(
+                n_productions,
+                conflict_degree=degree,
+                activation_degree=0.15,
+                seed=seed * 1_000 + trial,
+            )
+            result = simulate_multithread(system, processors)
+            if result.makespan <= 0:
+                continue
+            singles.append(result.single_thread_time)
+            multis.append(result.makespan)
+        if multis:
+            points.append(
+                SweepPoint(degree, mean(singles), mean(multis))
+            )
+    return points
+
+
+def sweep_processors(
+    processor_counts: Sequence[int] = (1, 2, 3, 4, 6, 8, 12, 16),
+    n_productions: int = 16,
+    conflict_degree: float = 0.15,
+    trials: int = 10,
+    seed: int = 1,
+) -> list[SweepPoint]:
+    """Speedup vs. Np (generalizes Figure 5.4).
+
+    Expected shape: speedup rises with Np and saturates once
+    ``Np >= max |PA|`` ("N_p >= max |PA| ... will expedite execution").
+    """
+    points: list[SweepPoint] = []
+    for count in processor_counts:
+        singles: list[float] = []
+        multis: list[float] = []
+        for trial in range(trials):
+            system = random_add_delete_system(
+                n_productions,
+                conflict_degree=conflict_degree,
+                activation_degree=0.15,
+                seed=seed * 1_000 + trial,
+            )
+            result = simulate_multithread(system, count)
+            if result.makespan <= 0:
+                continue
+            singles.append(result.single_thread_time)
+            multis.append(result.makespan)
+        if multis:
+            points.append(
+                SweepPoint(float(count), mean(singles), mean(multis))
+            )
+    return points
+
+
+def sweep_exec_times(
+    skews: Sequence[float] = (1.0, 1.5, 2.0, 3.0, 5.0, 8.0),
+    n_productions: int = 16,
+    processors: int = 16,
+    conflict_degree: float = 0.15,
+    trials: int = 10,
+    seed: int = 2,
+) -> list[SweepPoint]:
+    """Speedup vs. execution-time skew (generalizes Figure 5.3).
+
+    ``skew`` is the max/min ratio of production execution times.  With
+    enough processors, higher skew *lowers* speedup: the makespan is
+    pinned to the longest production while T_single grows only with
+    the sum.  (Figure 5.3's speedup went *up* because lengthening P2
+    increased the numerator while the slowest production still pinned
+    the denominator — both effects fall out of the same model.)
+    """
+    points: list[SweepPoint] = []
+    for skew in skews:
+        singles: list[float] = []
+        multis: list[float] = []
+        for trial in range(trials):
+            system = random_add_delete_system(
+                n_productions,
+                conflict_degree=conflict_degree,
+                activation_degree=0.15,
+                time_range=(1.0, max(1.0, skew)),
+                seed=seed * 1_000 + trial,
+            )
+            result = simulate_multithread(system, processors)
+            if result.makespan <= 0:
+                continue
+            singles.append(result.single_thread_time)
+            multis.append(result.makespan)
+        if multis:
+            points.append(SweepPoint(skew, mean(singles), mean(multis)))
+    return points

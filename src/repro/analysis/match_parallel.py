@@ -1,0 +1,96 @@
+"""Intra-phase parallelism: parallelizing the match phase itself.
+
+Section 2's user-transparent form "(1) intra-phase parallelism, i.e.,
+execution of each phase in a parallel manner", and the survey's
+observation that "the match phase is the bottleneck [FORG82]" with
+"parallel algorithms and specialized architectures for matching
+[GUPT86, MIRA84, RAMN86, SHAW81, STOL84]".
+
+The standard software realization partitions productions across
+processors: each processor matches its share of the rules against the
+delta.  This module models that as list scheduling of per-production
+match costs onto ``Np`` processors:
+
+* :func:`lpt_makespan` — Longest-Processing-Time-first scheduling, the
+  classical 4/3-approximation;
+* :func:`match_speedup` — sequential-sum over parallel makespan;
+* Gupta's empirical law (the [GUPT84] "sources of parallelism" report)
+  that match speedup saturates quickly because per-production costs
+  are highly skewed — reproduced by :func:`speedup_curve` on skewed
+  cost distributions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Sequence
+
+from repro.errors import SimulationError
+
+
+def lpt_makespan(costs: Sequence[float], processors: int) -> float:
+    """Makespan of LPT list scheduling on ``processors`` machines."""
+    if processors < 1:
+        raise SimulationError(f"need >= 1 processor, got {processors}")
+    if any(c < 0 for c in costs):
+        raise SimulationError("match costs must be non-negative")
+    loads = [0.0] * min(processors, max(1, len(costs)))
+    heap = list(loads)
+    heapq.heapify(heap)
+    for cost in sorted(costs, reverse=True):
+        lightest = heapq.heappop(heap)
+        heapq.heappush(heap, lightest + cost)
+    return max(heap) if heap else 0.0
+
+
+def match_speedup(costs: Sequence[float], processors: int) -> float:
+    """Sequential match time over LPT-parallel match time."""
+    total = sum(costs)
+    makespan = lpt_makespan(costs, processors)
+    if makespan == 0:
+        return 1.0
+    return total / makespan
+
+
+def speedup_ceiling(costs: Sequence[float]) -> float:
+    """The skew-imposed ceiling: ``Σ cost / max cost``.
+
+    No processor count can beat it — the longest single production's
+    match pins the phase, the software analogue of the paper's
+    observation that production-level parallelism is workload-limited.
+    """
+    if not costs:
+        return 1.0
+    longest = max(costs)
+    if longest == 0:
+        return 1.0
+    return sum(costs) / longest
+
+
+def skewed_costs(
+    n_productions: int,
+    skew: float = 2.0,
+    seed: int | None = None,
+) -> list[float]:
+    """Pareto-like skewed per-production match costs.
+
+    Production-system measurements (Gupta) show a few productions
+    dominate match cost; ``skew`` is the Pareto shape (smaller = more
+    skewed).
+    """
+    if skew <= 0:
+        raise SimulationError(f"skew must be positive, got {skew}")
+    rng = random.Random(seed)
+    return [rng.paretovariate(skew) for _ in range(n_productions)]
+
+
+def speedup_curve(
+    costs: Sequence[float],
+    processor_counts: Sequence[int],
+) -> list[tuple[int, float]]:
+    """(Np, speedup) points for one cost vector."""
+    return [
+        (count, match_speedup(costs, count))
+        for count in processor_counts
+    ]

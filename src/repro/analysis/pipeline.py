@@ -1,0 +1,81 @@
+"""Inter-phase parallelism: overlapping match with execute.
+
+Section 2 classifies user-transparent parallelism into "(1) intra-phase
+parallelism, i.e., execution of each phase in a parallel manner,
+(2) **inter-phase parallelism, i.e., overlapped execution of different
+phases**".  Everything else in this repository exploits (1); this
+module models (2): while cycle *i*'s RHS executes, cycle *i+1*'s match
+can already run against the (not-yet-committed) database, with the
+commit publishing the delta.
+
+For per-cycle match times ``m_1..m_n`` and execute times ``e_1..e_n``:
+
+* **sequential phases** (the plain interpreter):
+  ``T_seq = Σ (m_i + e_i)``
+* **two-stage pipeline** (match of cycle i+1 overlapped with execute
+  of cycle i): ``T_pipe = m_1 + Σ_{i<n} max(m_{i+1}, e_i) + e_n``
+
+The overlap speedup ``T_seq / T_pipe`` is bounded by 2 (a two-stage
+pipeline) and is maximized when match and execute times are balanced —
+which the bench sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SimulationError
+
+
+def sequential_time(
+    match_times: Sequence[float], execute_times: Sequence[float]
+) -> float:
+    """``T_seq``: strict match-then-execute cycles."""
+    _validate(match_times, execute_times)
+    return sum(match_times) + sum(execute_times)
+
+
+def pipelined_time(
+    match_times: Sequence[float], execute_times: Sequence[float]
+) -> float:
+    """``T_pipe``: cycle i+1's match overlapped with cycle i's execute."""
+    _validate(match_times, execute_times)
+    if not match_times:
+        return 0.0
+    total = match_times[0]
+    for i in range(len(match_times) - 1):
+        total += max(match_times[i + 1], execute_times[i])
+    total += execute_times[-1]
+    return total
+
+
+def overlap_speedup(
+    match_times: Sequence[float], execute_times: Sequence[float]
+) -> float:
+    """``T_seq / T_pipe`` for one run; 1.0 on the empty run."""
+    pipe = pipelined_time(match_times, execute_times)
+    if pipe == 0:
+        return 1.0
+    return sequential_time(match_times, execute_times) / pipe
+
+
+def balanced_speedup_bound(n_cycles: int) -> float:
+    """The exact speedup of a perfectly balanced n-cycle pipeline:
+    ``2n / (n + 1)`` — approaching 2 as n grows."""
+    if n_cycles < 1:
+        raise SimulationError(f"need >= 1 cycle, got {n_cycles}")
+    return 2 * n_cycles / (n_cycles + 1)
+
+
+def _validate(
+    match_times: Sequence[float], execute_times: Sequence[float]
+) -> None:
+    if len(match_times) != len(execute_times):
+        raise SimulationError(
+            f"phase lists differ in length: {len(match_times)} vs "
+            f"{len(execute_times)}"
+        )
+    if any(t < 0 for t in match_times) or any(
+        t < 0 for t in execute_times
+    ):
+        raise SimulationError("phase times must be non-negative")

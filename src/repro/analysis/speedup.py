@@ -1,0 +1,121 @@
+"""Analytical speedup models (Section 5, Example 5.1).
+
+* ``T_single(σ) = Σ_{P_j ∈ σ} T(P_j)`` — single-thread time.
+* ``T_multi,uni(σ) = Σ T(P_j) + f · Σ_{P_k aborted} T(P_k)`` — the
+  multiple-thread mechanism on a *uniprocessor*, where ``f ∈ [0, 1)``
+  is "an averaged fraction" of aborted work.  Hence
+  ``T_single ≤ T_multi,uni``: "single thread execution on a
+  uniprocessor is no worse than multiple thread execution".
+* On a multiprocessor, speedup is bounded by both the parallelism of
+  the workload and ``Np``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.addsets import (
+    AddDeleteSystem,
+    Pid,
+    SECTION_5_EXEC_TIMES,
+    table_5_1,
+    table_5_2,
+)
+from repro.errors import SimulationError
+from repro.sim.multithread import simulate_multithread
+
+
+def single_thread_time(
+    exec_times: Mapping[Pid, float], sequence: Sequence[Pid]
+) -> float:
+    """``T_single(σ)``."""
+    return sum(float(exec_times.get(p, 1.0)) for p in sequence)
+
+
+def multi_thread_uniprocessor_time(
+    exec_times: Mapping[Pid, float],
+    committed: Sequence[Pid],
+    aborted: Sequence[Pid],
+    abort_fraction: float,
+) -> float:
+    """Example 5.1's ``T_multi,uni``.
+
+    Raises unless ``0 <= f < 1`` (the paper's range).
+    """
+    if not 0 <= abort_fraction < 1:
+        raise SimulationError(
+            f"abort fraction must be in [0, 1), got {abort_fraction}"
+        )
+    committed_work = single_thread_time(exec_times, committed)
+    aborted_work = single_thread_time(exec_times, aborted)
+    return committed_work + abort_fraction * aborted_work
+
+
+def speedup_bound(
+    exec_times: Mapping[Pid, float],
+    sequence: Sequence[Pid],
+    processors: int,
+) -> float:
+    """An upper bound on attainable speedup for firing σ's productions
+    in one parallel wave: ``min(Σ T / max T, Np)``."""
+    if not sequence:
+        return 1.0
+    total = single_thread_time(exec_times, sequence)
+    longest = max(float(exec_times.get(p, 1.0)) for p in sequence)
+    return min(total / longest, float(processors))
+
+
+@dataclass(frozen=True)
+class SpeedupCase:
+    """One of the paper's worked speedup examples."""
+
+    name: str
+    system_factory: Callable[[], AddDeleteSystem]
+    processors: int
+    expected_single: float
+    expected_multi: float
+    expected_speedup: float
+
+    def run(self) -> dict[str, float]:
+        """Simulate and return measured-vs-expected values."""
+        result = simulate_multithread(self.system_factory(), self.processors)
+        return {
+            "single": result.single_thread_time,
+            "multi": result.makespan,
+            "speedup": result.speedup(),
+            "expected_single": self.expected_single,
+            "expected_multi": self.expected_multi,
+            "expected_speedup": self.expected_speedup,
+        }
+
+    def matches_paper(self, tolerance: float = 1e-9) -> bool:
+        measured = self.run()
+        return (
+            abs(measured["single"] - self.expected_single) <= tolerance
+            and abs(measured["multi"] - self.expected_multi) <= tolerance
+        )
+
+
+def _table_5_1_slow_p2() -> AddDeleteSystem:
+    times = dict(SECTION_5_EXEC_TIMES)
+    times["P2"] = times["P2"] + 1  # Section 5.2: T(P2) increased by 1
+    return table_5_1(times)
+
+
+def section_5_cases() -> tuple[SpeedupCase, ...]:
+    """All four worked examples of Section 5 as runnable cases."""
+    return (
+        SpeedupCase(
+            "fig5.1-base", table_5_1, 4, 9.0, 4.0, 2.25
+        ),
+        SpeedupCase(
+            "fig5.2-conflict", table_5_2, 4, 5.0, 3.0, 5.0 / 3.0
+        ),
+        SpeedupCase(
+            "fig5.3-exec-time", _table_5_1_slow_p2, 4, 10.0, 4.0, 2.5
+        ),
+        SpeedupCase(
+            "fig5.4-processors", table_5_1, 3, 9.0, 6.0, 1.5
+        ),
+    )

@@ -1,0 +1,230 @@
+"""Command-line interface for the repro production system.
+
+Subcommands
+-----------
+``repro run RULES [--facts FACTS] ...``
+    Load a rule file (the OPS5-style DSL) and optional facts (JSON
+    lines: ``{"relation": "order", "id": 1, ...}``), run the system to
+    quiescence, and print the firing sequence, outputs and final
+    working memory.  ``--parallel {rc,2pl,c2pl}`` switches to the
+    wave-parallel engine (with replay validation).
+``repro graph``
+    Print the execution graph of the paper's Section 3.3 example
+    (Figure 3.2).
+``repro section5``
+    Print the paper-vs-measured table for the Section 5 speedup
+    figures.
+
+Installed as the ``repro`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core import ExecutionGraph, section_3_3_example
+from repro.engine import Interpreter, ParallelEngine, replay_commit_sequence
+from repro.errors import ReproError
+from repro.analysis.speedup import section_5_cases
+from repro.lang import parse_program
+from repro.wm import WMSnapshot, WorkingMemory
+
+
+def _load_facts(memory: WorkingMemory, path: Path) -> int:
+    """Load JSON-lines facts into working memory; returns the count."""
+    count = 0
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                record = json.loads(line)
+                relation = record.pop("relation")
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ReproError(
+                    f"{path}:{line_no}: bad fact line ({exc})"
+                ) from exc
+            memory.make(relation, record)
+            count += 1
+    return count
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    rules = parse_program(Path(args.rules).read_text(encoding="utf-8"))
+    if not rules:
+        print("no productions found", file=sys.stderr)
+        return 1
+    memory = WorkingMemory()
+    if args.facts:
+        loaded = _load_facts(memory, Path(args.facts))
+        print(f"loaded {loaded} facts")
+    snapshot = WMSnapshot.capture(memory)
+
+    if args.parallel:
+        engine = ParallelEngine(
+            rules,
+            memory,
+            scheme=args.parallel,
+            matcher=args.matcher,
+            strategy=args.strategy,
+            processors=args.processors,
+            seed=args.seed,
+        )
+        result = engine.run(max_waves=args.max_cycles)
+        replay = replay_commit_sequence(snapshot, rules, result.firings)
+        validity = "consistent" if replay.consistent else "INCONSISTENT"
+    else:
+        interpreter = Interpreter(
+            rules,
+            memory,
+            matcher=args.matcher,
+            strategy=args.strategy,
+            seed=args.seed,
+        )
+        result = interpreter.run(max_cycles=args.max_cycles)
+        validity = "single-thread"
+
+    print(f"stop reason: {result.stop_reason} ({validity})")
+    print(f"firings ({len(result.firings)}):")
+    for record in result.firings:
+        print(f"  {record.rule_name}")
+    if result.outputs:
+        print("output:")
+        for values in result.outputs:
+            print("  ", *values)
+    if args.dump:
+        print("final working memory:")
+        for wme in sorted(memory, key=lambda w: (w.relation, w.timetag)):
+            print("  ", wme)
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    graph = ExecutionGraph(section_3_3_example(), max_depth=args.depth)
+    if args.dot:
+        print(graph.to_dot())
+        return 0
+    print("Section 3.3 execution graph (Figure 3.2):")
+    print(graph.render(max_lines=args.lines))
+    print()
+    print("maximal sequences:")
+    for sequence in graph.maximal_sequences():
+        print(f"  {sequence}")
+    return 0
+
+
+def _cmd_section5(args: argparse.Namespace) -> int:
+    print(f"{'case':<20} {'T_single':>9} {'T_multi':>8} "
+          f"{'speedup':>8} {'paper':>8}  status")
+    exit_code = 0
+    for case in section_5_cases():
+        measured = case.run()
+        ok = case.matches_paper()
+        if not ok:
+            exit_code = 1
+        print(
+            f"{case.name:<20} {measured['single']:>9g} "
+            f"{measured['multi']:>8g} {measured['speedup']:>8.3f} "
+            f"{case.expected_speedup:>8.3f}  "
+            f"{'OK' if ok else 'MISMATCH'}"
+        )
+    return exit_code
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lang.lint import format_findings, lint_program
+
+    rules = parse_program(Path(args.rules).read_text(encoding="utf-8"))
+    known: set[str] = set()
+    if args.facts:
+        with open(args.facts, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    known.add(json.loads(line)["relation"])
+                except (json.JSONDecodeError, KeyError):
+                    continue
+    findings = lint_program(rules, known_relations=known)
+    print(format_findings(findings))
+    return 1 if findings else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Database production system "
+        "(Srivastava/Hwang/Tan, ICDE 1990 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a rule program")
+    run.add_argument("rules", help="rule file (OPS5-style DSL)")
+    run.add_argument("--facts", help="JSON-lines facts file")
+    run.add_argument(
+        "--matcher",
+        choices=["rete", "treat", "naive", "cond"],
+        default="rete",
+    )
+    run.add_argument(
+        "--strategy",
+        choices=["lex", "mea", "priority", "fifo", "random"],
+        default="lex",
+    )
+    run.add_argument(
+        "--parallel",
+        choices=["rc", "2pl", "c2pl"],
+        help="use the wave-parallel engine with this lock scheme",
+    )
+    run.add_argument("--processors", type=int, default=None)
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--max-cycles", type=int, default=10_000)
+    run.add_argument(
+        "--dump", action="store_true", help="print final working memory"
+    )
+    run.set_defaults(handler=_cmd_run)
+
+    graph = sub.add_parser(
+        "graph", help="print the Section 3.3 execution graph"
+    )
+    graph.add_argument("--depth", type=int, default=12)
+    graph.add_argument("--lines", type=int, default=80)
+    graph.add_argument(
+        "--dot",
+        action="store_true",
+        help="emit Graphviz DOT instead of ASCII",
+    )
+    graph.set_defaults(handler=_cmd_graph)
+
+    section5 = sub.add_parser(
+        "section5", help="reproduce the Section 5 speedup figures"
+    )
+    section5.set_defaults(handler=_cmd_section5)
+
+    lint = sub.add_parser("lint", help="lint a rule program")
+    lint.add_argument("rules", help="rule file (OPS5-style DSL)")
+    lint.add_argument(
+        "--facts",
+        help="JSON-lines facts file (its relations count as provided)",
+    )
+    lint.set_defaults(handler=_cmd_lint)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

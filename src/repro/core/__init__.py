@@ -1,0 +1,60 @@
+"""The paper's formal contribution: execution semantics and consistency.
+
+* :mod:`~repro.core.addsets` — the add/delete-set abstraction of
+  Section 3.3 (conflict-set transitions without a concrete database),
+  including the paper's worked example and the Section 5 tables.
+* :mod:`~repro.core.semantics` — system states, execution strings and
+  the definition of ``ES_single`` (Definitions 3.1/3.2).
+* :mod:`~repro.core.execution_graph` — Figure 3.1/3.2: the execution
+  graph and enumeration of root-originating paths.
+* :mod:`~repro.core.consistency` — the semantic-consistency checker:
+  ``ES_M ⊆ ES_single``.
+* :mod:`~repro.core.interference` — read-write/write-write conflict
+  detection between productions (footnote 4: identical to conflicting
+  database operations [PAPA86]).
+* :mod:`~repro.core.static_partition` — Section 4.1's static approach.
+* :mod:`~repro.core.theorems` — executable checks of Theorems 1 and 2.
+"""
+
+from repro.core.addsets import (
+    AddDeleteSystem,
+    section_3_3_example,
+    table_5_1,
+    table_5_2,
+    SECTION_5_EXEC_TIMES,
+)
+from repro.core.semantics import ExecutionString, SystemState
+from repro.core.execution_graph import ExecutionGraph
+from repro.core.consistency import ConsistencyChecker, ConsistencyReport
+from repro.core.interference import (
+    interferes,
+    interference_graph,
+    conflicting_objects,
+)
+from repro.core.static_partition import (
+    greedy_partition,
+    maximal_noninterfering_subset,
+    partition_conflict_set,
+)
+from repro.core.theorems import check_theorem_1, check_theorem_2
+
+__all__ = [
+    "AddDeleteSystem",
+    "section_3_3_example",
+    "table_5_1",
+    "table_5_2",
+    "SECTION_5_EXEC_TIMES",
+    "SystemState",
+    "ExecutionString",
+    "ExecutionGraph",
+    "ConsistencyChecker",
+    "ConsistencyReport",
+    "interferes",
+    "interference_graph",
+    "conflicting_objects",
+    "greedy_partition",
+    "maximal_noninterfering_subset",
+    "partition_conflict_set",
+    "check_theorem_1",
+    "check_theorem_2",
+]

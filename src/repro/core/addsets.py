@@ -1,0 +1,292 @@
+"""The add/delete-set abstraction (Section 3.3).
+
+"The execution of a production P_i causes some productions to be
+added to / deleted from the conflict set.  These are the add set
+(A_i^a) and delete set (A_i^d) of P_i.  In general these will depend
+on P_i and the current database state.  However, for illustration we
+assume the dependence is only on P_i."
+
+An :class:`AddDeleteSystem` is that illustration made executable: a
+production system reduced to conflict-set dynamics.  Firing ``p`` in
+conflict set ``PA`` yields::
+
+    PA' = ((PA - {p}) - A_p^d)  ∪  A_p^a
+
+(the fired production leaves the set; its delete set deactivates
+productions; its add set activates productions).  The execution graph,
+semantic-consistency checker and all Section 5 speedup examples are
+built over this abstraction; the engine modules connect it to real
+working-memory-backed systems.
+
+Reconstruction note
+-------------------
+The scanned paper's listing of the Section 3.3 sets and of Tables
+5.1/5.2 is OCR-corrupted.  The instances below were *reconstructed* to
+satisfy every legible constraint:
+
+* Section 3.3: six productions, initial conflict set
+  ``{P1, P2, P3, P5}``, exactly **nine** maximal execution sequences,
+  including the legible sequences ``p1p4p5``, ``p2p3p4p5``,
+  ``p5p1p4p5`` and ``p5p2p3p4p5`` (and P5 firing twice in some).
+* Table 5.1 (base case of Section 5): ``σ1 = p2p3p4`` is an allowable
+  sequence, P1 is deactivated by P2's commit, giving the paper's
+  ``T_single = 9``, ``T_multi = 4``, speedup 2.25 with
+  ``T = (5, 3, 2, 4)`` and ``Np = 4``.
+* Table 5.2 (changed degree of conflict): ``σ2 = p3p2`` with P3
+  deactivating P4 and P2 deactivating P1, giving ``T_single = 5``,
+  ``T_multi = 3``, speedup 1.67.
+
+``EXPERIMENTS.md`` records the reconstruction alongside each result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import ReproError
+
+#: Production identifier in the abstract model ("P1", "P2", ...).
+Pid = str
+
+
+class UnknownProductionError(ReproError):
+    """A conflict set or firing referenced an undeclared production."""
+
+
+@dataclass(frozen=True)
+class AddDeleteSystem:
+    """A production system abstracted to add/delete sets.
+
+    Parameters
+    ----------
+    add_sets / delete_sets:
+        Per production: the productions its commit activates /
+        deactivates.  Keys define the production universe.
+    initial:
+        The initial conflict set ``PA^0``.
+    exec_times:
+        Optional execution times ``T(P_i)`` (Section 5); default 1.
+    """
+
+    add_sets: Mapping[Pid, frozenset[Pid]]
+    delete_sets: Mapping[Pid, frozenset[Pid]]
+    initial: frozenset[Pid]
+    exec_times: Mapping[Pid, float] = field(default_factory=dict)
+
+    @staticmethod
+    def define(
+        add_sets: Mapping[Pid, Iterable[Pid]],
+        delete_sets: Mapping[Pid, Iterable[Pid]],
+        initial: Iterable[Pid],
+        exec_times: Mapping[Pid, float] | None = None,
+    ) -> "AddDeleteSystem":
+        """Normalizing constructor; validates closure of references."""
+        universe = set(add_sets) | set(delete_sets)
+        adds = {p: frozenset(add_sets.get(p, ())) for p in universe}
+        deletes = {p: frozenset(delete_sets.get(p, ())) for p in universe}
+        init = frozenset(initial)
+        mentioned = set(init)
+        for values in (*adds.values(), *deletes.values()):
+            mentioned |= values
+        unknown = mentioned - universe
+        if unknown:
+            raise UnknownProductionError(
+                f"productions {sorted(unknown)} referenced but not declared"
+            )
+        times = dict(exec_times or {})
+        bad = set(times) - universe
+        if bad:
+            raise UnknownProductionError(
+                f"exec_times given for undeclared productions {sorted(bad)}"
+            )
+        return AddDeleteSystem(adds, deletes, init, times)
+
+    # -- dynamics --------------------------------------------------------------------
+
+    @property
+    def productions(self) -> frozenset[Pid]:
+        """The production universe."""
+        return frozenset(self.add_sets)
+
+    def fire(self, conflict_set: frozenset[Pid], pid: Pid) -> frozenset[Pid]:
+        """The conflict set after ``pid`` commits in ``conflict_set``.
+
+        Raises :class:`UnknownProductionError` when ``pid`` is not
+        active — only conflict-set members may fire (Section 2's
+        *select* picks from ``PA``).
+        """
+        if pid not in conflict_set:
+            raise UnknownProductionError(
+                f"{pid} is not in the conflict set {sorted(conflict_set)}"
+            )
+        return (
+            (conflict_set - {pid}) - self.delete_sets[pid]
+        ) | self.add_sets[pid]
+
+    def fire_sequence(
+        self, pids: Iterable[Pid], start: frozenset[Pid] | None = None
+    ) -> frozenset[Pid]:
+        """Fire a whole sequence from ``start`` (default: initial)."""
+        state = self.initial if start is None else start
+        for pid in pids:
+            state = self.fire(state, pid)
+        return state
+
+    def is_valid_sequence(
+        self, pids: Iterable[Pid], start: frozenset[Pid] | None = None
+    ) -> bool:
+        """True when every firing in the sequence was of an active
+        production — i.e. the sequence is a root-originating path (or
+        prefix) of the execution graph."""
+        state = self.initial if start is None else start
+        for pid in pids:
+            if pid not in state:
+                return False
+            state = self.fire(state, pid)
+        return True
+
+    def time(self, pid: Pid) -> float:
+        """Execution time ``T(P_i)``; defaults to 1."""
+        return float(self.exec_times.get(pid, 1.0))
+
+    def sequence_time(self, pids: Iterable[Pid]) -> float:
+        """``T_single(σ) = Σ T(P_j)`` — Example 5.1's identity."""
+        return sum(self.time(p) for p in pids)
+
+    # -- parallel-firing semantics (used by Theorem 1 and the simulator) -------------------
+
+    def fire_parallel(
+        self, conflict_set: frozenset[Pid], pids: Iterable[Pid]
+    ) -> frozenset[Pid]:
+        """Simultaneous commit of a *non-interfering* set of productions.
+
+        Theorem 1's setting: because the set is non-interfering, the
+        result equals firing them serially in any order — which the
+        implementation asserts by construction (union of adds, union of
+        deletes).
+        """
+        fired = frozenset(pids)
+        missing = fired - conflict_set
+        if missing:
+            raise UnknownProductionError(
+                f"{sorted(missing)} not in the conflict set"
+            )
+        deletes: frozenset[Pid] = frozenset()
+        adds: frozenset[Pid] = frozenset()
+        for pid in fired:
+            deletes |= self.delete_sets[pid]
+            adds |= self.add_sets[pid]
+        return ((conflict_set - fired) - deletes) | adds
+
+    def interferes(self, first: Pid, second: Pid) -> bool:
+        """Conflict-set-level interference between two productions.
+
+        ``P_i`` interferes with ``P_j`` when:
+
+        * firing one can *deactivate* the other (footnote 3: "P1
+          interferes with P2 if the execution of P1's RHS can cause
+          P2's LHS to become false"), or
+        * firing one can *activate* the other (its RHS writes data the
+          other's LHS reads — the read-write conflict of footnote 4;
+          at this abstraction level, ``second ∈ A_first^a``), or
+        * their conflict-set updates collide (one deletes what the
+          other adds).
+
+        Only sets passing this test may fire in one parallel wave
+        (Theorem 1's hypothesis).
+        """
+        if first == second:
+            return True
+        a_del, b_del = self.delete_sets[first], self.delete_sets[second]
+        a_add, b_add = self.add_sets[first], self.add_sets[second]
+        if second in a_del or first in b_del:
+            return True
+        if second in a_add or first in b_add:
+            return True
+        if (a_del & b_add) or (b_del & a_add):
+            return True
+        return False
+
+
+def section_3_3_example() -> AddDeleteSystem:
+    """The worked example of Section 3.3 / Figure 3.2 (reconstructed).
+
+    Six productions; initial conflict set ``{P1, P2, P3, P5}``; exactly
+    nine maximal execution sequences (the paper's count), including the
+    legible ``p1p4p5``, ``p2p3p4p5``, ``p5p1p4p5`` and ``p5p2p3p4p5``.
+    P6 carries the (inert) add/delete sets legible in the scan; nothing
+    ever activates it, matching its absence from every sequence.
+    """
+    return AddDeleteSystem.define(
+        add_sets={
+            "P1": {"P4"},
+            "P2": set(),
+            "P3": {"P4"},
+            "P4": {"P5"},
+            "P5": set(),
+            "P6": {"P2", "P5"},
+        },
+        delete_sets={
+            "P1": {"P2", "P3", "P5"},
+            "P2": {"P1"},
+            "P3": {"P1", "P2"},
+            "P4": set(),
+            "P5": set(),
+            "P6": {"P1", "P4"},
+        },
+        initial={"P1", "P2", "P3", "P5"},
+    )
+
+
+#: Execution times of Section 5's base case: T(P1)=5, T(P2)=3,
+#: T(P3)=2, T(P4)=4.
+SECTION_5_EXEC_TIMES: dict[Pid, float] = {
+    "P1": 5.0,
+    "P2": 3.0,
+    "P3": 2.0,
+    "P4": 4.0,
+}
+
+
+def table_5_1(exec_times: Mapping[Pid, float] | None = None) -> AddDeleteSystem:
+    """Table 5.1 — the base case of Section 5 (reconstructed).
+
+    ``PA = {P1, P2, P3, P4}``; ``σ1 = p2p3p4`` is allowable; P2's
+    commit deactivates P1 (Figure 5.1 shows P1 "aborted by P2" in the
+    multiple-thread run).  With ``T = (5, 3, 2, 4)`` and ``Np = 4``
+    this gives the paper's T_single(σ1) = 9, T_multi(σ1) = 4,
+    speedup 2.25.
+    """
+    return AddDeleteSystem.define(
+        add_sets={p: set() for p in ("P1", "P2", "P3", "P4")},
+        delete_sets={
+            "P1": set(),
+            "P2": {"P1"},
+            "P3": set(),
+            "P4": set(),
+        },
+        initial={"P1", "P2", "P3", "P4"},
+        exec_times=dict(exec_times or SECTION_5_EXEC_TIMES),
+    )
+
+
+def table_5_2(exec_times: Mapping[Pid, float] | None = None) -> AddDeleteSystem:
+    """Table 5.2 — increased degree of conflict (reconstructed).
+
+    Same productions and times as Table 5.1, but P3's commit now also
+    deactivates P4: ``σ2 = p3p2`` becomes the allowable sequence, and
+    the multiple-thread run aborts both P4 (at P3's commit) and P1 (at
+    P2's commit) — T_single(σ2) = 5, T_multi(σ2) = 3, speedup 1.67.
+    """
+    return AddDeleteSystem.define(
+        add_sets={p: set() for p in ("P1", "P2", "P3", "P4")},
+        delete_sets={
+            "P1": set(),
+            "P2": {"P1"},
+            "P3": {"P4"},
+            "P4": set(),
+        },
+        initial={"P1", "P2", "P3", "P4"},
+        exec_times=dict(exec_times or SECTION_5_EXEC_TIMES),
+    )

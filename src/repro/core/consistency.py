@@ -1,0 +1,92 @@
+"""The semantic-consistency checker (Definition 3.2).
+
+"The execution semantics of an execution mechanism M, ES_M, is
+consistent with that of the single execution thread mechanism iff
+ES_M ⊆ ES_single."
+
+:class:`ConsistencyChecker` verifies that condition for concrete
+evidence: commit sequences produced by a parallel execution mechanism.
+Because Definition 3.1 admits every root-originating path *and its
+prefixes*, a mechanism is judged on each commit sequence it can emit —
+each must be replayable against the single-thread dynamics with every
+fired production active at its turn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.addsets import AddDeleteSystem, Pid
+
+
+@dataclass(frozen=True)
+class ConsistencyReport:
+    """Outcome of checking a batch of commit sequences.
+
+    ``violations`` pairs each failing sequence with the index of the
+    first firing that was not active in the replayed conflict set.
+    """
+
+    checked: int
+    violations: tuple[tuple[tuple[Pid, ...], int], ...] = ()
+
+    @property
+    def consistent(self) -> bool:
+        """True when every checked sequence is in ``ES_single``."""
+        return not self.violations
+
+    def __str__(self) -> str:
+        if self.consistent:
+            return f"consistent ({self.checked} sequences)"
+        shown = ", ".join(
+            f"{''.join(s).lower()}@{i}" for s, i in self.violations[:5]
+        )
+        return (
+            f"INCONSISTENT: {len(self.violations)}/{self.checked} "
+            f"sequences violate ES_single (first: {shown})"
+        )
+
+
+class ConsistencyChecker:
+    """Checks commit sequences against a system's ``ES_single``."""
+
+    def __init__(self, system: AddDeleteSystem) -> None:
+        self.system = system
+
+    def first_violation(self, sequence: Sequence[Pid]) -> int | None:
+        """Index of the first inactive firing, or ``None`` if valid."""
+        state = self.system.initial
+        for index, pid in enumerate(sequence):
+            if pid not in state:
+                return index
+            state = self.system.fire(state, pid)
+        return None
+
+    def check_sequence(self, sequence: Sequence[Pid]) -> bool:
+        """Is this commit sequence in ``ES_single``? (incl. prefixes)"""
+        return self.first_violation(sequence) is None
+
+    def check_complete(self, sequence: Sequence[Pid]) -> bool:
+        """Is this a *maximal* ES_single member (ends with empty PA)?
+
+        Parallel runs that run to quiescence should satisfy this
+        stronger check; prefix membership alone suffices for runs
+        stopped early.
+        """
+        if not self.check_sequence(sequence):
+            return False
+        return not self.system.fire_sequence(sequence)
+
+    def check_many(
+        self, sequences: Iterable[Sequence[Pid]]
+    ) -> ConsistencyReport:
+        """Check a batch; returns an aggregate report."""
+        checked = 0
+        violations: list[tuple[tuple[Pid, ...], int]] = []
+        for sequence in sequences:
+            checked += 1
+            index = self.first_violation(sequence)
+            if index is not None:
+                violations.append((tuple(sequence), index))
+        return ConsistencyReport(checked, tuple(violations))

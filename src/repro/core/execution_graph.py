@@ -1,0 +1,203 @@
+"""The execution graph (Figures 3.1 and 3.2).
+
+"Given an initial state, any execution sequence allowable by the
+single thread mechanism can be mapped to a unique root-originating
+path of a graph ... It can be constructed in a recursive manner by
+starting at the root, and adding to each leaf node S_α the edges
+corresponding to the productions in the conflict set PA(α)."
+
+:class:`ExecutionGraph` performs that construction over an
+:class:`~repro.core.addsets.AddDeleteSystem`, with depth and node caps
+(the graph is infinite whenever a cycle re-activates productions).
+``ES_single`` — Definition 3.1 — is the set of maximal root-originating
+paths plus all their prefixes; membership tests, however, use the
+add/delete dynamics directly (they need no enumeration and are exact
+at any depth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.addsets import AddDeleteSystem, Pid
+from repro.core.semantics import ExecutionString, SystemState
+
+
+@dataclass(frozen=True)
+class GraphEdge:
+    """One edge: firing ``pid`` from ``source`` reaches ``target``."""
+
+    source: SystemState
+    pid: Pid
+    target: SystemState
+
+
+class ExecutionGraph:
+    """The (possibly truncated) execution graph of a system.
+
+    Parameters
+    ----------
+    system:
+        The add/delete-set system to explore.
+    max_depth:
+        Paths longer than this are truncated (guards against
+        non-terminating systems).
+    max_nodes:
+        Overall exploration budget.
+    """
+
+    def __init__(
+        self,
+        system: AddDeleteSystem,
+        max_depth: int = 25,
+        max_nodes: int = 200_000,
+    ) -> None:
+        self.system = system
+        self.max_depth = max_depth
+        self.max_nodes = max_nodes
+        self.root = SystemState(
+            system.initial, ExecutionString.epsilon()
+        )
+        self.edges: list[GraphEdge] = []
+        self.states: dict[tuple[Pid, ...], SystemState] = {
+            (): self.root
+        }
+        #: True when a depth/node cap truncated the exploration.
+        self.truncated = False
+        self._build()
+
+    # -- construction ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        frontier: list[SystemState] = [self.root]
+        while frontier:
+            state = frontier.pop()
+            if len(state.string) >= self.max_depth:
+                if not state.is_terminal:
+                    self.truncated = True
+                continue
+            for pid in sorted(state.conflict_set):
+                if len(self.states) >= self.max_nodes:
+                    self.truncated = True
+                    return
+                target = SystemState(
+                    self.system.fire(state.conflict_set, pid),
+                    state.string.append(pid),
+                )
+                self.states[target.string.pids] = target
+                self.edges.append(GraphEdge(state, pid, target))
+                frontier.append(target)
+
+    # -- ES_single -----------------------------------------------------------------------
+
+    def maximal_sequences(self) -> list[ExecutionString]:
+        """All root-originating paths ending in an empty conflict set.
+
+        These are the complete executions; Definition 3.1's
+        ``ES_single`` additionally contains every prefix.
+        """
+        return sorted(
+            (
+                state.string
+                for state in self.states.values()
+                if state.is_terminal
+            ),
+            key=lambda s: (len(s), s.pids),
+        )
+
+    def es_single(self) -> set[tuple[Pid, ...]]:
+        """``ES_single`` as an explicit set of strings (incl. prefixes).
+
+        Only meaningful when the graph was not truncated; raises
+        otherwise — use :meth:`contains` for unbounded systems.
+        """
+        if self.truncated:
+            raise ValueError(
+                "execution graph truncated; ES_single enumeration would "
+                "be incomplete — use contains() instead"
+            )
+        out: set[tuple[Pid, ...]] = set()
+        for string in self.maximal_sequences():
+            for prefix in string.prefixes():
+                out.add(prefix.pids)
+        # Every explored path is a prefix of some continuation; when
+        # the system terminates, all states' strings are covered above,
+        # but include them explicitly for safety on dead-end states.
+        out.update(self.states.keys())
+        return out
+
+    def contains(self, pids: tuple[Pid, ...] | list[Pid]) -> bool:
+        """Exact ES_single membership via the dynamics (no enumeration).
+
+        A string is in ``ES_single`` iff each firing was of an active
+        production — Definition 3.1 admits every root-originating path
+        and every prefix thereof.
+        """
+        return self.system.is_valid_sequence(tuple(pids))
+
+    # -- views ------------------------------------------------------------------------------
+
+    def state_at(self, pids: tuple[Pid, ...]) -> SystemState | None:
+        """The state reached by a string, if explored."""
+        return self.states.get(tuple(pids))
+
+    def children(self, state: SystemState) -> list[GraphEdge]:
+        """Outgoing edges of ``state``."""
+        return [e for e in self.edges if e.source.string == state.string]
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def iter_states(self) -> Iterator[SystemState]:
+        return iter(self.states.values())
+
+    def to_dot(self, max_nodes: int = 200) -> str:
+        """Graphviz DOT rendering of the execution graph (Figure 3.2).
+
+        Nodes are states labelled with their conflict sets; edges are
+        labelled with the fired production.  Terminal states are drawn
+        as double circles.  Paste into ``dot -Tsvg`` to draw.
+        """
+        lines = [
+            "digraph execution_graph {",
+            '  rankdir=TB;',
+            '  node [shape=ellipse, fontsize=10];',
+        ]
+        emitted = 0
+        for state in sorted(
+            self.states.values(),
+            key=lambda s: (len(s.string), s.string.pids),
+        ):
+            if emitted >= max_nodes:
+                lines.append('  truncated [shape=plaintext, label="..."];')
+                break
+            node_id = f'"{state.string}"'
+            label = "{" + ",".join(sorted(state.conflict_set)) + "}"
+            shape = ", shape=doublecircle" if state.is_terminal else ""
+            lines.append(f'  {node_id} [label="{label}"{shape}];')
+            emitted += 1
+        for edge in self.edges:
+            source = f'"{edge.source.string}"'
+            target = f'"{edge.target.string}"'
+            lines.append(
+                f'  {source} -> {target} '
+                f'[label="{edge.pid.lower()}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def render(self, max_lines: int = 60) -> str:
+        """ASCII rendering of the graph (Figure 3.2 style)."""
+        lines: list[str] = []
+        for state in sorted(
+            self.states.values(),
+            key=lambda s: (len(s.string), s.string.pids),
+        ):
+            if len(lines) >= max_lines:
+                lines.append("...")
+                break
+            indent = "  " * len(state.string)
+            marker = " (terminal)" if state.is_terminal else ""
+            lines.append(f"{indent}{state}{marker}")
+        return "\n".join(lines)

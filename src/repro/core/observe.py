@@ -1,0 +1,157 @@
+"""Observing add/delete sets on a real production system.
+
+Section 3.3 defines the add set ``A_i^a`` and delete set ``A_i^d`` of a
+production as the conflict-set changes its firing causes, and notes:
+"In general these will depend on P_i and the current database state."
+This module *measures* them: it runs a real working-memory-backed
+system and records, per firing, exactly which instantiations entered
+and left the conflict set — then aggregates to the production level,
+yielding an empirical :class:`~repro.core.addsets.AddDeleteSystem`
+abstraction of the concrete program.
+
+That bridge lets the Section 3 machinery (execution graphs, ES_single
+enumeration, conflict-degree analysis) be applied to real rule
+programs, not just hand-written abstractions — with the caveat the
+paper itself states: the result is one trajectory's view, not a
+state-independent truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.addsets import AddDeleteSystem
+from repro.engine.interpreter import Interpreter, MatcherName
+from repro.lang.production import Production
+from repro.match.strategies import Strategy
+from repro.wm.memory import WorkingMemory
+
+
+@dataclass(frozen=True)
+class FiringObservation:
+    """Conflict-set delta caused by one firing."""
+
+    rule_name: str
+    cycle: int
+    added_rules: frozenset[str]
+    removed_rules: frozenset[str]
+    #: Instantiation-level counts (a rule can gain/lose several).
+    added_instantiations: int
+    removed_instantiations: int
+
+
+@dataclass
+class AddDeleteTrace:
+    """Aggregated observations of a run."""
+
+    observations: list[FiringObservation] = field(default_factory=list)
+
+    def add_sets(self) -> dict[str, frozenset[str]]:
+        """Observed ``A^a`` per rule: rules some firing activated."""
+        out: dict[str, set[str]] = {}
+        for obs in self.observations:
+            out.setdefault(obs.rule_name, set()).update(obs.added_rules)
+        return {name: frozenset(rules) for name, rules in out.items()}
+
+    def delete_sets(self) -> dict[str, frozenset[str]]:
+        """Observed ``A^d`` per rule: rules some firing deactivated.
+
+        The fired rule's own instantiation always leaves the conflict
+        set; it is excluded here (the abstraction removes the fired
+        production separately), unless the firing also killed *other*
+        instantiations of the same rule.
+        """
+        out: dict[str, set[str]] = {}
+        for obs in self.observations:
+            removed = set(obs.removed_rules)
+            if obs.removed_instantiations <= 1:
+                removed.discard(obs.rule_name)
+            out.setdefault(obs.rule_name, set()).update(removed)
+        return {name: frozenset(rules) for name, rules in out.items()}
+
+    def is_state_dependent(self, rule_name: str) -> bool:
+        """True when two firings of the rule showed different deltas —
+        the paper's "depend on ... the current database state"."""
+        deltas = {
+            (obs.added_rules, obs.removed_rules)
+            for obs in self.observations
+            if obs.rule_name == rule_name
+        }
+        return len(deltas) > 1
+
+
+def trace_add_delete_sets(
+    productions: Sequence[Production],
+    memory: WorkingMemory,
+    matcher: MatcherName = "rete",
+    strategy: str | Strategy = "lex",
+    max_cycles: int = 10_000,
+) -> AddDeleteTrace:
+    """Run the system single-threaded, observing per-firing deltas."""
+    interpreter = Interpreter(
+        productions, memory, matcher=matcher, strategy=strategy
+    )
+    trace = AddDeleteTrace()
+    conflict_set = interpreter.conflict_set
+    conflict_set.take_delta()  # discard the initial-match delta
+    while interpreter.result.cycles < max_cycles:
+        chosen = interpreter.select()
+        if chosen is None:
+            break
+        interpreter.result.cycles += 1
+        halted = not interpreter.fire(chosen)
+        delta = conflict_set.take_delta()
+        trace.observations.append(
+            FiringObservation(
+                rule_name=chosen.production.name,
+                cycle=interpreter.result.cycles,
+                added_rules=frozenset(
+                    i.production.name for i in delta.added
+                ),
+                removed_rules=frozenset(
+                    i.production.name for i in delta.removed
+                ),
+                added_instantiations=len(delta.added),
+                removed_instantiations=len(delta.removed),
+            )
+        )
+        if halted:
+            break
+    return trace
+
+
+def empirical_system(
+    productions: Sequence[Production],
+    memory: WorkingMemory,
+    initial_rules: Iterable[str] | None = None,
+    **trace_kwargs,
+) -> AddDeleteSystem:
+    """Abstract a real program into an :class:`AddDeleteSystem`.
+
+    The initial conflict set defaults to the rules active against the
+    *initial* memory; add/delete sets come from a traced run.  The
+    abstraction is trajectory-based (the paper's own simplification in
+    Section 3.3: "we assume the dependence is only on P_i").
+    """
+    # Determine initially active rules before the trace consumes memory.
+    from repro.match.naive import match_production
+
+    if initial_rules is None:
+        initial_rules = {
+            production.name
+            for production in productions
+            if any(match_production(production, memory))
+        }
+    initial = set(initial_rules)
+    trace = trace_add_delete_sets(productions, memory, **trace_kwargs)
+    adds = trace.add_sets()
+    deletes = trace.delete_sets()
+    names = [p.name for p in productions]
+    return AddDeleteSystem.define(
+        add_sets={name: adds.get(name, frozenset()) for name in names},
+        delete_sets={
+            name: deletes.get(name, frozenset()) for name in names
+        },
+        initial=initial,
+    )

@@ -1,0 +1,90 @@
+"""System states and execution strings (Section 3).
+
+"The system state consists of the conflict set and database contents
+... Each state is uniquely associated with a string representing the
+sequence of productions executed to reach it, starting from the state
+S_ε."  :class:`SystemState` is that pair ``<PA(α); WM(α)>`` —
+``wm`` is optional because the add/delete-set abstraction carries no
+database — and :class:`ExecutionString` is α with the usual prefix
+algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.addsets import Pid
+
+
+@dataclass(frozen=True)
+class ExecutionString:
+    """A finite string of production firings (α in the paper)."""
+
+    pids: tuple[Pid, ...] = ()
+
+    @staticmethod
+    def of(pids: Iterable[Pid]) -> "ExecutionString":
+        return ExecutionString(tuple(pids))
+
+    @staticmethod
+    def epsilon() -> "ExecutionString":
+        """The null string ε (the root state's string)."""
+        return ExecutionString(())
+
+    def append(self, pid: Pid) -> "ExecutionString":
+        return ExecutionString(self.pids + (pid,))
+
+    def is_prefix_of(self, other: "ExecutionString") -> bool:
+        """True when self is a (possibly equal) prefix of ``other``."""
+        return self.pids == other.pids[: len(self.pids)]
+
+    def prefixes(self) -> Iterator["ExecutionString"]:
+        """All prefixes, ε first, self last."""
+        for length in range(len(self.pids) + 1):
+            yield ExecutionString(self.pids[:length])
+
+    def __len__(self) -> int:
+        return len(self.pids)
+
+    def __iter__(self) -> Iterator[Pid]:
+        return iter(self.pids)
+
+    def __str__(self) -> str:
+        if not self.pids:
+            return "ε"
+        return "".join(p.lower() for p in self.pids)
+
+
+@dataclass(frozen=True)
+class SystemState:
+    """``S_α = <PA(α); WM(α)>``.
+
+    ``wm`` is a value-identity frozenset of database contents when a
+    concrete working memory backs the system (see
+    :meth:`repro.wm.memory.WorkingMemory.value_identity_set`) and
+    ``None`` in the pure add/delete-set abstraction.
+    """
+
+    conflict_set: frozenset[Pid]
+    string: ExecutionString
+    wm: frozenset | None = None
+
+    @property
+    def is_terminal(self) -> bool:
+        """Empty conflict set — the termination condition."""
+        return not self.conflict_set
+
+    def state_key(self) -> tuple:
+        """Identity for state-space deduplication: (PA, WM).
+
+        Two states with equal conflict sets and database contents are
+        the same node of the state space even when reached by
+        different strings (the paper's Remark in Section 3.2 concerns
+        exactly such coincidences).
+        """
+        return (self.conflict_set, self.wm)
+
+    def __str__(self) -> str:
+        names = ",".join(sorted(self.conflict_set))
+        return f"S[{self.string}]={{{names}}}"

@@ -1,0 +1,100 @@
+"""The static approach (Section 4.1).
+
+"Static approach is based on pre-execution analysis to identify sets of
+non-interfering productions; i.e., partitioning the productions into
+non-interfering groups.  (Two productions are non-interfering if there
+is no read-write or write-write conflict between them.)  The
+partitioning can be done on either the whole production set before
+running the production system or on set PA before the execute phase of
+every production cycle, or a combination of both [ISHI85]."
+
+Both granularities are implemented:
+
+* :func:`greedy_partition` — whole-rule-set partitioning into groups of
+  pairwise non-interfering productions (greedy graph coloring of the
+  interference graph; optimal coloring is NP-hard, the "state
+  explosion" the paper complains about).
+* :func:`partition_conflict_set` / :func:`maximal_noninterfering_subset`
+  — per-cycle partitioning of ``PA`` for one parallel firing wave.
+
+Theorem 1 (executable in :mod:`repro.core.theorems`) guarantees that
+firing any such group in parallel is semantically consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence, TypeVar
+
+Item = TypeVar("Item", bound=Hashable)
+
+#: Symmetric interference predicate over two items.
+InterferenceTest = Callable[[Item, Item], bool]
+
+
+def greedy_partition(
+    items: Sequence[Item],
+    interferes: InterferenceTest,
+) -> list[list[Item]]:
+    """Partition ``items`` into groups of pairwise non-interfering items.
+
+    Greedy sequential coloring: each item joins the first group it does
+    not interfere with; a new group opens otherwise.  Deterministic for
+    a given input order.  Returns the groups in creation order.
+    """
+    groups: list[list[Item]] = []
+    for item in items:
+        placed = False
+        for group in groups:
+            if all(not interferes(item, member) for member in group):
+                group.append(item)
+                placed = True
+                break
+        if not placed:
+            groups.append([item])
+    return groups
+
+
+def maximal_noninterfering_subset(
+    items: Sequence[Item],
+    interferes: InterferenceTest,
+) -> list[Item]:
+    """A maximal (not maximum) pairwise non-interfering subset.
+
+    Greedy in input order — the per-cycle choice a static analyzer
+    makes before a parallel firing wave.  Maximum independent set is
+    NP-hard; the greedy result is what a production-cycle budget
+    affords, and any non-interfering subset is safe by Theorem 1.
+    """
+    chosen: list[Item] = []
+    for item in items:
+        if all(not interferes(item, member) for member in chosen):
+            chosen.append(item)
+    return chosen
+
+
+def partition_conflict_set(
+    active: Sequence[Item],
+    interferes: InterferenceTest,
+) -> list[list[Item]]:
+    """Partition the *current conflict set* into parallel firing waves.
+
+    Wave k+1 contains productions that interfere with something in
+    every earlier wave.  Firing the waves in order, each internally
+    parallel, is the per-cycle static execution of [ISHI85].
+    """
+    return greedy_partition(active, interferes)
+
+
+def partition_quality(groups: Sequence[Sequence[Item]]) -> dict[str, float]:
+    """Simple quality metrics for a partitioning.
+
+    ``width`` is the largest group (peak parallelism), ``waves`` the
+    number of groups (serial steps), and ``mean_width`` the average
+    parallelism — what the static-vs-dynamic benchmark reports.
+    """
+    sizes = [len(g) for g in groups] or [0]
+    return {
+        "waves": float(len(sizes)),
+        "width": float(max(sizes)),
+        "mean_width": sum(sizes) / len(sizes),
+    }

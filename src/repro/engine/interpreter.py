@@ -1,0 +1,155 @@
+"""The single-execution-thread interpreter (Section 2).
+
+"The production system interpreter executes a three phase production
+system cycle repeatedly until a termination condition occurs": *match*
+(delegated to an incremental matcher), *select* (a conflict-resolution
+strategy over eligible instantiations) and *execute* (the RHS actions).
+Termination: empty conflict set, a ``halt`` action, or the cycle cap.
+
+Refraction (an instantiation never fires twice) is on by default, as in
+OPS5 — without it any rule whose RHS leaves its own LHS true loops
+forever.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal
+
+from repro.engine.actions import ActionExecutor
+from repro.engine.result import FiringRecord, RunResult
+from repro.errors import EngineError
+from repro.lang.production import Production
+from repro.match.base import BaseMatcher
+from repro.match.instantiation import Instantiation
+from repro.match.naive import NaiveMatcher
+from repro.match.rete.network import ReteMatcher
+from repro.match.strategies import Strategy, make_strategy
+from repro.match.cond import CondRelationMatcher
+from repro.match.treat import TreatMatcher
+from repro.wm.memory import WorkingMemory
+from repro.wm.snapshot import WMSnapshot
+
+MatcherName = Literal["naive", "rete", "treat", "cond"]
+
+_MATCHERS: dict[str, type[BaseMatcher]] = {
+    "naive": NaiveMatcher,
+    "rete": ReteMatcher,
+    "treat": TreatMatcher,
+    "cond": CondRelationMatcher,
+}
+
+
+def build_matcher(name: MatcherName, memory: WorkingMemory) -> BaseMatcher:
+    """Instantiate a matcher by name."""
+    try:
+        cls = _MATCHERS[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown matcher {name!r}; expected one of {sorted(_MATCHERS)}"
+        ) from None
+    return cls(memory)
+
+
+class Interpreter:
+    """The classic recognize-act loop.
+
+    Parameters
+    ----------
+    productions:
+        The rule program.
+    memory:
+        The working memory (a fresh one is created when omitted).
+    matcher:
+        ``"rete"`` (default), ``"treat"`` or ``"naive"`` — or a
+        pre-built matcher instance.
+    strategy:
+        Conflict-resolution strategy name (``"lex"`` default) or a
+        :class:`~repro.match.strategies.Strategy` instance.
+    refraction:
+        Suppress refiring of already-fired instantiations (default on).
+    """
+
+    def __init__(
+        self,
+        productions: Iterable[Production],
+        memory: WorkingMemory | None = None,
+        matcher: MatcherName | BaseMatcher = "rete",
+        strategy: str | Strategy = "lex",
+        refraction: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        self.memory = memory if memory is not None else WorkingMemory()
+        if isinstance(matcher, str):
+            self.matcher = build_matcher(matcher, self.memory)
+        else:
+            self.matcher = matcher
+        self.matcher.add_productions(productions)
+        self.matcher.attach()
+        if isinstance(strategy, str):
+            self.strategy = make_strategy(strategy, seed)
+        else:
+            self.strategy = strategy
+        self.refraction = refraction
+        self.executor = ActionExecutor(self.memory)
+        self.result = RunResult()
+
+    # -- phases ----------------------------------------------------------------------
+
+    @property
+    def conflict_set(self):
+        return self.matcher.conflict_set
+
+    def eligible(self) -> list[Instantiation]:
+        """The *select* phase's candidates, after refraction."""
+        if self.refraction:
+            return self.conflict_set.eligible()
+        return list(self.conflict_set)
+
+    def select(self) -> Instantiation | None:
+        """Pick the dominant instantiation, or None when quiescent."""
+        candidates = self.eligible()
+        if not candidates:
+            return None
+        return self.strategy.select(candidates)
+
+    def fire(self, instantiation: Instantiation) -> bool:
+        """Execute one instantiation; returns False when it halted."""
+        self.conflict_set.mark_fired(instantiation)
+        outcome = self.executor.execute(instantiation)
+        self.result.firings.append(
+            FiringRecord.from_instantiation(
+                instantiation, self.result.cycles
+            )
+        )
+        self.result.outputs.extend(outcome.outputs)
+        if outcome.halted:
+            self.result.halted = True
+            return False
+        return True
+
+    def step(self) -> Instantiation | None:
+        """One full cycle: select + execute.  None when quiescent."""
+        chosen = self.select()
+        if chosen is None:
+            return None
+        self.result.cycles += 1
+        self.fire(chosen)
+        return chosen
+
+    # -- whole runs ---------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 10_000) -> RunResult:
+        """Cycle until quiescence, ``halt`` or ``max_cycles``."""
+        while self.result.cycles < max_cycles:
+            chosen = self.select()
+            if chosen is None:
+                self.result.stop_reason = "quiescent"
+                break
+            self.result.cycles += 1
+            if not self.fire(chosen):
+                self.result.stop_reason = "halt"
+                break
+        else:
+            self.result.stop_reason = "max_cycles"
+        self.result.final_snapshot = WMSnapshot.capture(self.memory)
+        return self.result

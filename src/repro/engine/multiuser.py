@@ -1,0 +1,147 @@
+"""Multi-user execution: several sessions over one shared database.
+
+Section 2's classification closes with: "Finally, tasks of different
+users can be done in parallel."  A :class:`MultiUserEngine` hosts
+several *sessions* — each a named rule set, conceptually one user's
+task — over one shared working memory, firing them concurrently
+through one lock scheme.
+
+Scheduling is round-robin across sessions within each wave (no user
+can starve another), and every firing is attributed to its session, so
+fairness and interference between users are measurable.  All the
+semantic machinery is inherited: the combined commit sequence must
+still replay single-threaded, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.engine.parallel import ParallelEngine, SchemeName
+from repro.engine.result import RunResult
+from repro.errors import EngineError
+from repro.lang.production import Production
+from repro.match.instantiation import Instantiation
+from repro.match.strategies import Strategy, make_strategy
+from repro.wm.memory import WorkingMemory
+
+
+@dataclass(frozen=True)
+class Session:
+    """One user's rule set."""
+
+    user: str
+    productions: tuple[Production, ...]
+
+    @staticmethod
+    def of(user: str, productions: Iterable[Production]) -> "Session":
+        return Session(user, tuple(productions))
+
+
+class MultiUserEngine(ParallelEngine):
+    """Wave-parallel execution of several users' rule sets.
+
+    Parameters are as for :class:`~repro.engine.parallel.ParallelEngine`
+    except that ``sessions`` replaces ``productions``.  Rule names must
+    be globally unique across sessions (they share one conflict set).
+
+    Wave candidates are ordered round-robin across users (each user's
+    own candidates ordered by ``base_strategy``), with the starting
+    user rotating wave to wave — strict fairness even at wave width 1.
+    """
+
+    def __init__(
+        self,
+        sessions: Sequence[Session],
+        memory: WorkingMemory | None = None,
+        scheme: SchemeName = "rc",
+        matcher="rete",
+        base_strategy: str | Strategy = "lex",
+        processors: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        owners: dict[str, str] = {}
+        productions: list[Production] = []
+        for session in sessions:
+            for production in session.productions:
+                if production.name in owners:
+                    raise EngineError(
+                        f"rule {production.name!r} appears in sessions "
+                        f"{owners[production.name]!r} and {session.user!r}"
+                    )
+                owners[production.name] = session.user
+                productions.append(production)
+        if isinstance(base_strategy, str):
+            base_strategy = make_strategy(base_strategy, seed)
+        super().__init__(
+            productions,
+            memory,
+            scheme=scheme,
+            matcher=matcher,
+            strategy=base_strategy,
+            processors=processors,
+            seed=seed,
+        )
+        self.sessions = tuple(sessions)
+        self._owners = owners
+        self._users = [session.user for session in sessions]
+        self._turn = 0
+
+    # -- fair wave ordering ------------------------------------------------------------
+
+    def _ordered_candidates(self) -> list[Instantiation]:
+        """Interleave users' candidates, rotating the lead user."""
+        remaining = self.matcher.conflict_set.eligible()
+        buckets: dict[str, list[Instantiation]] = {}
+        for candidate in remaining:
+            user = self._owners.get(candidate.production.name, "?")
+            buckets.setdefault(user, []).append(candidate)
+        # Order within each bucket by the base strategy.
+        for user, candidates in buckets.items():
+            ordered: list[Instantiation] = []
+            pool = list(candidates)
+            while pool:
+                chosen = self.strategy.select(pool)
+                ordered.append(chosen)
+                pool.remove(chosen)
+            buckets[user] = ordered
+        # Rotate the user list so the lead changes every wave.
+        if self._users:
+            rotation = (
+                self._users[self._turn:] + self._users[: self._turn]
+            )
+            self._turn = (self._turn + 1) % len(self._users)
+        else:  # pragma: no cover - engines always have sessions
+            rotation = list(buckets)
+        interleaved: list[Instantiation] = []
+        index = 0
+        while any(buckets.get(user) for user in rotation):
+            user = rotation[index % len(rotation)]
+            index += 1
+            bucket = buckets.get(user)
+            if bucket:
+                interleaved.append(bucket.pop(0))
+        if self.processors is not None:
+            interleaved = interleaved[: self.processors]
+        return interleaved
+
+    # -- attribution -----------------------------------------------------------------
+
+    def user_of(self, rule_name: str) -> str:
+        """The session owning ``rule_name``."""
+        try:
+            return self._owners[rule_name]
+        except KeyError:
+            raise EngineError(f"unknown rule {rule_name!r}") from None
+
+    def firings_by_user(self) -> dict[str, int]:
+        """Committed firings per session (fairness view)."""
+        counts = {session.user: 0 for session in self.sessions}
+        for record in self.result.firings:
+            counts[self.user_of(record.rule_name)] += 1
+        return counts
+
+    def run(self, max_waves: int = 1_000) -> RunResult:
+        """Run to quiescence; see :meth:`ParallelEngine.run`."""
+        return super().run(max_waves=max_waves)

@@ -1,0 +1,276 @@
+"""The multiple-thread mechanism over a real working memory.
+
+Executes *waves* of logically concurrent firings under either lock
+scheme (Section 4.2's 2PL or Section 4.3's Rc/Ra/Wa):
+
+1. The wave's candidates are the eligible instantiations (at most
+   ``processors`` of them, Section 5's ``Np``).
+2. Every candidate acquires condition locks (``R``/``Rc``) on the data
+   objects its LHS examined — tuple-level for matched WMEs, relation
+   level (SYSTEM-CATALOG tuple) for negated condition elements, per
+   Section 4.3's escalation rule.
+3. Candidates then execute their RHSs in conflict-resolution order,
+   each acquiring its action locks at RHS start:
+
+   * under **2PL**, a firing whose ``W`` locks conflict with another
+     candidate's ``R`` locks *blocks* — it is deferred to a later wave
+     (the conservatism Theorem 2 pays for);
+   * under **Rc**, the ``Wa`` is granted over outstanding ``Rc`` locks;
+     at commit, conflicting ``Rc`` holders are aborted (rule (ii)) and
+     their partial work rolled back.
+
+4. Aborted/deferred candidates release their locks at wave end; the
+   next wave re-runs match over the updated database.
+
+The engine records the commit sequence (the σ of Definition 3.2),
+every lock operation (via :class:`~repro.txn.schedule.History`), and
+per-wave statistics.  ``repro.engine.replay`` checks the commit
+sequence against single-thread semantics — the operational form of
+Theorem 2's conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal
+
+from repro.engine.actions import ActionExecutor
+from repro.engine.interpreter import MatcherName, build_matcher
+from repro.engine.result import FiringRecord, RunResult
+from repro.errors import EngineError
+from repro.core.interference import (
+    instantiation_read_objects,
+    instantiation_write_objects,
+)
+from repro.lang.production import Production
+from repro.locks.rc_scheme import RcScheme
+from repro.locks.two_phase import ConservativeTwoPhaseScheme, TwoPhaseScheme
+from repro.match.base import BaseMatcher
+from repro.match.instantiation import Instantiation
+from repro.match.strategies import Strategy, make_strategy
+from repro.txn.schedule import History
+from repro.txn.transaction import Transaction
+from repro.wm.memory import WorkingMemory
+from repro.wm.snapshot import WMSnapshot
+from repro.wm.undo import UndoLog
+
+SchemeName = Literal["2pl", "rc", "c2pl"]
+
+
+@dataclass
+class WaveResult:
+    """What one wave did."""
+
+    wave: int
+    committed: list[str] = field(default_factory=list)
+    aborted: list[str] = field(default_factory=list)
+    deferred: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return (
+            f"wave {self.wave}: committed={self.committed} "
+            f"aborted={self.aborted} deferred={self.deferred}"
+        )
+
+
+class ParallelEngine:
+    """Wave-parallel execution of a production program.
+
+    Parameters
+    ----------
+    productions, memory, matcher, strategy:
+        As for :class:`~repro.engine.interpreter.Interpreter`.
+    scheme:
+        ``"rc"`` (default — the paper's contribution), ``"2pl"``
+        (Figure 4.1), or ``"c2pl"`` (conservative/preclaiming 2PL,
+        the deadlock-avoidance variant).
+    processors:
+        Wave width limit (``Np``); ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        productions: Iterable[Production],
+        memory: WorkingMemory | None = None,
+        scheme: SchemeName = "rc",
+        matcher: MatcherName | BaseMatcher = "rete",
+        strategy: str | Strategy = "lex",
+        processors: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.memory = memory if memory is not None else WorkingMemory()
+        if isinstance(matcher, str):
+            self.matcher = build_matcher(matcher, self.memory)
+        else:
+            self.matcher = matcher
+        self.matcher.add_productions(productions)
+        self.matcher.attach()
+        if isinstance(strategy, str):
+            self.strategy = make_strategy(strategy, seed)
+        else:
+            self.strategy = strategy
+        self.history = History()
+        if scheme == "rc":
+            self.scheme: RcScheme | TwoPhaseScheme = RcScheme(
+                history=self.history
+            )
+        elif scheme == "2pl":
+            self.scheme = TwoPhaseScheme(history=self.history)
+        elif scheme == "c2pl":
+            self.scheme = ConservativeTwoPhaseScheme(history=self.history)
+        else:
+            raise EngineError(f"unknown scheme {scheme!r}")
+        self._preclaims = getattr(self.scheme, "preclaims", False)
+        self.processors = processors
+        self.executor = ActionExecutor(self.memory)
+        self.result = RunResult()
+        self.waves: list[WaveResult] = []
+        #: Rule-(ii) abort count across the run.
+        self.abort_count = 0
+
+    # -- wave machinery -----------------------------------------------------------------
+
+    def _ordered_candidates(self) -> list[Instantiation]:
+        """Eligible instantiations in conflict-resolution order."""
+        remaining = self.matcher.conflict_set.eligible()
+        ordered: list[Instantiation] = []
+        while remaining:
+            chosen = self.strategy.select(remaining)
+            ordered.append(chosen)
+            remaining.remove(chosen)
+        if self.processors is not None:
+            ordered = ordered[: self.processors]
+        return ordered
+
+    def run_wave(self) -> WaveResult:
+        """Execute one wave; returns its summary."""
+        wave = WaveResult(wave=len(self.waves) + 1)
+        candidates = self._ordered_candidates()
+        slots: list[tuple[Instantiation, Transaction]] = []
+
+        # Phase 1: condition locks for every candidate.  Under the
+        # conservative (preclaiming) scheme the whole footprint —
+        # condition reads AND action writes — is taken atomically here.
+        for instantiation in candidates:
+            txn = Transaction(rule_name=instantiation.production.name)
+            if self._preclaims:
+                granted = self.scheme.try_preclaim(
+                    txn,
+                    reads=sorted(
+                        instantiation_read_objects(instantiation), key=repr
+                    ),
+                    writes=sorted(
+                        instantiation_write_objects(instantiation),
+                        key=repr,
+                    ),
+                )
+            else:
+                granted = all(
+                    self.scheme.try_lock_condition(txn, obj)
+                    for obj in sorted(
+                        instantiation_read_objects(instantiation), key=repr
+                    )
+                )
+            if granted:
+                slots.append((instantiation, txn))
+            else:
+                # Footprint unavailable: defer to a later wave.
+                self.scheme.abort(txn, "condition lock denied")
+                wave.deferred.append(instantiation.production.name)
+
+        # Phase 2: RHS execution in conflict-resolution order.
+        for instantiation, txn in slots:
+            if txn.is_aborted:
+                # Rule (ii) victim of an earlier commit in this wave.
+                self.scheme.abort(txn)
+                wave.aborted.append(instantiation.production.name)
+                self.abort_count += 1
+                continue
+            if instantiation not in self.matcher.conflict_set:
+                # The database changed under it and the matcher
+                # retracted the instantiation: semantically a victim.
+                self.scheme.abort(txn, "instantiation invalidated")
+                wave.aborted.append(instantiation.production.name)
+                self.abort_count += 1
+                continue
+            writes = instantiation_write_objects(instantiation)
+            if not self._preclaims and not self.scheme.try_lock_action(
+                txn, writes=sorted(writes, key=repr)
+            ):
+                # 2PL: blocked by another candidate's condition locks —
+                # defer to a later wave.  (Under Rc only Ra/Wa block Wa,
+                # and none are held across candidates here.)
+                self.scheme.abort(txn, "action locks unavailable")
+                wave.deferred.append(instantiation.production.name)
+                continue
+            undo = UndoLog(self.memory).attach()
+            try:
+                self.matcher.conflict_set.mark_fired(instantiation)
+                outcome = self.executor.execute(instantiation)
+            except Exception:
+                undo.detach()
+                undo.rollback()
+                self.scheme.abort(txn, "RHS execution failed")
+                raise
+            undo.detach()
+            self.scheme.commit(txn)
+            undo.commit()
+            self.result.firings.append(
+                FiringRecord.from_instantiation(
+                    instantiation, len(self.waves) + 1
+                )
+            )
+            self.result.outputs.extend(outcome.outputs)
+            wave.committed.append(instantiation.production.name)
+            if outcome.halted:
+                self.result.halted = True
+            # commit.victims carry the rule-(ii) aborts; their slots
+            # are skipped when their turn comes (txn.is_aborted above).
+
+        self.waves.append(wave)
+        return wave
+
+    # -- whole runs -------------------------------------------------------------------------
+
+    def run(self, max_waves: int = 1_000) -> RunResult:
+        """Run waves until quiescence, ``halt`` or ``max_waves``.
+
+        When a wave commits nothing while candidates existed (mutual
+        2PL blocking), the engine falls back to one single-thread
+        firing to guarantee progress — equivalent to shrinking that
+        wave to width 1, still inside ``ES_single``.
+        """
+        while len(self.waves) < max_waves:
+            if self.result.halted:
+                self.result.stop_reason = "halt"
+                break
+            candidates = self.matcher.conflict_set.eligible()
+            if not candidates:
+                self.result.stop_reason = "quiescent"
+                break
+            wave = self.run_wave()
+            self.result.cycles += 1
+            if not wave.committed and self.matcher.conflict_set.eligible():
+                self._fire_single()
+        else:
+            self.result.stop_reason = "max_waves"
+        self.result.final_snapshot = WMSnapshot.capture(self.memory)
+        return self.result
+
+    def _fire_single(self) -> None:
+        """Progress fallback: one single-thread firing."""
+        candidates = self.matcher.conflict_set.eligible()
+        if not candidates:
+            return
+        instantiation = self.strategy.select(candidates)
+        txn = Transaction(rule_name=instantiation.production.name)
+        self.matcher.conflict_set.mark_fired(instantiation)
+        outcome = self.executor.execute(instantiation)
+        self.history.commit(txn.txn_id)
+        txn.commit()
+        self.result.firings.append(
+            FiringRecord.from_instantiation(instantiation, len(self.waves))
+        )
+        self.result.outputs.extend(outcome.outputs)
+        if outcome.halted:
+            self.result.halted = True

@@ -1,0 +1,166 @@
+"""Genuinely multi-threaded firing waves.
+
+The deterministic engines (simulator, wave engine) validate the
+*semantics*; this executor validates the lock manager's *mutual
+exclusion* under real OS-thread interleavings.  It is a stress/test
+harness, not a performance vehicle — the GIL precludes real speedups
+(DESIGN.md records that substitution).
+
+One wave: every eligible instantiation fires on its own thread under
+the chosen scheme with *blocking* lock acquisition.  Each thread:
+
+1. acquires condition locks (``Rc``/``R``) on its read objects;
+2. acquires action locks (``Wa``/``W``) on its write objects;
+3. re-checks it has not been rule-(ii) aborted, then executes its RHS
+   inside the working memory's global mutex (paired with its undo
+   log), commits, and triggers victim aborts.
+
+Deadlocks are broken by acquisition timeouts: a timed-out thread
+aborts, rolls back, and ends (its production may refire in a later
+wave).  The executor records the commit order and the lock history for
+the serializability and semantic-consistency checks.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Literal
+
+from repro.engine.actions import ActionExecutor
+from repro.engine.interpreter import MatcherName, build_matcher
+from repro.engine.result import FiringRecord
+from repro.errors import EngineError
+from repro.core.interference import (
+    instantiation_read_objects,
+    instantiation_write_objects,
+)
+from repro.lang.production import Production
+from repro.locks.rc_scheme import RcScheme
+from repro.locks.two_phase import TwoPhaseScheme
+from repro.match.instantiation import Instantiation
+from repro.txn.schedule import History
+from repro.txn.transaction import Transaction
+from repro.wm.memory import WorkingMemory
+
+SchemeName = Literal["2pl", "rc"]
+
+
+@dataclass
+class ThreadedWaveResult:
+    """Outcome of one threaded wave."""
+
+    committed: list[FiringRecord] = field(default_factory=list)
+    aborted: list[str] = field(default_factory=list)
+    timed_out: list[str] = field(default_factory=list)
+    history: History = field(default_factory=History)
+
+    def commit_order(self) -> tuple[str, ...]:
+        return tuple(r.rule_name for r in self.committed)
+
+
+class ThreadedWaveExecutor:
+    """Runs eligible instantiations concurrently on real threads."""
+
+    def __init__(
+        self,
+        productions: Iterable[Production],
+        memory: WorkingMemory,
+        scheme: SchemeName = "rc",
+        matcher: MatcherName = "rete",
+        lock_timeout: float = 0.2,
+    ) -> None:
+        if memory._mutex is None:  # noqa: SLF001 - deliberate check
+            raise EngineError(
+                "threaded execution requires WorkingMemory(thread_safe=True)"
+            )
+        self.memory = memory
+        self.matcher = build_matcher(matcher, memory)
+        self.matcher.add_productions(productions)
+        self.matcher.attach()
+        self.history = History()
+        if scheme == "rc":
+            self.scheme: RcScheme | TwoPhaseScheme = RcScheme(
+                history=self.history
+            )
+        elif scheme == "2pl":
+            self.scheme = TwoPhaseScheme(history=self.history)
+        else:
+            raise EngineError(f"unknown scheme {scheme!r}")
+        self.lock_timeout = lock_timeout
+        self.executor = ActionExecutor(memory)
+        self._commit_mutex = threading.Lock()
+
+    # -- one wave ------------------------------------------------------------------------
+
+    def run_wave(self) -> ThreadedWaveResult:
+        result = ThreadedWaveResult(history=self.history)
+        candidates = self.matcher.conflict_set.eligible()
+        threads = [
+            threading.Thread(
+                target=self._fire,
+                args=(instantiation, result),
+                name=f"firing-{instantiation.production.name}",
+                daemon=True,
+            )
+            for instantiation in candidates
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return result
+
+    def _acquire_all(
+        self, txn: Transaction, objects, mode_method
+    ) -> bool:
+        """Blocking acquisition with timeout; False on failure/abort."""
+        for obj in sorted(objects, key=repr):
+            if txn.is_aborted:
+                return False
+            request = mode_method(txn, obj)
+            deadline = self.lock_timeout
+            status = request.wait(deadline)
+            if not request.is_granted:
+                self.scheme.manager.cancel(request)
+                return False
+        return True
+
+    def _fire(
+        self, instantiation: Instantiation, result: ThreadedWaveResult
+    ) -> None:
+        txn = Transaction(rule_name=instantiation.production.name)
+        reads = instantiation_read_objects(instantiation)
+        writes = instantiation_write_objects(instantiation)
+        lock_condition = (
+            lambda t, obj: self.scheme.lock_condition(t, obj, blocking=False)
+        )
+        lock_write = lambda t, obj: self.scheme.manager.acquire(
+            t, obj, self.scheme.action_write_mode, blocking=False
+        )
+        if not self._acquire_all(txn, reads, lock_condition):
+            self.scheme.abort(txn, "condition lock timeout")
+            with self._commit_mutex:
+                result.timed_out.append(instantiation.production.name)
+            return
+        if not self._acquire_all(txn, writes, lock_write):
+            self.scheme.abort(txn, "action lock timeout")
+            with self._commit_mutex:
+                result.timed_out.append(instantiation.production.name)
+            return
+        # Serialize the actual database update + commit decision.
+        with self._commit_mutex:
+            if txn.is_aborted:
+                self.scheme.abort(txn)
+                result.aborted.append(instantiation.production.name)
+                return
+            if instantiation not in self.matcher.conflict_set:
+                self.scheme.abort(txn, "instantiation invalidated")
+                result.aborted.append(instantiation.production.name)
+                return
+            self.matcher.conflict_set.mark_fired(instantiation)
+            self.executor.execute(instantiation)
+            self.scheme.commit(txn)
+            result.committed.append(
+                FiringRecord.from_instantiation(instantiation, cycle=0)
+            )

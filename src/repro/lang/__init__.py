@@ -1,0 +1,58 @@
+"""Rule-language substrate: an OPS5-style production language.
+
+The paper's model (Section 2)::
+
+    <Production>: if <condition> then <action>.
+
+The LHS is a conjunction of *condition elements* (patterns over working
+memory relations, with variables, constant tests, predicate tests and
+negation); the RHS is a list of *create* / *modify* / *delete* actions
+plus the usual OPS5 conveniences (``bind``, ``write``, ``halt``).
+
+Rules can be written either as text in the DSL and parsed with
+:func:`~repro.lang.parser.parse_production`, or constructed
+programmatically with :class:`~repro.lang.builder.RuleBuilder`.
+"""
+
+from repro.lang.ast import (
+    BinaryExpr,
+    Bindings,
+    ConditionElement,
+    Constant,
+    ConstantTest,
+    HaltAction,
+    MakeAction,
+    ModifyAction,
+    PredicateTest,
+    RemoveAction,
+    BindAction,
+    WriteAction,
+    ValueExpr,
+    VariableRef,
+    VariableTest,
+)
+from repro.lang.production import Production
+from repro.lang.parser import parse_production, parse_program
+from repro.lang.builder import RuleBuilder
+
+__all__ = [
+    "Bindings",
+    "ConditionElement",
+    "ConstantTest",
+    "VariableTest",
+    "PredicateTest",
+    "Constant",
+    "VariableRef",
+    "BinaryExpr",
+    "ValueExpr",
+    "MakeAction",
+    "ModifyAction",
+    "RemoveAction",
+    "BindAction",
+    "WriteAction",
+    "HaltAction",
+    "Production",
+    "parse_production",
+    "parse_program",
+    "RuleBuilder",
+]

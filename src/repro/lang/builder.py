@@ -1,0 +1,203 @@
+"""Fluent programmatic construction of productions.
+
+The DSL parser is convenient for rule files; tests, benchmarks and
+programmatic workload generators prefer building productions directly::
+
+    rule = (
+        RuleBuilder("promote-order")
+        .when("order", status="open", id=var("x"))
+        .when_not("hold", order=var("x"))
+        .modify(1, status="priority")
+        .make("audit", order=var("x"))
+        .build()
+    )
+
+Keyword values map to tests as follows: a plain scalar becomes a
+:class:`ConstantTest`; :func:`var` becomes a :class:`VariableTest`;
+:func:`gt`/:func:`lt`/etc. become :class:`PredicateTest`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import (
+    Action,
+    BinaryExpr,
+    BindAction,
+    ConditionElement,
+    Constant,
+    ConstantTest,
+    HaltAction,
+    MakeAction,
+    ModifyAction,
+    PredicateTest,
+    RemoveAction,
+    Test,
+    ValueExpr,
+    VariableRef,
+    VariableTest,
+    WriteAction,
+    as_expr,
+)
+from repro.lang.production import Production
+from repro.wm.element import Scalar
+
+
+@dataclass(frozen=True)
+class var:
+    """Marker for a variable occurrence in :class:`RuleBuilder` calls."""
+
+    name: str
+
+    def ref(self) -> VariableRef:
+        """The RHS expression form of this variable."""
+        return VariableRef(self.name)
+
+    def __add__(self, other: "var | ValueExpr | Scalar") -> BinaryExpr:
+        return BinaryExpr("+", self.ref(), _coerce(other))
+
+    def __sub__(self, other: "var | ValueExpr | Scalar") -> BinaryExpr:
+        return BinaryExpr("-", self.ref(), _coerce(other))
+
+    def __mul__(self, other: "var | ValueExpr | Scalar") -> BinaryExpr:
+        return BinaryExpr("*", self.ref(), _coerce(other))
+
+
+@dataclass(frozen=True)
+class _Comparison:
+    """Marker for a predicate test in :class:`RuleBuilder` calls."""
+
+    op: str
+    operand: Scalar | var
+
+
+def gt(operand: Scalar | var) -> _Comparison:
+    """``^attr > operand``."""
+    return _Comparison(">", operand)
+
+
+def ge(operand: Scalar | var) -> _Comparison:
+    """``^attr >= operand``."""
+    return _Comparison(">=", operand)
+
+
+def lt(operand: Scalar | var) -> _Comparison:
+    """``^attr < operand``."""
+    return _Comparison("<", operand)
+
+
+def le(operand: Scalar | var) -> _Comparison:
+    """``^attr <= operand``."""
+    return _Comparison("<=", operand)
+
+
+def ne(operand: Scalar | var) -> _Comparison:
+    """``^attr <> operand``."""
+    return _Comparison("<>", operand)
+
+
+def _coerce(value: "var | ValueExpr | Scalar") -> ValueExpr:
+    if isinstance(value, var):
+        return value.ref()
+    return as_expr(value)
+
+
+def _make_test(attribute: str, value: Scalar | var | _Comparison) -> Test:
+    if isinstance(value, var):
+        return VariableTest(attribute, value.name)
+    if isinstance(value, _Comparison):
+        if isinstance(value.operand, var):
+            return PredicateTest(attribute, value.op, value.operand.name, True)
+        return PredicateTest(attribute, value.op, value.operand, False)
+    return ConstantTest(attribute, value)
+
+
+class RuleBuilder:
+    """Accumulates condition elements and actions, then builds a rule."""
+
+    def __init__(self, name: str, priority: int = 0) -> None:
+        self._name = name
+        self._priority = priority
+        self._lhs: list[ConditionElement] = []
+        self._rhs: list[Action] = []
+
+    # -- LHS ----------------------------------------------------------------------
+
+    def when(
+        self, relation: str, **tests: Scalar | var | _Comparison
+    ) -> "RuleBuilder":
+        """Add a positive condition element on ``relation``."""
+        element = ConditionElement(
+            relation,
+            tuple(_make_test(a, v) for a, v in sorted(tests.items())),
+        )
+        self._lhs.append(element)
+        return self
+
+    def when_not(
+        self, relation: str, **tests: Scalar | var | _Comparison
+    ) -> "RuleBuilder":
+        """Add a negated condition element on ``relation``."""
+        element = ConditionElement(
+            relation,
+            tuple(_make_test(a, v) for a, v in sorted(tests.items())),
+            negated=True,
+        )
+        self._lhs.append(element)
+        return self
+
+    # -- RHS ----------------------------------------------------------------------
+
+    def make(
+        self, relation: str, **values: ValueExpr | Scalar | var
+    ) -> "RuleBuilder":
+        """Add a ``make`` (create) action."""
+        self._rhs.append(
+            MakeAction.build(
+                relation, {k: _coerce(v) for k, v in values.items()}
+            )
+        )
+        return self
+
+    def modify(
+        self, ce_index: int, **values: ValueExpr | Scalar | var
+    ) -> "RuleBuilder":
+        """Add a ``modify`` action on the 1-based condition element."""
+        self._rhs.append(
+            ModifyAction.build(
+                ce_index, {k: _coerce(v) for k, v in values.items()}
+            )
+        )
+        return self
+
+    def remove(self, ce_index: int) -> "RuleBuilder":
+        """Add a ``remove`` (delete) action on the 1-based element."""
+        self._rhs.append(RemoveAction(ce_index))
+        return self
+
+    def bind(
+        self, variable: var | str, expr: ValueExpr | Scalar | var
+    ) -> "RuleBuilder":
+        """Add a ``bind`` action for an RHS-local variable."""
+        name = variable.name if isinstance(variable, var) else variable
+        self._rhs.append(BindAction(name, _coerce(expr)))
+        return self
+
+    def write(self, *exprs: ValueExpr | Scalar | var) -> "RuleBuilder":
+        """Add a ``write`` action emitting the given expressions."""
+        self._rhs.append(WriteAction(tuple(_coerce(e) for e in exprs)))
+        return self
+
+    def halt(self) -> "RuleBuilder":
+        """Add a ``halt`` action."""
+        self._rhs.append(HaltAction())
+        return self
+
+    # -- finish ---------------------------------------------------------------------
+
+    def build(self) -> Production:
+        """Construct (and thereby validate) the :class:`Production`."""
+        return Production(
+            self._name, tuple(self._lhs), tuple(self._rhs), self._priority
+        )

@@ -1,0 +1,180 @@
+"""Static analysis (linting) of rule programs.
+
+Production systems fail silently: a misspelled relation or attribute
+just never matches.  The linter catches the classic mistakes before a
+run:
+
+* ``unused-variable`` — an LHS variable bound but never used again
+  (often a typo of an intended join).
+* ``unmatchable-rule`` — a positive condition element over a relation
+  no rule creates and no declared fact provides.
+* ``dead-write`` — a relation some RHS creates that no LHS ever reads.
+* ``shadowed-rule`` — two rules with identical LHSs (the second adds
+  only duplicate firings).
+* ``single-use-variable`` is *not* flagged when the variable feeds the
+  RHS — only truly dead bindings are reported.
+* ``negation-unbound`` — a negated element using variables bound
+  nowhere (always evaluates the same way; usually a mistake).
+
+Findings are advisory: :func:`lint_program` returns them, it never
+raises.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.lang.production import Production
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding."""
+
+    rule: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.rule}: [{self.code}] {self.message}"
+
+
+def lint_program(
+    productions: Sequence[Production],
+    known_relations: Iterable[str] = (),
+) -> list[Finding]:
+    """Lint a rule program.
+
+    ``known_relations`` lists relations provided externally (initial
+    facts, other programs); they count as producible for the
+    ``unmatchable-rule`` check.
+    """
+    findings: list[Finding] = []
+    produced: set[str] = set(known_relations)
+    consumed: set[str] = set()
+    for production in productions:
+        produced |= _created_relations(production)
+        consumed |= production.read_relations()
+
+    lhs_signatures: dict[tuple, str] = {}
+    for production in productions:
+        findings.extend(_lint_variables(production))
+        findings.extend(_lint_unmatchable(production, produced))
+        findings.extend(_lint_negation_unbound(production))
+        signature = (production.lhs,)
+        if signature in lhs_signatures:
+            findings.append(
+                Finding(
+                    production.name,
+                    "shadowed-rule",
+                    f"LHS identical to rule "
+                    f"{lhs_signatures[signature]!r}",
+                )
+            )
+        else:
+            lhs_signatures[signature] = production.name
+
+    for production in productions:
+        for relation in sorted(production.write_relations()):
+            if relation not in consumed:
+                findings.append(
+                    Finding(
+                        production.name,
+                        "dead-write",
+                        f"creates relation {relation!r} that no LHS reads",
+                    )
+                )
+    return findings
+
+
+def _created_relations(production: Production) -> set[str]:
+    """Relations the RHS can put tuples *into*.
+
+    ``make`` creates; ``modify`` re-creates (new version of a live
+    tuple); ``remove`` only deletes, so it does not make a relation
+    matchable.
+    """
+    from repro.lang.ast import MakeAction, ModifyAction
+
+    created: set[str] = set()
+    for action in production.rhs:
+        if isinstance(action, MakeAction):
+            created.add(action.relation)
+        elif isinstance(action, ModifyAction):
+            created.add(production.lhs[action.ce_index - 1].relation)
+    return created
+
+
+def _lint_variables(production: Production) -> list[Finding]:
+    """Bound-but-never-used variables."""
+    findings: list[Finding] = []
+    uses: Counter[str] = Counter()
+    binds: Counter[str] = Counter()
+    for element in production.lhs:
+        for test in element.variable_tests():
+            binds[test.variable] += 1
+            uses[test.variable] += 1
+        for predicate in element.variable_predicates():
+            uses[str(predicate.operand)] += 1
+    for action in production.rhs:
+        for variable in action.variables():
+            uses[variable] += 1
+    for variable, bound_count in binds.items():
+        if variable.startswith("_"):
+            continue  # the conventional wildcard escape: <_anything>
+        if uses[variable] <= 1 and bound_count == 1:
+            findings.append(
+                Finding(
+                    production.name,
+                    "unused-variable",
+                    f"variable <{variable}> is bound but never used "
+                    f"(prefix with '_' if the binding is intentional)",
+                )
+            )
+    return findings
+
+
+def _lint_unmatchable(
+    production: Production, produced: set[str]
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for element in production.positive_elements():
+        if element.relation not in produced:
+            findings.append(
+                Finding(
+                    production.name,
+                    "unmatchable-rule",
+                    f"positive condition on relation "
+                    f"{element.relation!r}, which nothing produces",
+                )
+            )
+    return findings
+
+
+def _lint_negation_unbound(production: Production) -> list[Finding]:
+    findings: list[Finding] = []
+    bound = production.lhs_variables()
+    for element in production.negative_elements():
+        dangling = {
+            str(p.operand)
+            for p in element.variable_predicates()
+        } - bound
+        if dangling:
+            findings.append(
+                Finding(
+                    production.name,
+                    "negation-unbound",
+                    f"negated ({element.relation} ...) compares against "
+                    f"unbound variable(s) {sorted(dangling)}",
+                )
+            )
+    return findings
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    """Human-readable report, or a clean bill of health."""
+    if not findings:
+        return "no lint findings"
+    return "\n".join(str(finding) for finding in findings)

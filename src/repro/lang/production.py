@@ -1,0 +1,178 @@
+"""The :class:`Production`: a validated LHS/RHS rule.
+
+Beyond holding the AST, a production knows its *access templates*: over-
+approximations of the relations it reads (LHS plus RHS element
+designators) and writes (RHS make/modify/remove targets).  The static
+approach of Section 4.1 partitions productions by intersecting these
+templates; the dynamic lock schemes instead lock the concrete data
+objects touched at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ValidationError
+from repro.lang.ast import (
+    Action,
+    BindAction,
+    ConditionElement,
+    HaltAction,
+    MakeAction,
+    ModifyAction,
+    RemoveAction,
+    WriteAction,
+)
+
+
+@dataclass(frozen=True)
+class Production:
+    """An immutable production rule.
+
+    Parameters
+    ----------
+    name:
+        Unique rule name.
+    lhs:
+        Condition elements, in written order.  At least one positive
+        (non-negated) element is required — otherwise there is nothing
+        to instantiate.
+    rhs:
+        Actions executed when the rule fires.
+    priority:
+        Optional user priority (OPS5 rules are unprioritized; several
+        conflict-resolution strategies here can use it as a tiebreak).
+    """
+
+    name: str
+    lhs: tuple[ConditionElement, ...]
+    rhs: tuple[Action, ...]
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation -------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`ValidationError` on structural problems.
+
+        Checks: non-empty LHS with ≥1 positive element; element
+        designators in range and pointing at positive elements; every
+        RHS variable bound by the LHS or an earlier ``bind``.
+        """
+        if not self.lhs:
+            raise ValidationError(f"production {self.name!r} has an empty LHS")
+        if all(ce.negated for ce in self.lhs):
+            raise ValidationError(
+                f"production {self.name!r}: all condition elements are "
+                f"negated; at least one positive element is required"
+            )
+        positives = self.positive_indices()
+        bound = self.lhs_variables()
+        for action in self.rhs:
+            if isinstance(action, (ModifyAction, RemoveAction)):
+                if not 1 <= action.ce_index <= len(self.lhs):
+                    raise ValidationError(
+                        f"production {self.name!r}: designator "
+                        f"{action.ce_index} out of range 1..{len(self.lhs)}"
+                    )
+                if (action.ce_index - 1) not in positives:
+                    raise ValidationError(
+                        f"production {self.name!r}: designator "
+                        f"{action.ce_index} names a negated condition element"
+                    )
+            unbound = action.variables() - bound
+            if unbound:
+                raise ValidationError(
+                    f"production {self.name!r}: action {action} uses "
+                    f"unbound variable(s) {sorted(unbound)}"
+                )
+            if isinstance(action, BindAction):
+                bound = bound | {action.variable}
+
+    # -- structure queries --------------------------------------------------------
+
+    def positive_indices(self) -> tuple[int, ...]:
+        """0-based indices of the positive (non-negated) LHS elements."""
+        return tuple(
+            i for i, ce in enumerate(self.lhs) if not ce.negated
+        )
+
+    def positive_elements(self) -> tuple[ConditionElement, ...]:
+        """The positive LHS elements, in order."""
+        return tuple(ce for ce in self.lhs if not ce.negated)
+
+    def negative_elements(self) -> tuple[ConditionElement, ...]:
+        """The negated LHS elements, in order."""
+        return tuple(ce for ce in self.lhs if ce.negated)
+
+    def lhs_variables(self) -> frozenset[str]:
+        """Variables bound by positive condition elements."""
+        out: frozenset[str] = frozenset()
+        for ce in self.lhs:
+            if not ce.negated:
+                out |= {t.variable for t in ce.variable_tests()}
+        return out
+
+    def halts(self) -> bool:
+        """True when the RHS contains a ``halt`` action."""
+        return any(isinstance(a, HaltAction) for a in self.rhs)
+
+    # -- access templates (interference analysis, Section 4.1) -------------------
+
+    def read_relations(self) -> frozenset[str]:
+        """Relations whose contents the LHS depends on.
+
+        Includes negated elements: a negative condition *reads* the
+        (absence from the) relation, which is exactly why Section 4.3
+        escalates its lock to relation level.
+        """
+        return frozenset(ce.relation for ce in self.lhs)
+
+    def write_relations(self) -> frozenset[str]:
+        """Relations the RHS may create, modify or delete tuples of."""
+        out: set[str] = set()
+        for action in self.rhs:
+            if isinstance(action, MakeAction):
+                out.add(action.relation)
+            elif isinstance(action, (ModifyAction, RemoveAction)):
+                out.add(self.lhs[action.ce_index - 1].relation)
+        return frozenset(out)
+
+    def negative_read_relations(self) -> frozenset[str]:
+        """Relations read through negated condition elements only."""
+        return frozenset(ce.relation for ce in self.lhs if ce.negated)
+
+    # -- presentation ---------------------------------------------------------------
+
+    def __str__(self) -> str:
+        lhs = "\n    ".join(str(ce) for ce in self.lhs)
+        rhs = "\n    ".join(str(a) for a in self.rhs)
+        return f"(p {self.name}\n    {lhs}\n  -->\n    {rhs})"
+
+
+def check_unique_names(productions: Sequence[Production]) -> None:
+    """Raise :class:`ValidationError` when two productions share a name."""
+    seen: set[str] = set()
+    for production in productions:
+        if production.name in seen:
+            raise ValidationError(
+                f"duplicate production name {production.name!r}"
+            )
+        seen.add(production.name)
+
+
+def productions_by_name(
+    productions: Iterable[Production],
+) -> dict[str, Production]:
+    """Index productions by name, enforcing uniqueness."""
+    out: dict[str, Production] = {}
+    for production in productions:
+        if production.name in out:
+            raise ValidationError(
+                f"duplicate production name {production.name!r}"
+            )
+        out[production.name] = production
+    return out

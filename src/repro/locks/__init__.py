@@ -1,0 +1,69 @@
+"""Lock-manager substrate and the paper's novel Rc/Ra/Wa scheme.
+
+Two concurrency-control disciplines are provided, both centralized as
+in Section 4.2 ("an example of such a scheme, using a centralized lock
+manager"):
+
+* :class:`~repro.locks.two_phase.TwoPhaseScheme` — standard strict 2PL
+  with shared read and exclusive write locks (Figure 4.1; proved
+  semantically consistent by Theorem 2).
+* :class:`~repro.locks.rc_scheme.RcScheme` — the improved scheme of
+  Section 4.3 with three modes: ``Rc`` (read for condition
+  evaluation), ``Ra`` (read for action) and ``Wa`` (write for action).
+  Its compatibility matrix (Table 4.1) *allows* the ``Rc``–``Wa``
+  conflict, and restores correctness with the commit-time rule: when a
+  ``Wa`` holder commits first, every production holding a conflicting
+  ``Rc`` lock is aborted (or optionally revalidated).
+
+Both are built on the same :class:`~repro.locks.manager.LockManager`
+core (grant queues, upgrades, deadlock detection) — the paper's point
+that the new scheme "requires minor modifications to conventional lock
+managers".
+"""
+
+from repro.locks.modes import (
+    LockMode,
+    compatible,
+    COMPATIBILITY,
+    TWO_PHASE_COMPATIBILITY,
+    table_4_1,
+)
+from repro.locks.request import LockGrant, LockRequest, RequestStatus
+from repro.locks.manager import LockManager
+from repro.locks.two_phase import ConservativeTwoPhaseScheme, TwoPhaseScheme
+from repro.locks.rc_scheme import RcScheme
+from repro.locks.deadlock import (
+    DeadlockDetector,
+    VictimPolicy,
+    youngest_victim,
+    most_locks_victim,
+)
+from repro.locks.escalation import EscalationPolicy
+from repro.locks.prevention import (
+    WaitDie,
+    WoundWait,
+    acquire_with_prevention,
+)
+
+__all__ = [
+    "LockMode",
+    "compatible",
+    "COMPATIBILITY",
+    "TWO_PHASE_COMPATIBILITY",
+    "table_4_1",
+    "LockRequest",
+    "LockGrant",
+    "RequestStatus",
+    "LockManager",
+    "TwoPhaseScheme",
+    "ConservativeTwoPhaseScheme",
+    "RcScheme",
+    "DeadlockDetector",
+    "VictimPolicy",
+    "youngest_victim",
+    "most_locks_victim",
+    "EscalationPolicy",
+    "WoundWait",
+    "WaitDie",
+    "acquire_with_prevention",
+]

@@ -1,0 +1,98 @@
+"""Lock escalation to relation level.
+
+Section 4.3, last paragraph: "Like regular read and write locks, the Rc
+locks can be escalated for performance reasons.  In the extreme case, a
+Rc lock may lock an entire relation.  An example is when a condition is
+dependent on the absence of some tuples from a relation (negative
+dependence).  In this case a lock can be placed at the relation level.
+Such a lock is equivalent to locking the appropriate tuple in the
+'SYSTEM-CATALOG' relation."
+
+:class:`EscalationPolicy` decides, per condition element, whether to
+lock individual tuples or the whole relation (via the catalog tuple),
+and performs threshold-based escalation when a transaction accumulates
+too many tuple locks on one relation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.lang.ast import ConditionElement
+from repro.locks.modes import LockMode
+from repro.txn.transaction import DataObject, Transaction
+from repro.wm.element import WME, data_object_key
+from repro.wm.schema import Catalog
+
+
+class EscalationPolicy:
+    """Chooses lock granularity for condition evaluation.
+
+    Parameters
+    ----------
+    threshold:
+        When a transaction holds at least this many tuple locks on one
+        relation, further locks on that relation escalate to the
+        relation-level catalog lock.  ``0`` disables threshold
+        escalation (negative conditions still escalate — they must).
+    """
+
+    def __init__(self, threshold: int = 0) -> None:
+        self.threshold = threshold
+        self._tuple_counts: dict[
+            tuple[str, str], int
+        ] = defaultdict(int)  # (txn_id, relation) -> tuple-lock count
+        #: Escalations performed, for tests/benchmarks.
+        self.escalations = 0
+
+    # -- granularity decisions -------------------------------------------------------
+
+    def objects_for_element(
+        self,
+        txn: Transaction,
+        element: ConditionElement,
+        matched: WME | None,
+    ) -> list[DataObject]:
+        """Lockable objects needed to protect one condition element.
+
+        * A *negated* element depends on tuple absence, so it must be
+          protected at relation level — the catalog tuple.
+        * A positive element with a matched WME locks that tuple,
+          unless the threshold triggers escalation.
+        * A positive element with no match (condition came out false)
+          also depends on absence over the candidates scanned; we
+          conservatively take the relation-level lock.
+        """
+        if element.negated or matched is None:
+            return [Catalog.catalog_lock_key(element.relation)]
+        key = (txn.txn_id, element.relation)
+        if self.threshold and self._tuple_counts[key] >= self.threshold:
+            self.escalations += 1
+            return [Catalog.catalog_lock_key(element.relation)]
+        self._tuple_counts[key] += 1
+        return [data_object_key(matched)]
+
+    def objects_for_write(self, txn: Transaction, wme: WME) -> list[DataObject]:
+        """Lockable objects for an RHS write touching ``wme``.
+
+        A write both changes the tuple and changes relation membership
+        (it can flip a negative condition), so it needs the tuple lock
+        *and* the relation-level catalog lock — the relation lock is
+        what makes escalated Rc locks actually conflict with writers.
+        """
+        return [
+            data_object_key(wme),
+            Catalog.catalog_lock_key(wme.relation),
+        ]
+
+    def forget(self, txn: Transaction) -> None:
+        """Drop per-transaction counters after commit/abort."""
+        for key in [k for k in self._tuple_counts if k[0] == txn.txn_id]:
+            del self._tuple_counts[key]
+
+
+#: Mode a relation-level condition lock is taken in, per scheme name.
+CONDITION_MODE_BY_SCHEME = {
+    "2pl": LockMode.R,
+    "rc": LockMode.RC,
+}

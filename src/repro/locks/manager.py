@@ -1,0 +1,340 @@
+"""The centralized lock manager.
+
+Implements the machinery both schemes share (Section 4.2 introduces it:
+"below is an example of such a scheme, using a centralized lock
+manager"): a grant table, FIFO wait queues with a no-barging policy,
+lock upgrades, release-time queue processing, optional history
+recording for the serializability checker, and a runtime *auditor*
+asserting that no two incompatible locks are ever simultaneously held —
+the safety invariant the property tests lean on.
+
+The manager is deliberately scheme-agnostic: it enforces whatever the
+compatibility function says.  The 2PL discipline and the Rc/Ra/Wa
+commit-time abort rule live in :mod:`repro.locks.two_phase` and
+:mod:`repro.locks.rc_scheme`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Callable, Iterator
+
+from repro.errors import DeadlockDetected, LockError
+from repro.locks.modes import LockMode, compatible, is_upgrade
+from repro.locks.request import LockRequest, RequestStatus
+from repro.txn.schedule import History
+from repro.txn.transaction import DataObject, Transaction
+
+
+class LockManager:
+    """Grant table + wait queues for any set of lock modes.
+
+    Parameters
+    ----------
+    history:
+        Optional :class:`~repro.txn.schedule.History`; when given,
+        every grant is recorded as a read (``R``/``Rc``/``Ra``) or
+        write (``W``/``Wa``) operation, feeding the serializability
+        checker.
+    audit:
+        When true (the default), every grant re-verifies the global
+        compatibility invariant and raises :class:`LockError` on
+        violation.  Cheap at test scale; disable for large benchmarks.
+    """
+
+    def __init__(
+        self, history: History | None = None, audit: bool = True
+    ) -> None:
+        self.history = history
+        self.audit = audit
+        self._mutex = threading.RLock()
+        self._grants: dict[DataObject, dict[Transaction, set[LockMode]]] = (
+            defaultdict(dict)
+        )
+        self._queues: dict[DataObject, list[LockRequest]] = defaultdict(list)
+        self._txn_objects: dict[Transaction, set[DataObject]] = defaultdict(
+            set
+        )
+        #: Total grants/waits/denials, exposed for benchmarks.
+        self.stats = {"grants": 0, "waits": 0, "denials": 0, "upgrades": 0}
+
+    # -- queries ---------------------------------------------------------------------
+
+    def holders(
+        self, obj: DataObject, mode: LockMode | None = None
+    ) -> list[Transaction]:
+        """Transactions holding a lock on ``obj`` (optionally filtered
+        to one mode)."""
+        with self._mutex:
+            grants = self._grants.get(obj, {})
+            if mode is None:
+                return list(grants)
+            return [t for t, modes in grants.items() if mode in modes]
+
+    def held_modes(self, txn: Transaction, obj: DataObject) -> set[LockMode]:
+        """Modes ``txn`` currently holds on ``obj``."""
+        with self._mutex:
+            return set(self._grants.get(obj, {}).get(txn, set()))
+
+    def holds(
+        self, txn: Transaction, obj: DataObject, mode: LockMode
+    ) -> bool:
+        """True when ``txn`` holds ``mode`` on ``obj``."""
+        return mode in self.held_modes(txn, obj)
+
+    def locked_objects(self, txn: Transaction) -> frozenset[DataObject]:
+        """Objects on which ``txn`` holds at least one lock."""
+        with self._mutex:
+            return frozenset(self._txn_objects.get(txn, set()))
+
+    def waiting_requests(self, obj: DataObject | None = None) -> list[LockRequest]:
+        """Waiting requests, globally or for one object (FIFO order)."""
+        with self._mutex:
+            if obj is not None:
+                return [r for r in self._queues.get(obj, []) if r.is_waiting]
+            out: list[LockRequest] = []
+            for queue in self._queues.values():
+                out.extend(r for r in queue if r.is_waiting)
+            return out
+
+    def waits_for_edges(self) -> Iterator[tuple[Transaction, Transaction]]:
+        """Edges ``waiter -> holder`` of the waits-for graph.
+
+        A waiter waits for every transaction holding an incompatible
+        lock on the requested object, and for incompatible waiters
+        queued ahead of it (they will be granted first under FIFO).
+        """
+        with self._mutex:
+            for obj, queue in self._queues.items():
+                waiting = [r for r in queue if r.is_waiting]
+                for position, request in enumerate(waiting):
+                    for holder, modes in self._grants.get(obj, {}).items():
+                        if holder is request.txn:
+                            continue
+                        if any(
+                            not compatible(request.mode, m) for m in modes
+                        ):
+                            yield (request.txn, holder)
+                    for ahead in waiting[:position]:
+                        if ahead.txn is request.txn:
+                            continue
+                        if not compatible(request.mode, ahead.mode):
+                            yield (request.txn, ahead.txn)
+
+    def can_grant(
+        self, txn: Transaction, obj: DataObject, mode: LockMode
+    ) -> bool:
+        """Would a request for ``mode`` on ``obj`` be granted right now?
+
+        Pure probe: no state changes, no queueing.  Used by the
+        discrete-event simulator for all-or-nothing acquisition.
+        """
+        with self._mutex:
+            grants = self._grants.get(obj, {})
+            upgrading = txn in grants
+            for holder, modes in grants.items():
+                if holder is txn:
+                    continue
+                if any(not compatible(mode, held) for held in modes):
+                    return False
+            if not upgrading:
+                for ahead in self._queues.get(obj, []):
+                    if not ahead.is_waiting or ahead.txn is txn:
+                        continue
+                    if not compatible(mode, ahead.mode):
+                        return False
+            return True
+
+    # -- acquisition --------------------------------------------------------------------
+
+    def acquire(
+        self,
+        txn: Transaction,
+        obj: DataObject,
+        mode: LockMode,
+        blocking: bool = False,
+        timeout: float | None = None,
+        on_block: Callable[[LockRequest], None] | None = None,
+    ) -> LockRequest:
+        """Request ``mode`` on ``obj`` for ``txn``.
+
+        Grant rules (classic no-barging):
+
+        * a request by a transaction already holding a lock on the
+          object is treated as an *upgrade*: checked only against other
+          holders, bypassing the queue (prevents self-deadlock);
+        * otherwise the request is granted iff it is compatible with
+          every other holder's modes and no incompatible request waits
+          ahead of it.
+
+        When ``blocking`` is true the call waits until granted, denied
+        or ``timeout``; ``on_block`` (if given) runs once after the
+        request is queued — the deadlock detector hooks in there.
+        """
+        request = LockRequest(txn, obj, mode)
+        with self._mutex:
+            if self._try_grant(request):
+                return request
+            self._queues[obj].append(request)
+            self.stats["waits"] += 1
+        if on_block is not None:
+            on_block(request)
+        if blocking:
+            status = request.wait(timeout)
+            if status is RequestStatus.WAITING:
+                self.cancel(request)
+        return request
+
+    def try_acquire(
+        self, txn: Transaction, obj: DataObject, mode: LockMode
+    ) -> bool:
+        """Non-queuing attempt: grant now or report False untouched."""
+        request = LockRequest(txn, obj, mode)
+        with self._mutex:
+            if self._try_grant(request):
+                return True
+            request.resolve(RequestStatus.DENIED)
+            self.stats["denials"] += 1
+            return False
+
+    def _try_grant(self, request: LockRequest) -> bool:
+        """Grant ``request`` if rules allow; caller holds the mutex."""
+        obj, txn, mode = request.obj, request.txn, request.mode
+        grants = self._grants[obj]
+        own = grants.get(txn, set())
+        upgrading = bool(own)
+        for holder, modes in grants.items():
+            if holder is txn:
+                continue
+            if any(not compatible(mode, held) for held in modes):
+                return False
+        if not upgrading:
+            for ahead in self._queues.get(obj, []):
+                if not ahead.is_waiting or ahead.txn is txn:
+                    continue
+                if not compatible(mode, ahead.mode):
+                    return False
+        grants.setdefault(txn, set()).add(mode)
+        self._txn_objects[txn].add(obj)
+        request.resolve(RequestStatus.GRANTED)
+        self.stats["grants"] += 1
+        if upgrading and any(is_upgrade(h, mode) for h in own):
+            self.stats["upgrades"] += 1
+        self._record(txn, obj, mode)
+        if self.audit:
+            self._audit_object(obj)
+        return True
+
+    def _record(self, txn: Transaction, obj: DataObject, mode: LockMode) -> None:
+        if mode.is_read:
+            txn.record_read(obj)
+            if self.history is not None:
+                self.history.read(txn.txn_id, obj)
+        else:
+            txn.record_write(obj)
+            if self.history is not None:
+                self.history.write(txn.txn_id, obj)
+
+    def _audit_object(self, obj: DataObject) -> None:
+        grants = self._grants.get(obj, {})
+        pairs = [
+            (t, m) for t, modes in grants.items() for m in modes
+        ]
+        for i, (txn_a, mode_a) in enumerate(pairs):
+            for txn_b, mode_b in pairs[i + 1:]:
+                if txn_a is txn_b:
+                    continue
+                if not compatible(mode_a, mode_b) and not compatible(
+                    mode_b, mode_a
+                ):
+                    raise LockError(
+                        f"compatibility invariant violated on {obj!r}: "
+                        f"{txn_a.txn_id}:{mode_a} with {txn_b.txn_id}:{mode_b}"
+                    )
+
+    # -- release ---------------------------------------------------------------------------
+
+    def release(
+        self, txn: Transaction, obj: DataObject, mode: LockMode | None = None
+    ) -> None:
+        """Release one mode (or all modes) ``txn`` holds on ``obj``."""
+        with self._mutex:
+            grants = self._grants.get(obj)
+            if not grants or txn not in grants:
+                return
+            if mode is None:
+                del grants[txn]
+            else:
+                grants[txn].discard(mode)
+                if not grants[txn]:
+                    del grants[txn]
+            if txn not in grants:
+                self._txn_objects[txn].discard(obj)
+            self._process_queue(obj)
+
+    def release_all(self, txn: Transaction) -> None:
+        """Release every lock ``txn`` holds (commit/abort epilogue —
+        both schemes hold all locks to the end, Figures 4.1/4.2)."""
+        with self._mutex:
+            for obj in list(self._txn_objects.get(txn, ())):
+                grants = self._grants.get(obj)
+                if grants is not None:
+                    grants.pop(txn, None)
+                self._process_queue(obj)
+            self._txn_objects.pop(txn, None)
+            self._cancel_requests_of(txn)
+
+    def cancel(self, request: LockRequest) -> None:
+        """Withdraw a waiting request (timeout or deadlock victim)."""
+        with self._mutex:
+            queue = self._queues.get(request.obj, [])
+            if request in queue:
+                queue.remove(request)
+            if request.is_waiting:
+                request.resolve(RequestStatus.CANCELLED)
+            self._process_queue(request.obj)
+
+    def _cancel_requests_of(self, txn: Transaction) -> None:
+        for obj, queue in self._queues.items():
+            for request in list(queue):
+                if request.txn is txn:
+                    queue.remove(request)
+                    if request.is_waiting:
+                        request.resolve(RequestStatus.CANCELLED)
+            self._process_queue(obj)
+
+    def _process_queue(self, obj: DataObject) -> None:
+        """Grant queued requests in FIFO order while compatible."""
+        queue = self._queues.get(obj)
+        if not queue:
+            return
+        still_waiting: list[LockRequest] = []
+        for request in queue:
+            if not request.is_waiting:
+                continue
+            # Temporarily empty the queue view so _try_grant's
+            # no-barging check sees only requests ahead of this one.
+            self._queues[obj] = still_waiting
+            if not self._try_grant(request):
+                still_waiting.append(request)
+        self._queues[obj] = still_waiting
+
+    # -- diagnostics ----------------------------------------------------------------------------
+
+    def grant_table(self) -> dict[DataObject, dict[str, tuple[str, ...]]]:
+        """A printable snapshot of the grant table."""
+        with self._mutex:
+            return {
+                obj: {
+                    txn.txn_id: tuple(str(m) for m in sorted(modes, key=str))
+                    for txn, modes in grants.items()
+                }
+                for obj, grants in self._grants.items()
+                if grants
+            }
+
+    def raise_deadlock(self, request: LockRequest, cycle: tuple[str, ...]) -> None:
+        """Deny ``request`` as a deadlock victim and raise."""
+        self.cancel(request)
+        raise DeadlockDetected(request.txn.txn_id, cycle)

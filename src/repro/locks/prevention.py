@@ -1,0 +1,145 @@
+"""Timestamp-based deadlock prevention: wound-wait and wait-die.
+
+Section 4.3: "the deadlock prevention, avoidance, detection or
+resolution schemes for standard 2-phase locking can be applied to our
+scheme as well."  :mod:`repro.locks.deadlock` supplies detection; this
+module supplies the two classical *prevention* disciplines, driven by
+transaction start timestamps (``Transaction.start_order``):
+
+* **wound-wait** — an *older* requester wounds (aborts) younger lock
+  holders in its way; a younger requester waits.  Preemptive; the old
+  never wait behind the young.
+* **wait-die** — an *older* requester waits; a younger requester dies
+  (aborts itself) immediately.  Non-preemptive.
+
+Both guarantee the waits-for graph stays acyclic (all edges point one
+way in timestamp order), so no deadlock can form.  Aborted-and-
+restarted transactions keep their original timestamp (the caller passes
+``retry_of``), which is what makes both schemes starvation-free.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import TransactionAborted
+from repro.locks.manager import LockManager
+from repro.locks.modes import LockMode, compatible
+from repro.txn.transaction import DataObject, Transaction
+
+#: Called to abort a wounded victim (rollback + lock release).
+AbortCallback = Callable[[Transaction, str], None]
+
+
+class Decision(enum.Enum):
+    """What a prevention policy tells the requester to do."""
+
+    WAIT = "wait"
+    DIE = "die"
+    WOUND = "wound"
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """A policy decision plus the victims to wound (WOUND only)."""
+
+    decision: Decision
+    victims: tuple[Transaction, ...] = ()
+
+
+class WoundWait:
+    """Older requester wounds younger holders; younger requester waits."""
+
+    name = "wound-wait"
+
+    def resolve(
+        self, requester: Transaction, holders: Sequence[Transaction]
+    ) -> Resolution:
+        younger = tuple(
+            h for h in holders if h.start_order > requester.start_order
+        )
+        if len(younger) == len(holders):
+            # Everyone in the way is younger: wound them all.
+            return Resolution(Decision.WOUND, younger)
+        return Resolution(Decision.WAIT)
+
+
+class WaitDie:
+    """Older requester waits; younger requester dies."""
+
+    name = "wait-die"
+
+    def resolve(
+        self, requester: Transaction, holders: Sequence[Transaction]
+    ) -> Resolution:
+        if all(requester.start_order < h.start_order for h in holders):
+            return Resolution(Decision.WAIT)
+        return Resolution(Decision.DIE)
+
+
+#: Either prevention policy.
+PreventionPolicy = WoundWait | WaitDie
+
+
+def blocking_holders(
+    manager: LockManager,
+    txn: Transaction,
+    obj: DataObject,
+    mode: LockMode,
+) -> list[Transaction]:
+    """The other transactions whose held locks block this request."""
+    blockers: list[Transaction] = []
+    for holder in manager.holders(obj):
+        if holder is txn:
+            continue
+        held = manager.held_modes(holder, obj)
+        if any(not compatible(mode, h) for h in held):
+            blockers.append(holder)
+    return blockers
+
+
+def acquire_with_prevention(
+    manager: LockManager,
+    txn: Transaction,
+    obj: DataObject,
+    mode: LockMode,
+    policy: PreventionPolicy,
+    abort_victim: AbortCallback,
+    blocking: bool = False,
+    max_wounds: int = 100,
+) -> bool:
+    """Acquire ``mode`` on ``obj`` under a prevention policy.
+
+    Returns True once granted.  Raises :class:`TransactionAborted` when
+    the policy says DIE (the caller restarts the transaction later,
+    reusing its timestamp).  On WOUND, victims are aborted through
+    ``abort_victim`` and the acquisition retries.  On WAIT the request
+    is queued with the manager (FIFO); with ``blocking`` the call
+    parks on the request (threaded engines), otherwise it returns
+    False and the request is granted later by queue processing.
+    Waiting is safe under either policy: it only happens when every
+    waits-for edge points one way in timestamp order, so no cycle can
+    close.
+    """
+    for _ in range(max_wounds):
+        if manager.try_acquire(txn, obj, mode):
+            return True
+        blockers = blocking_holders(manager, txn, obj, mode)
+        if blockers:
+            resolution = policy.resolve(txn, blockers)
+            if resolution.decision is Decision.DIE:
+                raise TransactionAborted(
+                    txn.txn_id, f"{policy.name}: younger requester dies"
+                )
+            if resolution.decision is Decision.WOUND:
+                for victim in resolution.victims:
+                    abort_victim(
+                        victim, f"{policy.name}: wounded by {txn.txn_id}"
+                    )
+                continue
+        # WAIT (or blocked only by queue fairness): enqueue.
+        request = manager.acquire(txn, obj, mode, blocking=blocking)
+        return request.is_granted
+    return False

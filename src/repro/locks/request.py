@@ -1,0 +1,90 @@
+"""Lock requests and grants.
+
+The manager keeps, per data object, the set of current grants and a
+FIFO queue of waiting requests.  Requests are first-class values so the
+deterministic simulator can observe and schedule them, and so the
+threaded engine can block on them with a condition variable.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from repro.locks.modes import LockMode
+from repro.txn.transaction import DataObject, Transaction
+
+_request_counter = itertools.count(1)
+
+
+class RequestStatus(enum.Enum):
+    """Lifecycle of a lock request."""
+
+    GRANTED = "granted"
+    WAITING = "waiting"
+    DENIED = "denied"
+    CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class LockGrant:
+    """A held lock: (transaction, object, mode)."""
+
+    txn: Transaction
+    obj: DataObject
+    mode: LockMode
+
+    def __str__(self) -> str:
+        return f"{self.txn.txn_id}:{self.mode}({self.obj!r})"
+
+
+class LockRequest:
+    """A pending or resolved request for one lock.
+
+    The threaded engine calls :meth:`wait` to block until the manager
+    resolves the request; the simulator never blocks and instead polls
+    :attr:`status` as it advances virtual time.
+    """
+
+    def __init__(
+        self, txn: Transaction, obj: DataObject, mode: LockMode
+    ) -> None:
+        self.request_id = next(_request_counter)
+        self.txn = txn
+        self.obj = obj
+        self.mode = mode
+        self.status = RequestStatus.WAITING
+        self._event = threading.Event()
+
+    # -- resolution (called by the manager) -----------------------------------------
+
+    def resolve(self, status: RequestStatus) -> None:
+        self.status = status
+        self._event.set()
+
+    # -- blocking interface (threaded engine) ----------------------------------------
+
+    def wait(self, timeout: float | None = None) -> RequestStatus:
+        """Block until resolved; returns the final status.
+
+        A ``timeout`` expiry leaves the request WAITING and returns
+        that status — the caller decides whether to cancel.
+        """
+        self._event.wait(timeout)
+        return self.status
+
+    @property
+    def is_granted(self) -> bool:
+        return self.status is RequestStatus.GRANTED
+
+    @property
+    def is_waiting(self) -> bool:
+        return self.status is RequestStatus.WAITING
+
+    def __str__(self) -> str:
+        return (
+            f"req#{self.request_id} {self.txn.txn_id}:{self.mode}"
+            f"({self.obj!r}) [{self.status.value}]"
+        )

@@ -1,0 +1,55 @@
+"""Match-phase substrate.
+
+The match phase "matches the productions against the database to
+determine the satisfied LHS's — the set of active productions (conflict
+set)" (Section 2).  Three matchers are provided:
+
+* :class:`~repro.match.naive.NaiveMatcher` — from-scratch evaluation
+  each cycle; slow but obviously correct, used as the test oracle.
+* :class:`~repro.match.rete.network.ReteMatcher` — the Rete network
+  [FORG82]: incremental, stores partial-match state (beta memories),
+  shares alpha nodes across productions.
+* :class:`~repro.match.treat.TreatMatcher` — TREAT [MIRA84]: keeps
+  alpha memories and the conflict set, recomputes joins per delta.
+* :class:`~repro.match.cond.CondRelationMatcher` — cond relations
+  [SELL88]/[RASC88]: match state as materialized database relations,
+  recomputed set-at-a-time per dirty production.
+
+All four expose the same protocol (:class:`~repro.match.base.Matcher`)
+and are interchangeable in the engine.
+"""
+
+from repro.match.base import Matcher
+from repro.match.instantiation import Instantiation
+from repro.match.conflict_set import ConflictSet, ConflictSetDelta
+from repro.match.naive import NaiveMatcher
+from repro.match.treat import TreatMatcher
+from repro.match.cond import CondRelationMatcher
+from repro.match.rete.network import ReteMatcher
+from repro.match.strategies import (
+    FifoStrategy,
+    LexStrategy,
+    MeaStrategy,
+    PriorityStrategy,
+    RandomStrategy,
+    Strategy,
+    make_strategy,
+)
+
+__all__ = [
+    "Matcher",
+    "Instantiation",
+    "ConflictSet",
+    "ConflictSetDelta",
+    "NaiveMatcher",
+    "ReteMatcher",
+    "TreatMatcher",
+    "CondRelationMatcher",
+    "Strategy",
+    "LexStrategy",
+    "MeaStrategy",
+    "PriorityStrategy",
+    "FifoStrategy",
+    "RandomStrategy",
+    "make_strategy",
+]

@@ -1,0 +1,86 @@
+"""The matcher protocol shared by naive, Rete and TREAT matchers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.lang.production import Production
+from repro.match.conflict_set import ConflictSet
+from repro.wm.memory import WorkingMemory
+
+
+@runtime_checkable
+class Matcher(Protocol):
+    """Anything that maintains a conflict set against a working memory.
+
+    Lifecycle: construct with the working memory, add productions, then
+    call :meth:`attach`.  After attaching, the matcher keeps
+    :attr:`conflict_set` consistent with the store — incrementally
+    (Rete/TREAT) or by recomputation (naive) — as WM deltas arrive.
+    """
+
+    conflict_set: ConflictSet
+
+    def add_production(self, production: Production) -> None:
+        """Register a production; may immediately create instantiations."""
+        ...
+
+    def add_productions(self, productions: Iterable[Production]) -> None:
+        """Register several productions."""
+        ...
+
+    def remove_production(self, name: str) -> None:
+        """Unregister the production called ``name`` and retract its
+        instantiations from the conflict set."""
+        ...
+
+    def attach(self) -> None:
+        """Subscribe to working-memory deltas and build initial matches."""
+        ...
+
+    def detach(self) -> None:
+        """Unsubscribe from working-memory deltas."""
+        ...
+
+
+class BaseMatcher:
+    """Shared plumbing for the concrete matchers."""
+
+    def __init__(self, memory: WorkingMemory) -> None:
+        self.memory = memory
+        self.conflict_set = ConflictSet()
+        self._productions: dict[str, Production] = {}
+        self._attached = False
+
+    @property
+    def productions(self) -> dict[str, Production]:
+        """Registered productions by name (read-mostly view)."""
+        return self._productions
+
+    def add_productions(self, productions: Iterable[Production]) -> None:
+        for production in productions:
+            self.add_production(production)
+
+    def add_production(self, production: Production) -> None:
+        raise NotImplementedError
+
+    def remove_production(self, name: str) -> None:
+        raise NotImplementedError
+
+    def attach(self) -> None:
+        if not self._attached:
+            self.memory.subscribe(self._on_delta)
+            self._attached = True
+            self.rebuild()
+
+    def detach(self) -> None:
+        if self._attached:
+            self.memory.unsubscribe(self._on_delta)
+            self._attached = False
+
+    def rebuild(self) -> None:
+        """Recompute all matches from the current store contents."""
+        raise NotImplementedError
+
+    def _on_delta(self, delta) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError

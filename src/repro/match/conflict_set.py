@@ -1,0 +1,136 @@
+"""The conflict set (the paper's *set of active productions*, ``PA``).
+
+Matchers deposit instantiation adds/removes here.  The set also keeps a
+per-cycle delta so the engine can observe exactly which instantiations
+a firing activated or deactivated — the concrete realization of the
+paper's add sets :math:`A_i^a` and delete sets :math:`A_i^d`
+(Section 3.3): "the commit of P_i adds (subtracts) the set A_i^a
+(A_i^d) to (from) the conflict set PA".
+
+Refraction (OPS5: an instantiation that has fired must not fire again)
+is supported via :meth:`ConflictSet.mark_fired`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.match.instantiation import Instantiation
+
+
+@dataclass(frozen=True)
+class ConflictSetDelta:
+    """Instantiations added and removed since the delta was opened."""
+
+    added: frozenset[Instantiation]
+    removed: frozenset[Instantiation]
+
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+
+class ConflictSet:
+    """A mutable set of instantiations with delta tracking."""
+
+    def __init__(self) -> None:
+        self._members: dict[Instantiation, Instantiation] = {}
+        self._fired: set[Instantiation] = set()
+        self._added: set[Instantiation] = set()
+        self._removed: set[Instantiation] = set()
+
+    # -- mutation (called by matchers) ---------------------------------------------
+
+    def add(self, instantiation: Instantiation) -> bool:
+        """Insert; returns False when already present."""
+        if instantiation in self._members:
+            return False
+        self._members[instantiation] = instantiation
+        if instantiation in self._removed:
+            self._removed.discard(instantiation)
+        else:
+            self._added.add(instantiation)
+        return True
+
+    def remove(self, instantiation: Instantiation) -> bool:
+        """Delete; returns False when absent.  Clears refraction state."""
+        if instantiation not in self._members:
+            return False
+        del self._members[instantiation]
+        self._fired.discard(instantiation)
+        if instantiation in self._added:
+            self._added.discard(instantiation)
+        else:
+            self._removed.add(instantiation)
+        return True
+
+    def clear(self) -> None:
+        """Remove everything (used when a matcher rebuilds from scratch)."""
+        for instantiation in list(self._members):
+            self.remove(instantiation)
+
+    # -- refraction -------------------------------------------------------------------
+
+    def mark_fired(self, instantiation: Instantiation) -> None:
+        """Record that ``instantiation`` has fired (refraction)."""
+        self._fired.add(instantiation)
+
+    def has_fired(self, instantiation: Instantiation) -> bool:
+        """True when the instantiation fired and still lingers in the set."""
+        return instantiation in self._fired
+
+    def eligible(self) -> list[Instantiation]:
+        """Members that have not fired — the candidates for *select*."""
+        return [m for m in self._members if m not in self._fired]
+
+    # -- delta tracking ------------------------------------------------------------------
+
+    def take_delta(self) -> ConflictSetDelta:
+        """Return and reset the accumulated delta.
+
+        The returned delta is exactly (A^a, A^d) of the firings since
+        the previous call.
+        """
+        delta = ConflictSetDelta(
+            frozenset(self._added), frozenset(self._removed)
+        )
+        self._added.clear()
+        self._removed.clear()
+        return delta
+
+    def peek_delta(self) -> ConflictSetDelta:
+        """The accumulated delta, without resetting it."""
+        return ConflictSetDelta(
+            frozenset(self._added), frozenset(self._removed)
+        )
+
+    # -- queries --------------------------------------------------------------------------
+
+    def __contains__(self, instantiation: object) -> bool:
+        return instantiation in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[Instantiation]:
+        return iter(list(self._members))
+
+    def members(self) -> frozenset[Instantiation]:
+        """An immutable view of the current membership."""
+        return frozenset(self._members)
+
+    def rule_names(self) -> frozenset[str]:
+        """Names of productions with at least one active instantiation.
+
+        This is the paper's production-level view of ``PA`` (its
+        examples track rule names, not instantiations).
+        """
+        return frozenset(m.production.name for m in self._members)
+
+    def for_rule(self, name: str) -> list[Instantiation]:
+        """All active instantiations of the production called ``name``."""
+        return [m for m in self._members if m.production.name == name]
+
+    def is_empty(self) -> bool:
+        """Empty conflict set — the termination condition of Section 2."""
+        return not self._members

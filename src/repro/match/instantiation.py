@@ -1,0 +1,104 @@
+"""Instantiations: a production paired with the WMEs that satisfy it.
+
+The conflict set contains *instantiations*, not bare productions: the
+same rule can be active several times against different data.  An
+instantiation records the matched WMEs (one per positive condition
+element, in LHS order) and the variable bindings the match produced.
+
+Instantiations are value objects — equality is (production name,
+matched timetags) — so the conflict set can diff cheaply across cycles
+and the refraction rule ("don't fire the same instantiation twice") is
+a set-membership test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.lang.production import Production
+from repro.wm.element import Scalar, WME
+
+
+@dataclass(frozen=True)
+class Instantiation:
+    """One satisfied LHS.
+
+    Parameters
+    ----------
+    production:
+        The matched rule.
+    wmes:
+        The WMEs matched by the *positive* condition elements, in LHS
+        order (negated elements match absence, so contribute no WME).
+    bindings:
+        Variable bindings established by the match, stored as a sorted
+        tuple of pairs for hashability.
+    """
+
+    production: Production
+    wmes: tuple[WME, ...]
+    bindings_items: tuple[tuple[str, Scalar], ...] = field(default=())
+
+    @staticmethod
+    def build(
+        production: Production,
+        wmes: tuple[WME, ...],
+        bindings: Mapping[str, Scalar],
+    ) -> "Instantiation":
+        return Instantiation(
+            production, wmes, tuple(sorted(bindings.items()))
+        )
+
+    @property
+    def bindings(self) -> dict[str, Scalar]:
+        """The variable bindings as a fresh dict."""
+        return dict(self.bindings_items)
+
+    @property
+    def rule_name(self) -> str:
+        """The name of the matched production."""
+        return self.production.name
+
+    def timetags(self) -> tuple[int, ...]:
+        """Timetags of the matched WMEs, in LHS order."""
+        return tuple(w.timetag for w in self.wmes)
+
+    def recency_key(self) -> tuple[int, ...]:
+        """Timetags sorted descending — the LEX recency ordering.
+
+        LEX compares instantiations by their sorted-descending timetag
+        vectors, lexicographically; larger means more recent, i.e.
+        preferred.
+        """
+        return tuple(sorted((w.timetag for w in self.wmes), reverse=True))
+
+    def mea_key(self) -> tuple[int, ...]:
+        """MEA ordering key: first-element recency, then LEX.
+
+        MEA gives absolute priority to the recency of the WME matching
+        the *first* condition element (the "means-ends" goal element),
+        breaking ties with LEX.
+        """
+        first = self.wmes[0].timetag if self.wmes else 0
+        return (first, *self.recency_key())
+
+    def mentions(self, wme: WME) -> bool:
+        """True when ``wme`` is one of the matched elements."""
+        return any(w.timetag == wme.timetag for w in self.wmes)
+
+    def identity(self) -> tuple[str, tuple[int, ...]]:
+        """Equality/hashing identity: rule name + matched timetags."""
+        return (self.production.name, self.timetags())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instantiation):
+            return NotImplemented
+        return self.identity() == other.identity()
+
+    def __hash__(self) -> int:
+        return hash(self.identity())
+
+    def __str__(self) -> str:
+        tags = ",".join(str(t) for t in self.timetags())
+        return f"{self.production.name}[{tags}]"

@@ -1,0 +1,100 @@
+"""Alpha network: constant tests and alpha memories.
+
+The alpha network filters WMEs by the tests that need no variable
+context — relation name, constant equalities, constant predicates.
+One :class:`AlphaMemory` exists per distinct
+:meth:`~repro.lang.ast.ConditionElement.alpha_key`, shared across every
+production (and across positive/negated uses), implementing Rete's
+"sharing of common subexpressions among LHS's of different
+productions".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lang.ast import ConditionElement
+from repro.wm.element import WME
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.match.rete.nodes import RightActivatable
+
+
+class AlphaMemory:
+    """Stores the WMEs passing one alpha pattern.
+
+    ``successors`` are the join/negative nodes reading this memory;
+    they are right-activated on every add/remove.
+    """
+
+    def __init__(self, pattern: ConditionElement) -> None:
+        # The pattern is stored stripped of variable tests: only the
+        # relation/constant part matters here; variable tests are
+        # evaluated by the join nodes.
+        self.pattern = pattern
+        self.items: dict[int, WME] = {}
+        self.successors: list["RightActivatable"] = []
+
+    def accepts(self, wme: WME) -> bool:
+        """Constant-test check for ``wme``."""
+        return self.pattern.alpha_matches(wme)
+
+    def activate(self, wme: WME) -> None:
+        """Insert ``wme`` and right-activate the successors."""
+        self.items[wme.timetag] = wme
+        for successor in list(self.successors):
+            successor.on_wme_added(wme)
+
+    def deactivate(self, wme: WME) -> None:
+        """Remove ``wme`` and notify successors of the retraction."""
+        if self.items.pop(wme.timetag, None) is not None:
+            for successor in list(self.successors):
+                successor.on_wme_removed(wme)
+
+    def __iter__(self) -> Iterator[WME]:
+        return iter(list(self.items.values()))
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __contains__(self, wme: object) -> bool:
+        return isinstance(wme, WME) and wme.timetag in self.items
+
+
+class AlphaNetwork:
+    """The set of alpha memories, keyed for sharing."""
+
+    def __init__(self) -> None:
+        self._memories: dict[tuple, AlphaMemory] = {}
+
+    def build_or_share(self, element: ConditionElement) -> AlphaMemory:
+        """Return the alpha memory for ``element``'s constant pattern.
+
+        Creates it on first use.  The caller is responsible for
+        back-filling a newly created memory from the live store (the
+        network does not know the store).
+        """
+        key = element.alpha_key()
+        memory = self._memories.get(key)
+        if memory is None:
+            memory = AlphaMemory(element)
+            self._memories[key] = memory
+        return memory
+
+    def add_wme(self, wme: WME) -> None:
+        """Route an added WME to every accepting alpha memory."""
+        for memory in self._memories.values():
+            if memory.accepts(wme):
+                memory.activate(wme)
+
+    def remove_wme(self, wme: WME) -> None:
+        """Route a removed WME to every memory holding it."""
+        for memory in self._memories.values():
+            memory.deactivate(wme)
+
+    def __len__(self) -> int:
+        return len(self._memories)
+
+    def memories(self) -> list[AlphaMemory]:
+        """All alpha memories (stable order not guaranteed)."""
+        return list(self._memories.values())

@@ -1,0 +1,147 @@
+"""The :class:`ReteMatcher` facade over the alpha and beta networks.
+
+Building a production's network walks its LHS left to right, sharing
+alpha memories globally (by constant pattern) and beta nodes by
+(parent, element) — so two rules with a common LHS prefix share the
+whole prefix, Rete's second key property from Section 2.
+"""
+
+from __future__ import annotations
+
+from repro.lang.production import Production
+from repro.match.base import BaseMatcher
+from repro.match.rete.alpha import AlphaNetwork
+from repro.match.rete.nodes import (
+    DummyTopNode,
+    JoinNode,
+    NegativeNode,
+    NetworkState,
+    ProductionNode,
+    TokenStore,
+)
+from repro.wm.memory import WMDelta, WorkingMemory
+
+
+class ReteMatcher(BaseMatcher):
+    """Incremental matcher implementing the :class:`Matcher` protocol.
+
+    Statistics useful to benchmarks are exposed as attributes:
+    ``activation_count`` (alpha activations processed) and the node
+    counts via :meth:`stats`.
+    """
+
+    def __init__(self, memory: WorkingMemory) -> None:
+        super().__init__(memory)
+        self.state = NetworkState()
+        self.alpha = AlphaNetwork()
+        self.top = DummyTopNode(self.state)
+        self._pnodes: dict[str, ProductionNode] = {}
+        self._shared_nodes: dict[tuple, JoinNode | NegativeNode] = {}
+        self.activation_count = 0
+
+    # -- production management ------------------------------------------------------
+
+    def add_production(self, production: Production) -> None:
+        """Compile ``production`` into the network.
+
+        If the matcher is attached, newly created alpha memories are
+        back-filled from the live store, so existing WMEs immediately
+        produce instantiations.
+        """
+        if production.name in self._pnodes:
+            self.remove_production(production.name)
+        self._productions[production.name] = production
+        current: TokenStore = self.top
+        for element in production.lhs:
+            alpha = self.alpha.build_or_share(element)
+            fresh_alpha = len(alpha) == 0 and self._attached
+            if fresh_alpha:
+                self._backfill(alpha)
+            share_key = (id(current), element, element.negated)
+            shared = self._shared_nodes.get(share_key)
+            if shared is not None:
+                current = (
+                    shared.memory
+                    if isinstance(shared, JoinNode)
+                    else shared
+                )
+                continue
+            if element.negated:
+                negative = NegativeNode(self.state, current, alpha, element)
+                self._shared_nodes[share_key] = negative
+                self._prime(negative)
+                current = negative
+            else:
+                join = JoinNode(self.state, current, alpha, element)
+                self._shared_nodes[share_key] = join
+                self._prime(join)
+                current = join.memory
+        pnode = ProductionNode(
+            self.state, current, production, self.conflict_set
+        )
+        self._pnodes[production.name] = pnode
+        self._prime(pnode)
+
+    def remove_production(self, name: str) -> None:
+        """Retract the rule's instantiations and deactivate its p-node.
+
+        Simplification: interior nodes are left in place (they are
+        shared and cheap); only the production node is deactivated.
+        """
+        self._productions.pop(name, None)
+        pnode = self._pnodes.pop(name, None)
+        if pnode is not None:
+            pnode.retract_all()
+            try:
+                pnode.parent.children.remove(pnode)
+            except ValueError:
+                pass
+
+    # -- wiring ------------------------------------------------------------------------
+
+    def _backfill(self, alpha) -> None:
+        """Populate a brand-new alpha memory from the live store."""
+        for wme in self.memory.elements(alpha.pattern.relation):
+            if alpha.accepts(wme):
+                alpha.items[wme.timetag] = wme
+
+    def _prime(self, node) -> None:
+        """Feed a freshly created node its parent's existing tokens."""
+        parent: TokenStore = node.parent
+        for token in list(parent.tokens):
+            if isinstance(parent, NegativeNode) and token.is_blocked():
+                continue
+            node.on_token_added(token)
+
+    def rebuild(self) -> None:
+        """(Re)build all matches from the current store contents.
+
+        Called by :meth:`attach`; also usable to recover after direct
+        state manipulation in tests.
+        """
+        for wme in self.memory:
+            self.alpha.add_wme(wme)
+
+    def _on_delta(self, delta: WMDelta) -> None:
+        self.activation_count += 1
+        if delta.kind == "add":
+            self.alpha.add_wme(delta.wme)
+        else:
+            self.alpha.remove_wme(delta.wme)
+            self.state.retract_wme(delta.wme)
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Node and memory counts, for benchmarks and debugging."""
+        joins = sum(
+            1 for n in self._shared_nodes.values() if isinstance(n, JoinNode)
+        )
+        negatives = len(self._shared_nodes) - joins
+        return {
+            "alpha_memories": len(self.alpha),
+            "join_nodes": joins,
+            "negative_nodes": negatives,
+            "production_nodes": len(self._pnodes),
+            "activations": self.activation_count,
+        }

@@ -1,0 +1,373 @@
+"""Beta part of the Rete network: tokens and node classes.
+
+The design follows Doorenbos' formulation ("Production Matching for
+Large Learning Systems") adapted to carry explicit variable-binding
+dictionaries in tokens, which lets join tests reuse
+:meth:`~repro.lang.ast.ConditionElement.beta_matches` directly.
+
+Node taxonomy
+-------------
+*Token-storing nodes* hold :class:`Token` objects and feed child
+*activatable* nodes:
+
+* :class:`BetaMemory` — plain storage of partial matches.
+* :class:`NegativeNode` — stores tokens annotated with the WMEs that
+  currently *block* them (match the negated pattern); a token is
+  propagated downstream only while unblocked.
+
+*Activatable nodes* react to token/WME arrivals:
+
+* :class:`JoinNode` — joins its parent's tokens with an alpha memory.
+* :class:`NegativeNode` (doubles as both kinds).
+* :class:`ProductionNode` — terminal; converts full tokens into
+  conflict-set instantiations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol
+
+from repro.lang.ast import ConditionElement
+from repro.lang.production import Production
+from repro.match.conflict_set import ConflictSet
+from repro.match.instantiation import Instantiation
+from repro.match.rete.alpha import AlphaMemory
+from repro.wm.element import Scalar, WME
+
+
+class Token:
+    """One partial match: a path of WMEs through the join chain.
+
+    ``wme`` is ``None`` for tokens created by negative nodes (absence
+    contributes no element) and for the dummy root token.
+    """
+
+    __slots__ = (
+        "parent",
+        "wme",
+        "bindings",
+        "node",
+        "children",
+        "blockers",
+        "instantiation",
+    )
+
+    def __init__(
+        self,
+        parent: "Token | None",
+        wme: WME | None,
+        bindings: dict[str, Scalar],
+        node: "TokenStore | ProductionNode | None",
+    ) -> None:
+        self.parent = parent
+        self.wme = wme
+        self.bindings = bindings
+        self.node = node
+        self.children: list[Token] = []
+        #: WMEs currently matching a negated pattern (NegativeNode only).
+        self.blockers: dict[int, WME] = {}
+        #: Instantiation emitted for this token (ProductionNode only).
+        self.instantiation: Instantiation | None = None
+        if parent is not None:
+            parent.children.append(self)
+
+    def wmes(self) -> tuple[WME, ...]:
+        """The positive-element WMEs along the path, in LHS order."""
+        path: list[WME] = []
+        token: Token | None = self
+        while token is not None:
+            if token.wme is not None:
+                path.append(token.wme)
+            token = token.parent
+        path.reverse()
+        return tuple(path)
+
+    def is_blocked(self) -> bool:
+        return bool(self.blockers)
+
+
+class RightActivatable(Protocol):
+    """Nodes fed by an alpha memory (its ``successors``)."""
+
+    def on_wme_added(self, wme: WME) -> None: ...
+
+    def on_wme_removed(self, wme: WME) -> None: ...
+
+
+class Activatable(Protocol):
+    """Nodes fed by a token-storing parent."""
+
+    def on_token_added(self, token: Token) -> None: ...
+
+
+class TokenStore:
+    """Base for nodes that store tokens (beta memories, negative nodes)."""
+
+    def __init__(self, network: "NetworkState") -> None:
+        self.network = network
+        self.tokens: list[Token] = []
+        self.children: list[Activatable] = []
+
+    def _store(self, token: Token) -> None:
+        self.tokens.append(token)
+        self.network.register_token(token)
+
+    def remove_token(self, token: Token) -> None:
+        """Unlink ``token`` from this store (deletion bookkeeping)."""
+        try:
+            self.tokens.remove(token)
+        except ValueError:
+            pass
+
+    def propagate(self, token: Token) -> None:
+        for child in list(self.children):
+            child.on_token_added(token)
+
+
+class DummyTopNode(TokenStore):
+    """Holds the single root token every match path starts from."""
+
+    def __init__(self, network: "NetworkState") -> None:
+        super().__init__(network)
+        self.root = Token(None, None, {}, self)
+        self.tokens.append(self.root)
+
+
+class BetaMemory(TokenStore):
+    """Stores the output tokens of one join node."""
+
+    def add_match(
+        self, parent: Token, wme: WME, bindings: dict[str, Scalar]
+    ) -> None:
+        token = Token(parent, wme, bindings, self)
+        self._store(token)
+        self.propagate(token)
+
+
+class JoinNode:
+    """Joins the parent store's tokens with an alpha memory.
+
+    The join test is the condition element's variable tests/predicates,
+    evaluated against each token's accumulated bindings.
+    """
+
+    def __init__(
+        self,
+        network: "NetworkState",
+        parent: TokenStore,
+        alpha: AlphaMemory,
+        element: ConditionElement,
+    ) -> None:
+        self.network = network
+        self.parent = parent
+        self.alpha = alpha
+        self.element = element
+        self.memory = BetaMemory(network)
+        parent.children.append(self)
+        alpha.successors.append(self)
+
+    # -- activations -----------------------------------------------------------
+
+    def on_token_added(self, token: Token) -> None:
+        for wme in self.alpha:
+            extended = self.element.beta_matches(wme, token.bindings)
+            if extended is not None:
+                self.memory.add_match(token, wme, extended)
+
+    def on_wme_added(self, wme: WME) -> None:
+        for token in list(self.parent.tokens):
+            if isinstance(self.parent, NegativeNode) and token.is_blocked():
+                continue
+            extended = self.element.beta_matches(wme, token.bindings)
+            if extended is not None:
+                self.memory.add_match(token, wme, extended)
+
+    def on_wme_removed(self, wme: WME) -> None:
+        # Token deletion is driven centrally by the network via the
+        # wme -> tokens map; nothing to do at the join itself.
+        return None
+
+    def share_key(self) -> tuple:
+        """Key for beta-level sharing of identical consecutive joins."""
+        return (id(self.parent), self.element, False)
+
+
+class NegativeNode(TokenStore):
+    """Negated condition element: token passes while *no* WME matches.
+
+    Stores its own tokens (wme=None) whose ``blockers`` record the
+    currently matching WMEs.  A blocked token keeps its storage but has
+    no downstream children; unblocking re-propagates it.
+    """
+
+    def __init__(
+        self,
+        network: "NetworkState",
+        parent: TokenStore,
+        alpha: AlphaMemory,
+        element: ConditionElement,
+    ) -> None:
+        super().__init__(network)
+        self.parent = parent
+        self.alpha = alpha
+        self.element = element
+        parent.children.append(self)
+        alpha.successors.append(self)
+
+    # -- left activation ----------------------------------------------------------
+
+    def on_token_added(self, token: Token) -> None:
+        own = Token(token, None, dict(token.bindings), self)
+        self._store(own)
+        for wme in self.alpha:
+            if self.element.beta_matches(wme, own.bindings) is not None:
+                own.blockers[wme.timetag] = wme
+                self.network.register_blocker(wme, own)
+        if not own.is_blocked():
+            self.propagate(own)
+
+    # -- right activations -----------------------------------------------------------
+
+    def on_wme_added(self, wme: WME) -> None:
+        for token in list(self.tokens):
+            if self.element.beta_matches(wme, token.bindings) is None:
+                continue
+            was_blocked = token.is_blocked()
+            token.blockers[wme.timetag] = wme
+            self.network.register_blocker(wme, token)
+            if not was_blocked:
+                # Newly blocked: retract everything downstream of the
+                # token, but keep the token itself.
+                self.network.delete_descendants(token)
+
+    def on_wme_removed(self, wme: WME) -> None:
+        for token in self.network.take_blocked_tokens(wme, owner=self):
+            token.blockers.pop(wme.timetag, None)
+            if not token.is_blocked():
+                self.propagate(token)
+
+    def share_key(self) -> tuple:
+        return (id(self.parent), self.element, True)
+
+
+class ProductionNode:
+    """Terminal node: full tokens become conflict-set instantiations."""
+
+    def __init__(
+        self,
+        network: "NetworkState",
+        parent: TokenStore,
+        production: Production,
+        conflict_set: ConflictSet,
+    ) -> None:
+        self.network = network
+        self.parent = parent
+        self.production = production
+        self.conflict_set = conflict_set
+        self.active = True
+        parent.children.append(self)
+
+    def on_token_added(self, token: Token) -> None:
+        if not self.active:
+            return
+        own = Token(token, None, token.bindings, self)
+        self.network.register_token(own)
+        own.instantiation = Instantiation.build(
+            self.production, token.wmes(), token.bindings
+        )
+        self.conflict_set.add(own.instantiation)
+
+    def remove_token(self, token: Token) -> None:
+        if token.instantiation is not None:
+            self.conflict_set.remove(token.instantiation)
+            token.instantiation = None
+
+    def retract_all(self) -> None:
+        """Deactivate and retract every live instantiation of this rule."""
+        self.active = False
+        for instantiation in self.conflict_set.for_rule(self.production.name):
+            self.conflict_set.remove(instantiation)
+
+
+class NetworkState:
+    """Shared deletion bookkeeping for one Rete network.
+
+    Maintains the maps that make WME retraction O(affected matches):
+
+    * ``tokens_by_wme`` — tokens whose own WME is the retracted one,
+    * ``blocked_by_wme`` — negative-node tokens blocked by it.
+    """
+
+    def __init__(self) -> None:
+        self._tokens_by_wme: dict[int, list[Token]] = {}
+        self._blocked_by_wme: dict[int, list[Token]] = {}
+
+    # -- registration -------------------------------------------------------------
+
+    def register_token(self, token: Token) -> None:
+        if token.wme is not None:
+            self._tokens_by_wme.setdefault(token.wme.timetag, []).append(
+                token
+            )
+
+    def register_blocker(self, wme: WME, token: Token) -> None:
+        self._blocked_by_wme.setdefault(wme.timetag, []).append(token)
+
+    def take_blocked_tokens(
+        self, wme: WME, owner: "TokenStore | None" = None
+    ) -> list[Token]:
+        """Remove and return tokens blocked by ``wme``.
+
+        When ``owner`` is given, only tokens stored in that node are
+        taken; others stay registered (several negative nodes can share
+        one alpha memory).
+        """
+        waiting = self._blocked_by_wme.get(wme.timetag)
+        if not waiting:
+            return []
+        if owner is None:
+            del self._blocked_by_wme[wme.timetag]
+            return waiting
+        taken = [t for t in waiting if t.node is owner]
+        remaining = [t for t in waiting if t.node is not owner]
+        if remaining:
+            self._blocked_by_wme[wme.timetag] = remaining
+        else:
+            del self._blocked_by_wme[wme.timetag]
+        return taken
+
+    # -- deletion -------------------------------------------------------------------
+
+    def retract_wme(self, wme: WME) -> None:
+        """Delete every token rooted at ``wme`` (called after the alpha
+        network has processed the removal)."""
+        for token in self._tokens_by_wme.pop(wme.timetag, []):
+            self.delete_token(token)
+
+    def delete_token(self, token: Token) -> None:
+        """Delete ``token`` and its whole subtree."""
+        self.delete_descendants(token)
+        if token.parent is not None:
+            try:
+                token.parent.children.remove(token)
+            except ValueError:
+                pass
+        if token.node is not None:
+            token.node.remove_token(token)
+        for blocker_tag in list(token.blockers):
+            waiting = self._blocked_by_wme.get(blocker_tag)
+            if waiting and token in waiting:
+                waiting.remove(token)
+        if token.wme is not None:
+            siblings = self._tokens_by_wme.get(token.wme.timetag)
+            if siblings and token in siblings:
+                siblings.remove(token)
+
+    def delete_descendants(self, token: Token) -> None:
+        """Delete the children subtrees of ``token``, keeping ``token``."""
+        while token.children:
+            self.delete_token(token.children[-1])
+
+    def __iter__(self) -> Iterator[Token]:  # pragma: no cover - debug aid
+        for tokens in self._tokens_by_wme.values():
+            yield from tokens

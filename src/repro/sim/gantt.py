@@ -1,0 +1,130 @@
+"""Execution traces and ASCII Gantt charts.
+
+Figures 5.1-5.4 are processor-versus-time charts of production
+executions (with aborted executions marked).  :class:`ExecutionTrace`
+records the same information from a simulation and renders it as an
+ASCII chart, which the benchmark harness prints next to the paper's
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Segment outcomes.
+COMMITTED = "committed"
+ABORTED = "aborted"
+BLOCKED = "blocked"
+
+
+@dataclass(frozen=True)
+class TraceSegment:
+    """One interval of work: ``task`` ran on ``processor`` over
+    [start, end) and ended with ``outcome``."""
+
+    processor: int
+    task: str
+    start: float
+    end: float
+    outcome: str = COMMITTED
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __str__(self) -> str:
+        return (
+            f"cpu{self.processor}: {self.task} "
+            f"[{self.start:g},{self.end:g}) {self.outcome}"
+        )
+
+
+class ExecutionTrace:
+    """An append-only list of trace segments with rendering helpers."""
+
+    def __init__(self) -> None:
+        self.segments: list[TraceSegment] = []
+
+    def record(
+        self,
+        processor: int,
+        task: str,
+        start: float,
+        end: float,
+        outcome: str = COMMITTED,
+    ) -> None:
+        self.segments.append(
+            TraceSegment(processor, task, start, end, outcome)
+        )
+
+    # -- aggregate views --------------------------------------------------------------
+
+    def makespan(self) -> float:
+        """Completion time of the last *committed* work."""
+        committed = [s.end for s in self.segments if s.outcome == COMMITTED]
+        return max(committed, default=0.0)
+
+    def wasted_time(self) -> float:
+        """Total time spent in segments that ended aborted.
+
+        Example 5.1's "contribution from the partial executions of all
+        productions that started executing but were aborted".
+        """
+        return sum(
+            s.duration for s in self.segments if s.outcome == ABORTED
+        )
+
+    def busy_time(self) -> float:
+        """Total processor-seconds of work (committed + wasted)."""
+        return sum(s.duration for s in self.segments)
+
+    def by_processor(self) -> dict[int, list[TraceSegment]]:
+        out: dict[int, list[TraceSegment]] = {}
+        for segment in sorted(self.segments, key=lambda s: s.start):
+            out.setdefault(segment.processor, []).append(segment)
+        return out
+
+    def outcomes(self) -> dict[str, str]:
+        """Final outcome per task (last segment wins)."""
+        result: dict[str, str] = {}
+        for segment in sorted(self.segments, key=lambda s: s.end):
+            result[segment.task] = segment.outcome
+        return result
+
+    # -- rendering -----------------------------------------------------------------------
+
+    def render(self, width: int = 60) -> str:
+        """ASCII Gantt chart, one row per processor.
+
+        Committed work renders as ``=``, aborted as ``x``, waiting as
+        ``.``; each segment is labelled with its task at the start.
+        """
+        horizon = max((s.end for s in self.segments), default=0.0)
+        if horizon <= 0:
+            return "(empty trace)"
+        scale = width / horizon
+        lines: list[str] = [
+            f"time: 0 {' ' * (width - 12)} {horizon:g}"
+        ]
+        fill = {COMMITTED: "=", ABORTED: "x", BLOCKED: "."}
+        for processor, segments in sorted(self.by_processor().items()):
+            row = [" "] * width
+            for segment in segments:
+                lo = int(segment.start * scale)
+                hi = max(lo + 1, int(segment.end * scale))
+                for i in range(lo, min(hi, width)):
+                    row[i] = fill.get(segment.outcome, "?")
+                label = segment.task[: max(0, hi - lo)]
+                for offset, ch in enumerate(label):
+                    if lo + offset < width:
+                        row[lo + offset] = ch
+            lines.append(f"cpu{processor} |{''.join(row)}|")
+        lines.append("legend: name+'='*run committed, 'x' aborted")
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterable[TraceSegment]:
+        return iter(self.segments)
+
+    def __len__(self) -> int:
+        return len(self.segments)

@@ -1,0 +1,86 @@
+"""Speedup and utilization accounting (Section 5's quantities)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SimulationError
+
+
+def speedup(single_thread_time: float, multi_thread_time: float) -> float:
+    """``T_single / T_multi`` — "Speedup is the ratio of the execution
+    times of the single thread mechanism to that of the multiple thread
+    mechanism" (Section 5)."""
+    if multi_thread_time <= 0:
+        raise SimulationError(
+            f"multi-thread time must be positive, got {multi_thread_time}"
+        )
+    return single_thread_time / multi_thread_time
+
+
+def utilization(
+    busy_time: float, makespan: float, processors: int
+) -> float:
+    """Fraction of processor-time spent doing (any) work."""
+    capacity = makespan * processors
+    if capacity <= 0:
+        return 0.0
+    return min(1.0, busy_time / capacity)
+
+
+def efficiency(speedup_value: float, processors: int) -> float:
+    """Speedup per processor — how much of linear scaling was achieved."""
+    if processors < 1:
+        raise SimulationError(f"need >= 1 processor, got {processors}")
+    return speedup_value / processors
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep, as printed by the benchmarks."""
+
+    parameter: float
+    single_time: float
+    multi_time: float
+
+    @property
+    def speedup(self) -> float:
+        return speedup(self.single_time, self.multi_time)
+
+    def row(self) -> str:
+        return (
+            f"{self.parameter:>10.3g} {self.single_time:>10.3g} "
+            f"{self.multi_time:>10.3g} {self.speedup:>9.3f}"
+        )
+
+
+def sweep_table(
+    title: str,
+    parameter_name: str,
+    points: Sequence[SweepPoint],
+) -> str:
+    """Render a sweep as the aligned table the benchmarks print."""
+    header = (
+        f"{parameter_name:>10} {'T_single':>10} {'T_multi':>10} "
+        f"{'speedup':>9}"
+    )
+    lines = [title, header, "-" * len(header)]
+    lines.extend(point.row() for point in points)
+    return "\n".join(lines)
+
+
+def monotone_fraction(values: Sequence[float], decreasing: bool = True) -> float:
+    """Fraction of adjacent pairs ordered the expected way.
+
+    The paper's shape claims ("speedup decreases with conflict") are
+    statistical over random workloads; benchmarks report this fraction
+    rather than asserting strict monotonicity.
+    """
+    if len(values) < 2:
+        return 1.0
+    good = 0
+    for left, right in zip(values, values[1:]):
+        if (right <= left + 1e-12) if decreasing else (right >= left - 1e-12):
+            good += 1
+    return good / (len(values) - 1)

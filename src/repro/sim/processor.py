@@ -1,0 +1,73 @@
+"""The ``Np``-processor pool.
+
+Section 5 varies the number of available processors (``Np``) and
+observes the effect on speedup (Figure 5.4).  The pool hands the
+lowest-numbered free processor to each request — the deterministic
+policy under which the simulator reproduces the paper's schedules.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class ProcessorPool:
+    """Tracks which of ``count`` processors is running which task."""
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise SimulationError(f"need at least one processor, got {count}")
+        self.count = count
+        self._running: dict[int, str] = {}
+
+    # -- allocation ----------------------------------------------------------------
+
+    def acquire(self, task: str) -> int:
+        """Assign ``task`` to the lowest-numbered free processor.
+
+        Raises when none is free; callers should check
+        :meth:`has_free` first (the scheduler queues otherwise).
+        """
+        for processor in range(self.count):
+            if processor not in self._running:
+                self._running[processor] = task
+                return processor
+        raise SimulationError(f"no free processor for {task}")
+
+    def release(self, processor: int) -> str:
+        """Free ``processor``; returns the task it was running."""
+        try:
+            return self._running.pop(processor)
+        except KeyError:
+            raise SimulationError(
+                f"processor {processor} was not busy"
+            ) from None
+
+    def release_task(self, task: str) -> int | None:
+        """Free whichever processor runs ``task`` (abort path)."""
+        for processor, running in self._running.items():
+            if running == task:
+                del self._running[processor]
+                return processor
+        return None
+
+    # -- queries --------------------------------------------------------------------
+
+    def has_free(self) -> bool:
+        return len(self._running) < self.count
+
+    def free_count(self) -> int:
+        return self.count - len(self._running)
+
+    def busy_count(self) -> int:
+        return len(self._running)
+
+    def running(self) -> dict[int, str]:
+        """Snapshot of processor -> task."""
+        return dict(self._running)
+
+    def processor_of(self, task: str) -> int | None:
+        for processor, running in self._running.items():
+            if running == task:
+                return processor
+        return None

@@ -1,0 +1,30 @@
+"""Transaction substrate.
+
+Section 4.2: "Executing the productions in parallel is similar to
+concurrent execution of transactions in a DBMS environment."  This
+package models one production firing as a transaction — with a read
+set, a write set, an operation history and a commit/abort outcome — and
+provides the classical conflict-serializability checker (precedence
+graph, [PAPA86]) that the correctness tests apply to every history the
+lock schemes produce.
+"""
+
+from repro.txn.transaction import Transaction, TxnState
+from repro.txn.schedule import History, Operation
+from repro.txn.serializability import (
+    conflicts,
+    is_conflict_serializable,
+    precedence_graph,
+    serialization_orders,
+)
+
+__all__ = [
+    "Transaction",
+    "TxnState",
+    "Operation",
+    "History",
+    "conflicts",
+    "precedence_graph",
+    "is_conflict_serializable",
+    "serialization_orders",
+]

@@ -1,0 +1,149 @@
+"""Transactions: a production firing's unit of atomicity.
+
+A :class:`Transaction` tracks the data objects read and written, the
+locks held (as opaque tags owned by the lock manager), and its state.
+The Rc/Ra/Wa scheme needs transactions to support *abort with rollback*
+(a committing ``Wa`` holder forces conflicting ``Rc`` holders to
+abort), which the engine implements by pairing each transaction with a
+:class:`~repro.wm.undo.UndoLog`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.errors import TransactionError
+
+#: A lockable data object (see :func:`repro.wm.element.data_object_key`).
+DataObject = Hashable
+
+_txn_counter = itertools.count(1)
+
+
+class TxnState(enum.Enum):
+    """Lifecycle of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """One production firing as a transaction.
+
+    Parameters
+    ----------
+    txn_id:
+        Unique identifier; auto-assigned when omitted.
+    rule_name:
+        The production being fired, for diagnostics and the semantic-
+        consistency checker.
+    """
+
+    txn_id: str = ""
+    rule_name: str = ""
+    state: TxnState = TxnState.ACTIVE
+    read_set: set[DataObject] = field(default_factory=set)
+    write_set: set[DataObject] = field(default_factory=set)
+    #: Monotonic start order; used by deadlock victim policies.
+    start_order: int = 0
+    abort_reason: str = ""
+
+    def __post_init__(self) -> None:
+        number = next(_txn_counter)
+        if not self.txn_id:
+            self.txn_id = f"t{number}"
+        if not self.start_order:
+            self.start_order = number
+        self._mutex = threading.Lock()
+
+    # -- access tracking --------------------------------------------------------
+
+    def record_read(self, obj: DataObject) -> None:
+        """Record that ``obj`` was read."""
+        self._require_active()
+        self.read_set.add(obj)
+
+    def record_write(self, obj: DataObject) -> None:
+        """Record that ``obj`` was written."""
+        self._require_active()
+        self.write_set.add(obj)
+
+    def footprint(self) -> frozenset[DataObject]:
+        """All objects touched, read or write."""
+        return frozenset(self.read_set | self.write_set)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Transition to COMMITTED; idempotent, illegal after abort."""
+        with self._mutex:
+            if self.state is TxnState.ABORTED:
+                raise TransactionError(
+                    f"{self.txn_id}: cannot commit an aborted transaction"
+                )
+            self.state = TxnState.COMMITTED
+
+    def abort(self, reason: str = "") -> None:
+        """Transition to ABORTED; idempotent, illegal after commit."""
+        with self._mutex:
+            if self.state is TxnState.COMMITTED:
+                raise TransactionError(
+                    f"{self.txn_id}: cannot abort a committed transaction"
+                )
+            self.state = TxnState.ABORTED
+            if reason and not self.abort_reason:
+                self.abort_reason = reason
+
+    def try_abort(self, reason: str = "") -> bool:
+        """Abort unless already committed; returns whether it aborted.
+
+        This is the lock manager's entry point for rule (ii) of
+        Section 4.3: the race between a committing Wa holder and the Rc
+        holders it must kill is resolved under the transaction's mutex,
+        so "commits first" is well-defined even in the threaded engine.
+        """
+        with self._mutex:
+            if self.state is not TxnState.ACTIVE:
+                return self.state is TxnState.ABORTED
+            self.state = TxnState.ABORTED
+            if reason:
+                self.abort_reason = reason
+            return True
+
+    # -- predicates --------------------------------------------------------------------
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is TxnState.ACTIVE
+
+    @property
+    def is_committed(self) -> bool:
+        return self.state is TxnState.COMMITTED
+
+    @property
+    def is_aborted(self) -> bool:
+        return self.state is TxnState.ABORTED
+
+    def _require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"{self.txn_id}: operation on {self.state.value} transaction"
+            )
+
+    def __hash__(self) -> int:
+        return hash(self.txn_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Transaction):
+            return NotImplemented
+        return self.txn_id == other.txn_id
+
+    def __str__(self) -> str:
+        rule = f"/{self.rule_name}" if self.rule_name else ""
+        return f"{self.txn_id}{rule}({self.state.value})"

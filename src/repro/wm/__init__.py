@@ -1,0 +1,45 @@
+"""Working-memory substrate: the "database" of the production system.
+
+The paper stores working memory in a DBMS; here working memory is an
+in-memory relational store with schemas, secondary indexes, an undo log
+(so a production firing can be aborted, as the Rc/Ra/Wa scheme of
+Section 4.3 requires), and snapshots (so the execution-graph search of
+Section 3 can explore alternative futures).
+
+Public classes
+--------------
+:class:`~repro.wm.element.WME`
+    An immutable working-memory element: a relation name plus an
+    attribute/value mapping, stamped with a creation timetag.
+:class:`~repro.wm.schema.RelationSchema` / :class:`~repro.wm.schema.Catalog`
+    Relational schemas and the system catalog.
+:class:`~repro.wm.memory.WorkingMemory`
+    The mutable store with make/modify/remove, listeners and indexes.
+:class:`~repro.wm.undo.UndoLog`
+    Records inverse operations for transactional abort.
+"""
+
+from repro.wm.element import WME, Timetag
+from repro.wm.schema import Catalog, RelationSchema
+from repro.wm.index import AttributeIndex
+from repro.wm.memory import WMDelta, WorkingMemory
+from repro.wm.undo import UndoLog
+from repro.wm.snapshot import WMSnapshot
+from repro.wm.storage import DurableStore, deserialize_wme, serialize_wme
+from repro.wm.query import Query
+
+__all__ = [
+    "WME",
+    "Timetag",
+    "RelationSchema",
+    "Catalog",
+    "AttributeIndex",
+    "WorkingMemory",
+    "WMDelta",
+    "UndoLog",
+    "WMSnapshot",
+    "DurableStore",
+    "serialize_wme",
+    "deserialize_wme",
+    "Query",
+]

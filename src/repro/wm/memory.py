@@ -1,0 +1,227 @@
+"""The working-memory store.
+
+:class:`WorkingMemory` holds the live set of WMEs and implements the
+three RHS operations of the paper's model (Section 2): *create*,
+*modify* and *delete* ("which respectively add to, modify, and remove
+items from the database").
+
+Change propagation is delta-based: every mutation produces a
+:class:`WMDelta` that is pushed to registered listeners.  The Rete and
+TREAT matchers subscribe to these deltas for incremental matching; the
+undo log subscribes to support transactional abort.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.errors import UnknownElementError
+from repro.wm.element import Scalar, Timetag, WME
+from repro.wm.index import AttributeIndex
+from repro.wm.schema import Catalog
+
+#: Signature of a working-memory change listener.
+DeltaListener = Callable[["WMDelta"], None]
+
+
+@dataclass(frozen=True)
+class WMDelta:
+    """One atomic change to working memory.
+
+    ``kind`` is ``"add"`` or ``"remove"``.  A ``modify`` is published
+    as a remove of the old element followed by an add of the new one,
+    the standard OPS5/Rete decomposition.
+    """
+
+    kind: str
+    wme: WME
+
+    def inverted(self) -> "WMDelta":
+        """The delta that undoes this one."""
+        return WMDelta("remove" if self.kind == "add" else "add", self.wme)
+
+
+class WorkingMemory:
+    """The mutable store of working-memory elements.
+
+    Parameters
+    ----------
+    catalog:
+        Optional system catalog; when provided, every inserted WME is
+        validated against its declared schema.
+    thread_safe:
+        When true, mutations take an internal lock.  The real-threads
+        parallel engine (:mod:`repro.engine.threaded`) enables this;
+        the deterministic simulator does not need it.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        thread_safe: bool = False,
+    ) -> None:
+        self.catalog = catalog if catalog is not None else Catalog()
+        self._elements: dict[Timetag, WME] = {}
+        self._index = AttributeIndex()
+        self._listeners: list[DeltaListener] = []
+        self._mutex = threading.RLock() if thread_safe else None
+
+    # -- listeners ------------------------------------------------------------
+
+    def subscribe(self, listener: DeltaListener) -> None:
+        """Register ``listener`` to be called after each delta."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: DeltaListener) -> None:
+        """Remove a previously registered listener."""
+        self._listeners.remove(listener)
+
+    def _publish(self, delta: WMDelta) -> None:
+        for listener in self._listeners:
+            listener(delta)
+
+    # -- mutation -------------------------------------------------------------
+
+    def add(self, wme: WME) -> WME:
+        """Insert ``wme``; validates against the catalog and indexes it."""
+        with self._maybe_locked():
+            self.catalog.validate(wme)
+            if wme.timetag in self._elements:
+                raise UnknownElementError(
+                    f"timetag {wme.timetag} already present"
+                )
+            self._elements[wme.timetag] = wme
+            self._index.add(wme)
+            self._publish(WMDelta("add", wme))
+            return wme
+
+    def make(
+        self,
+        relation: str,
+        values: Mapping[str, Scalar] | None = None,
+        **kwargs: Scalar,
+    ) -> WME:
+        """Create and insert a fresh WME (the RHS ``create`` operation)."""
+        return self.add(WME.make(relation, values, **kwargs))
+
+    def remove(self, target: WME | Timetag) -> WME:
+        """Remove an element (the RHS ``delete`` operation).
+
+        Accepts either a WME or its timetag; raises
+        :class:`UnknownElementError` when absent.
+        """
+        with self._maybe_locked():
+            timetag = target.timetag if isinstance(target, WME) else target
+            wme = self._elements.pop(timetag, None)
+            if wme is None:
+                raise UnknownElementError(f"no element with timetag {timetag}")
+            self._index.remove(wme)
+            self._publish(WMDelta("remove", wme))
+            return wme
+
+    def modify(
+        self,
+        target: WME | Timetag,
+        changes: Mapping[str, Scalar],
+    ) -> WME:
+        """Replace attribute values of an element (the RHS ``modify``).
+
+        Implemented, as in OPS5, as remove-old + add-new: the new
+        element gets a fresh timetag so recency ordering observes the
+        modification.
+        """
+        with self._maybe_locked():
+            timetag = target.timetag if isinstance(target, WME) else target
+            old = self._elements.get(timetag)
+            if old is None:
+                raise UnknownElementError(f"no element with timetag {timetag}")
+            new = old.replaced(changes)
+            self.remove(old)
+            self.add(new)
+            return new
+
+    def apply(self, delta: WMDelta) -> None:
+        """Apply a raw delta; used by the undo log to roll back."""
+        if delta.kind == "add":
+            self.add(delta.wme)
+        else:
+            self.remove(delta.wme)
+
+    def clear(self) -> None:
+        """Remove every element, publishing a delta per removal."""
+        for timetag in list(self._elements):
+            self.remove(timetag)
+
+    # -- queries --------------------------------------------------------------
+
+    def get(self, timetag: Timetag) -> WME | None:
+        """Return the live element with ``timetag``, or ``None``."""
+        return self._elements.get(timetag)
+
+    def __contains__(self, target: object) -> bool:
+        if isinstance(target, WME):
+            return target.timetag in self._elements
+        return target in self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[WME]:
+        return iter(list(self._elements.values()))
+
+    def elements(self, relation: str | None = None) -> list[WME]:
+        """All live elements, optionally restricted to one relation."""
+        if relation is None:
+            return list(self._elements.values())
+        return [
+            self._elements[t]
+            for t in sorted(self._index.relation(relation))
+            if t in self._elements
+        ]
+
+    def select(
+        self,
+        relation: str,
+        equalities: Iterable[tuple[str, Scalar]] = (),
+    ) -> list[WME]:
+        """Index-backed conjunctive selection over one relation.
+
+        >>> wm = WorkingMemory()
+        >>> _ = wm.make("order", id=1, status="open")
+        >>> _ = wm.make("order", id=2, status="closed")
+        >>> [w["id"] for w in wm.select("order", [("status", "open")])]
+        [1]
+        """
+        tags = self._index.lookup(relation, equalities)
+        return [self._elements[t] for t in sorted(tags) if t in self._elements]
+
+    def count(self, relation: str) -> int:
+        """Number of live elements of ``relation``."""
+        return self._index.cardinality(relation)
+
+    def value_identity_set(self) -> frozenset[tuple]:
+        """The set of value identities of live elements (timetag-free).
+
+        Two working memories with equal value-identity sets are
+        equivalent database states in the sense of Section 3's state
+        space — this is the equality the semantic-consistency checker
+        uses.
+        """
+        return frozenset(w.identity() for w in self._elements.values())
+
+    # -- locking helper ---------------------------------------------------------
+
+    def _maybe_locked(self):
+        if self._mutex is not None:
+            return self._mutex
+        return _NullContext()
+
+
+class _NullContext:
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None

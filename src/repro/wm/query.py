@@ -1,0 +1,256 @@
+"""A small relational query layer over working memory.
+
+Section 2 of the paper notes that in a *database* production system
+"the execution phase will be a full-fledged database query and is
+likely to be time consuming."  This module gives working memory that
+database face: a composable select/project/join/aggregate pipeline,
+index-accelerated where possible, used by RHS helpers, examples and
+benchmarks.
+
+Queries are immutable builders; nothing executes until a terminal
+method (:meth:`Query.rows`, :meth:`Query.count`, ...) runs, and each
+execution sees the live store.
+
+>>> from repro.wm import WorkingMemory
+>>> wm = WorkingMemory()
+>>> _ = wm.make("order", id=1, region="eu", total=100)
+>>> _ = wm.make("order", id=2, region="us", total=250)
+>>> Query.from_(wm, "order").where(region="us").values("total")
+[250]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.errors import WorkingMemoryError
+from repro.wm.element import Scalar, WME
+from repro.wm.memory import WorkingMemory
+
+#: A query result row.
+Row = dict[str, Scalar]
+
+#: Aggregate functions usable in :meth:`Query.aggregate`.
+_AGGREGATES: dict[str, Callable[[list], Scalar]] = {
+    "count": len,
+    "sum": lambda values: sum(values),
+    "min": lambda values: min(values),
+    "max": lambda values: max(values),
+    "avg": lambda values: sum(values) / len(values),
+}
+
+
+@dataclass(frozen=True)
+class _Join:
+    relation: str
+    left_attr: str
+    right_attr: str
+    prefix: str
+
+
+@dataclass(frozen=True)
+class Query:
+    """An immutable, composable query over one (joined) relation chain."""
+
+    memory: WorkingMemory
+    relation: str
+    equalities: tuple[tuple[str, Scalar], ...] = ()
+    predicates: tuple[Callable[[Row], bool], ...] = ()
+    joins: tuple[_Join, ...] = ()
+    projection: tuple[str, ...] = ()
+    ordering: tuple[str, ...] = ()
+    descending: bool = False
+    limit_count: int | None = None
+
+    # -- construction ---------------------------------------------------------------
+
+    @staticmethod
+    def from_(memory: WorkingMemory, relation: str) -> "Query":
+        """Start a query over ``relation``."""
+        return Query(memory, relation)
+
+    def where(self, **equalities: Scalar) -> "Query":
+        """Add equality selections (index-accelerated on the base)."""
+        return replace(
+            self,
+            equalities=self.equalities + tuple(sorted(equalities.items())),
+        )
+
+    def filter(self, predicate: Callable[[Row], bool]) -> "Query":
+        """Add an arbitrary row predicate (applied after joins)."""
+        return replace(self, predicates=self.predicates + (predicate,))
+
+    def join(
+        self,
+        relation: str,
+        left_attr: str,
+        right_attr: str | None = None,
+        prefix: str | None = None,
+    ) -> "Query":
+        """Equi-join with ``relation`` on ``left_attr == right_attr``.
+
+        Joined attributes are merged into the row under
+        ``{prefix}{attr}``; the prefix defaults to ``"{relation}."``
+        so collisions are never silent.
+        """
+        return replace(
+            self,
+            joins=self.joins
+            + (
+                _Join(
+                    relation,
+                    left_attr,
+                    right_attr if right_attr is not None else left_attr,
+                    prefix if prefix is not None else f"{relation}.",
+                ),
+            ),
+        )
+
+    def project(self, *attributes: str) -> "Query":
+        """Keep only the named attributes in result rows."""
+        return replace(self, projection=tuple(attributes))
+
+    def order_by(self, *attributes: str, descending: bool = False) -> "Query":
+        """Sort rows by the named attributes."""
+        return replace(
+            self, ordering=tuple(attributes), descending=descending
+        )
+
+    def limit(self, count: int) -> "Query":
+        """Keep at most ``count`` rows (after ordering)."""
+        if count < 0:
+            raise WorkingMemoryError(f"negative limit {count}")
+        return replace(self, limit_count=count)
+
+    # -- execution ------------------------------------------------------------------
+
+    def _base_rows(self) -> Iterator[Row]:
+        for wme in self.memory.select(self.relation, self.equalities):
+            yield wme.as_dict()
+
+    def _joined_rows(self) -> Iterator[Row]:
+        rows: Iterable[Row] = self._base_rows()
+        for join in self.joins:
+            # Hash join: build on the (smaller) joined relation.
+            build: dict[Scalar, list[WME]] = {}
+            for wme in self.memory.elements(join.relation):
+                build.setdefault(wme.get(join.right_attr), []).append(wme)
+            probed: list[Row] = []
+            for row in rows:
+                key = row.get(join.left_attr)
+                for match in build.get(key, []):
+                    merged = dict(row)
+                    for name, value in match.items:
+                        merged[f"{join.prefix}{name}"] = value
+                    probed.append(merged)
+            rows = probed
+        return iter(rows)
+
+    def _execute(self) -> list[Row]:
+        rows = [
+            row
+            for row in self._joined_rows()
+            if all(predicate(row) for predicate in self.predicates)
+        ]
+        if self.ordering:
+            rows.sort(
+                key=lambda row: tuple(
+                    _sort_key(row.get(attr)) for attr in self.ordering
+                ),
+                reverse=self.descending,
+            )
+        if self.limit_count is not None:
+            rows = rows[: self.limit_count]
+        if self.projection:
+            rows = [
+                {attr: row.get(attr) for attr in self.projection}
+                for row in rows
+            ]
+        return rows
+
+    # -- terminal operations -------------------------------------------------------------
+
+    def rows(self) -> list[Row]:
+        """Execute and return result rows as dicts."""
+        return self._execute()
+
+    def values(self, attribute: str) -> list[Scalar]:
+        """Execute and return one attribute's values."""
+        return [row.get(attribute) for row in self._execute()]
+
+    def first(self) -> Row | None:
+        """The first result row, or ``None``."""
+        rows = self.limit(1)._execute() if self.limit_count is None else self._execute()
+        return rows[0] if rows else None
+
+    def count(self) -> int:
+        """Number of result rows."""
+        return len(self._execute())
+
+    def exists(self) -> bool:
+        """True when at least one row matches."""
+        return self.first() is not None
+
+    def aggregate(self, **specs: tuple[str, str]) -> Row:
+        """Whole-result aggregates.
+
+        Each keyword maps an output name to ``(function, attribute)``
+        with function one of count/sum/min/max/avg:
+
+        >>> # Query.aggregate(total=("sum", "qty"), n=("count", "id"))
+        """
+        rows = self._execute()
+        out: Row = {}
+        for name, (function, attribute) in specs.items():
+            if function not in _AGGREGATES:
+                raise WorkingMemoryError(
+                    f"unknown aggregate {function!r}; "
+                    f"expected one of {sorted(_AGGREGATES)}"
+                )
+            values = [
+                row[attribute]
+                for row in rows
+                if row.get(attribute) is not None
+            ]
+            if not values and function not in ("count", "sum"):
+                out[name] = None
+            else:
+                out[name] = _AGGREGATES[function](values)
+        return out
+
+    def group_by(
+        self, attribute: str, **specs: tuple[str, str]
+    ) -> dict[Scalar, Row]:
+        """Grouped aggregates, keyed by the grouping attribute's value."""
+        groups: dict[Scalar, list[Row]] = {}
+        for row in self._execute():
+            groups.setdefault(row.get(attribute), []).append(row)
+        out: dict[Scalar, Row] = {}
+        for key, members in groups.items():
+            aggregated: Row = {}
+            for name, (function, attr) in specs.items():
+                if function not in _AGGREGATES:
+                    raise WorkingMemoryError(
+                        f"unknown aggregate {function!r}"
+                    )
+                values = [
+                    row[attr] for row in members if row.get(attr) is not None
+                ]
+                if not values and function not in ("count", "sum"):
+                    aggregated[name] = None
+                else:
+                    aggregated[name] = _AGGREGATES[function](values)
+            out[key] = aggregated
+        return out
+
+
+def _sort_key(value: Scalar) -> tuple:
+    """Total order over mixed scalar types (None < bool < num < str)."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    return (3, str(value))

@@ -1,0 +1,210 @@
+"""Durable working memory: write-ahead log + checkpoints.
+
+The paper's opening motivation (Section 1): "expert system users are
+asking for knowledge sharing and knowledge *persistence*, features
+found currently in databases."  This module supplies the persistence
+half: a :class:`DurableStore` journals every working-memory delta to an
+append-only JSON-lines log and periodically checkpoints the full
+contents, so a database production system survives restarts and
+recovers by *checkpoint + log replay* — the classical recipe.
+
+Format
+------
+``checkpoint.jsonl`` — one serialized WME per line, plus a header line
+carrying the checkpoint's log sequence number (LSN).
+``wal.jsonl`` — one ``{"lsn": n, "kind": "add"|"remove", "wme": ...}``
+record per delta since the checkpoint.
+
+Both files are human-readable; recovery tolerates a torn final log line
+(partial write during a crash), discarding it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO
+
+from repro.errors import WorkingMemoryError
+from repro.wm.element import WME, ensure_timetag_floor
+from repro.wm.memory import WMDelta, WorkingMemory
+from repro.wm.schema import Catalog
+
+_CHECKPOINT = "checkpoint.jsonl"
+_WAL = "wal.jsonl"
+
+
+def serialize_wme(wme: WME) -> dict:
+    """JSON-safe representation of a WME (timetag-preserving)."""
+    return {
+        "relation": wme.relation,
+        "items": [[name, value] for name, value in wme.items],
+        "timetag": wme.timetag,
+    }
+
+
+def deserialize_wme(payload: dict) -> WME:
+    """Rebuild a WME from :func:`serialize_wme` output."""
+    try:
+        return WME(
+            payload["relation"],
+            tuple((name, value) for name, value in payload["items"]),
+            payload["timetag"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise WorkingMemoryError(f"corrupt WME record: {payload!r}") from exc
+
+
+class DurableStore:
+    """Attaches persistence to a :class:`WorkingMemory`.
+
+    Usage::
+
+        wm = WorkingMemory()
+        store = DurableStore(wm, "plant-state")   # journals from now on
+        ... mutate wm ...
+        store.checkpoint()                         # compact the log
+        store.close()
+
+        wm2, store2 = DurableStore.open("plant-state")   # recover
+    """
+
+    def __init__(self, memory: WorkingMemory, directory: str | Path) -> None:
+        self.memory = memory
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lsn = 0
+        self._wal: IO[str] | None = None
+        self._open_wal()
+        self.memory.subscribe(self._on_delta)
+        self._attached = True
+
+    # -- journalling -------------------------------------------------------------
+
+    @property
+    def lsn(self) -> int:
+        """The last log sequence number written."""
+        return self._lsn
+
+    def _open_wal(self) -> None:
+        self._wal = open(self.directory / _WAL, "a", encoding="utf-8")
+
+    def _on_delta(self, delta: WMDelta) -> None:
+        if self._wal is None:
+            raise WorkingMemoryError("durable store is closed")
+        self._lsn += 1
+        record = {
+            "lsn": self._lsn,
+            "kind": delta.kind,
+            "wme": serialize_wme(delta.wme),
+        }
+        self._wal.write(json.dumps(record) + "\n")
+        self._wal.flush()
+        os.fsync(self._wal.fileno())
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Write a full snapshot and truncate the log.
+
+        Returns the number of elements checkpointed.  Atomicity:
+        the snapshot is written to a temp file and renamed over the old
+        checkpoint before the log is truncated, so a crash at any point
+        leaves a recoverable (checkpoint, log) pair.
+        """
+        elements = sorted(self.memory, key=lambda w: w.timetag)
+        temp_path = self.directory / (_CHECKPOINT + ".tmp")
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"checkpoint_lsn": self._lsn}) + "\n")
+            for wme in elements:
+                handle.write(json.dumps(serialize_wme(wme)) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, self.directory / _CHECKPOINT)
+        # Truncate the WAL: records up to _lsn are now in the snapshot.
+        if self._wal is not None:
+            self._wal.close()
+        with open(self.directory / _WAL, "w", encoding="utf-8") as handle:
+            handle.flush()
+        self._open_wal()
+        return len(elements)
+
+    def close(self) -> None:
+        """Stop journalling and close the log file."""
+        if self._attached:
+            self.memory.unsubscribe(self._on_delta)
+            self._attached = False
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def __enter__(self) -> "DurableStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- recovery --------------------------------------------------------------------
+
+    @staticmethod
+    def open(
+        directory: str | Path,
+        catalog: Catalog | None = None,
+        thread_safe: bool = False,
+    ) -> tuple[WorkingMemory, "DurableStore"]:
+        """Recover a working memory from ``directory``.
+
+        Loads the checkpoint (if any), replays the WAL (skipping
+        records already covered by the checkpoint and tolerating a torn
+        final line), advances the global timetag counter past every
+        reloaded element, and returns a fresh journalling store.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        memory = WorkingMemory(catalog=catalog, thread_safe=thread_safe)
+        checkpoint_lsn = 0
+        max_timetag = 0
+
+        checkpoint_path = directory / _CHECKPOINT
+        if checkpoint_path.exists():
+            with open(checkpoint_path, encoding="utf-8") as handle:
+                header = json.loads(handle.readline())
+                checkpoint_lsn = int(header.get("checkpoint_lsn", 0))
+                for line in handle:
+                    wme = deserialize_wme(json.loads(line))
+                    memory.add(wme)
+                    max_timetag = max(max_timetag, wme.timetag)
+
+        wal_path = directory / _WAL
+        replayed_lsn = checkpoint_lsn
+        if wal_path.exists():
+            with open(wal_path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        break  # torn final record from a crash
+                    if record["lsn"] <= checkpoint_lsn:
+                        continue
+                    wme = deserialize_wme(record["wme"])
+                    if record["kind"] == "add":
+                        memory.add(wme)
+                    else:
+                        memory.remove(wme.timetag)
+                    max_timetag = max(max_timetag, wme.timetag)
+                    replayed_lsn = record["lsn"]
+
+        ensure_timetag_floor(max_timetag)
+        store = DurableStore.__new__(DurableStore)
+        store.memory = memory
+        store.directory = directory
+        store._lsn = replayed_lsn
+        store._wal = None
+        store._open_wal()
+        memory.subscribe(store._on_delta)
+        store._attached = True
+        return memory, store

@@ -1,0 +1,100 @@
+"""Undo logging for transactional abort of production firings.
+
+The improved locking scheme of Section 4.3 *aborts* productions: when a
+``Wa`` holder commits first, "the lock manager finds all productions
+holding Rc lock on q and forces them to abort".  An aborted production
+may already have executed part of its RHS (acquiring ``Wa`` locks and
+writing), so working memory must be rolled back to the firing's start.
+
+:class:`UndoLog` records the inverse of every delta a transaction makes
+and replays the inverses in reverse order on abort — a classical
+no-steal undo log specialized to WM add/remove deltas.
+"""
+
+from __future__ import annotations
+
+from repro.wm.memory import WMDelta, WorkingMemory
+
+
+class UndoLog:
+    """Records deltas for one transaction scope and can roll them back.
+
+    Usage::
+
+        log = UndoLog(wm)
+        log.attach()
+        try:
+            ... mutate wm ...
+        except SomeAbort:
+            log.rollback()
+        finally:
+            log.detach()
+    """
+
+    def __init__(self, memory: WorkingMemory) -> None:
+        self._memory = memory
+        self._deltas: list[WMDelta] = []
+        self._attached = False
+        self._rolling_back = False
+
+    # -- listener lifecycle ----------------------------------------------------
+
+    def attach(self) -> "UndoLog":
+        """Start recording deltas published by the working memory."""
+        if not self._attached:
+            self._memory.subscribe(self._record)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Stop recording.  Safe to call twice."""
+        if self._attached:
+            self._memory.unsubscribe(self._record)
+            self._attached = False
+
+    def __enter__(self) -> "UndoLog":
+        return self.attach()
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.detach()
+
+    # -- recording and rollback --------------------------------------------------
+
+    def _record(self, delta: WMDelta) -> None:
+        if not self._rolling_back:
+            self._deltas.append(delta)
+
+    def rollback(self) -> int:
+        """Undo every recorded delta, most recent first.
+
+        Returns the number of deltas undone.  The log is emptied, so a
+        second call is a no-op.  Deltas published *during* rollback are
+        not recorded (they would otherwise re-grow the log forever).
+        """
+        undone = 0
+        self._rolling_back = True
+        try:
+            while self._deltas:
+                delta = self._deltas.pop()
+                self._memory.apply(delta.inverted())
+                undone += 1
+        finally:
+            self._rolling_back = False
+        return undone
+
+    def commit(self) -> int:
+        """Forget the recorded deltas (they become permanent).
+
+        Returns the number of deltas discarded.
+        """
+        count = len(self._deltas)
+        self._deltas.clear()
+        return count
+
+    def __len__(self) -> int:
+        return len(self._deltas)
+
+    @property
+    def deltas(self) -> tuple[WMDelta, ...]:
+        """The recorded deltas, oldest first (read-only view)."""
+        return tuple(self._deltas)

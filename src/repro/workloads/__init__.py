@@ -1,0 +1,21 @@
+"""Rule-level workload programs.
+
+Complete production-system programs used by examples, tests and
+benchmarks — currently the classic *Miss Manners* seating benchmark
+(:mod:`repro.workloads.manners`), the standard stress test for
+production-system match performance.
+"""
+
+from repro.workloads.manners import (
+    build_manners_memory,
+    build_manners_rules,
+    seating_order,
+    validate_seating,
+)
+
+__all__ = [
+    "build_manners_rules",
+    "build_manners_memory",
+    "seating_order",
+    "validate_seating",
+]

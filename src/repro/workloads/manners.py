@@ -1,0 +1,122 @@
+"""Mini Miss Manners: the classic production-system match benchmark.
+
+Miss Manners seats dinner guests so that neighbours have opposite sex
+and share a hobby.  The OPS5 original is the standard stress test for
+match algorithms (its joins over guests × hobbies dominate run time),
+which is exactly the role it plays here: a realistic rule program whose
+cost scales with guest count, used to compare the matchers.
+
+This is the greedy variant: the generated guest list is constructed so
+a chain extension never dead-ends (alternating sexes, one shared hobby
+plus random extras), keeping the program backtracking-free while
+preserving the heavy join structure.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.lang import parse_program
+from repro.lang.production import Production
+from repro.wm.memory import WorkingMemory
+
+_RULES = """
+(p seed-first-seat 9
+   (context ^phase "start")
+   (guest ^name <g> ^sex <s>)
+   -->
+   (modify 1 ^phase "seat")
+   (make seating ^seat 1 ^name <g>)
+   (make seated ^name <g>)
+   (make last ^seat 1 ^name <g> ^sex <s>))
+
+(p extend-seating 5
+   (context ^phase "seat")
+   (last ^seat <n> ^name <g1> ^sex <s1>)
+   (hobby ^name <g1> ^h <h>)
+   (guest ^name <g2> ^sex <s2> ^sex <> <s1>)
+   (hobby ^name <g2> ^h <h>)
+   -(seated ^name <g2>)
+   -->
+   (modify 2 ^seat (<n> + 1) ^name <g2> ^sex <s2>)
+   (make seating ^seat (<n> + 1) ^name <g2>)
+   (make seated ^name <g2>))
+
+(p all-seated 9
+   (context ^phase "seat")
+   (party ^size <n>)
+   (last ^seat <n>)
+   -->
+   (modify 1 ^phase "done")
+   (halt))
+"""
+
+
+def build_manners_rules() -> list[Production]:
+    """The three-rule mini-manners program."""
+    return parse_program(_RULES)
+
+
+def build_manners_memory(
+    n_guests: int,
+    hobbies_per_guest: int = 3,
+    n_hobbies: int = 6,
+    seed: int = 0,
+) -> WorkingMemory:
+    """Generate a solvable guest list.
+
+    Guests alternate sex in generation order and all share hobby
+    ``"h0"`` (guaranteeing the greedy chain never dead-ends); each also
+    gets ``hobbies_per_guest - 1`` random extra hobbies, which is what
+    makes the join fan-out realistic.
+    """
+    rng = random.Random(seed)
+    memory = WorkingMemory()
+    memory.make("context", phase="start")
+    memory.make("party", size=n_guests)
+    hobby_pool = [f"h{i}" for i in range(1, n_hobbies)]
+    for index in range(n_guests):
+        name = f"guest{index}"
+        sex = "m" if index % 2 == 0 else "f"
+        memory.make("guest", name=name, sex=sex)
+        memory.make("hobby", name=name, h="h0")
+        extra_count = min(hobbies_per_guest - 1, len(hobby_pool))
+        for hobby in rng.sample(hobby_pool, extra_count):
+            memory.make("hobby", name=name, h=hobby)
+    return memory
+
+
+def seating_order(memory: WorkingMemory) -> list[str]:
+    """Guest names in seat order from the final working memory."""
+    seats = sorted(
+        memory.elements("seating"), key=lambda w: w["seat"]
+    )
+    return [w["name"] for w in seats]
+
+
+def validate_seating(memory: WorkingMemory) -> None:
+    """Assert the seating solves the manners constraints.
+
+    Raises ``AssertionError`` with a diagnostic on any violation:
+    everyone seated exactly once, seats contiguous from 1, adjacent
+    guests of opposite sex sharing at least one hobby.
+    """
+    guests = {w["name"]: w for w in memory.elements("guest")}
+    hobbies: dict[str, set[str]] = {}
+    for wme in memory.elements("hobby"):
+        hobbies.setdefault(wme["name"], set()).add(wme["h"])
+    order = seating_order(memory)
+    assert len(order) == len(guests), (
+        f"seated {len(order)} of {len(guests)} guests"
+    )
+    assert len(set(order)) == len(order), "a guest was seated twice"
+    seats = sorted(w["seat"] for w in memory.elements("seating"))
+    assert seats == list(range(1, len(order) + 1)), (
+        f"seats not contiguous: {seats}"
+    )
+    for left, right in zip(order, order[1:]):
+        assert guests[left]["sex"] != guests[right]["sex"], (
+            f"{left} and {right} have the same sex"
+        )
+        shared = hobbies[left] & hobbies[right]
+        assert shared, f"{left} and {right} share no hobby"

@@ -1,0 +1,51 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import RuleBuilder
+from repro.lang.builder import gt, var
+from repro.wm import WorkingMemory
+
+
+@pytest.fixture
+def wm() -> WorkingMemory:
+    """An empty, unsynchronized working memory."""
+    return WorkingMemory()
+
+
+@pytest.fixture
+def order_rules():
+    """A small order-processing program used across engine tests.
+
+    ``ship`` ships open orders above a total unless held; ``audit``
+    consumes shipments of shipped orders.
+    """
+    ship = (
+        RuleBuilder("ship")
+        .when("order", id=var("o"), status="open", total=gt(50))
+        .when_not("hold", order=var("o"))
+        .modify(1, status="shipped")
+        .make("shipment", order=var("o"))
+        .build()
+    )
+    audit = (
+        RuleBuilder("audit")
+        .when("shipment", order=var("o"))
+        .when("order", id=var("o"), status="shipped")
+        .make("audit", order=var("o"))
+        .remove(1)
+        .build()
+    )
+    return [ship, audit]
+
+
+@pytest.fixture
+def order_wm() -> WorkingMemory:
+    """Working memory with five orders (one held, one small)."""
+    memory = WorkingMemory()
+    for i in range(1, 6):
+        memory.make("order", id=i, status="open", total=40 + i * 10)
+    memory.make("hold", order=3)
+    return memory

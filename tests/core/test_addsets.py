@@ -1,0 +1,162 @@
+"""Tests for the add/delete-set abstraction and the paper's instances."""
+
+import pytest
+
+from repro.core.addsets import (
+    AddDeleteSystem,
+    SECTION_5_EXEC_TIMES,
+    UnknownProductionError,
+    section_3_3_example,
+    table_5_1,
+    table_5_2,
+)
+
+
+def tiny():
+    return AddDeleteSystem.define(
+        add_sets={"P1": {"P3"}, "P2": set(), "P3": set()},
+        delete_sets={"P1": {"P2"}, "P2": set(), "P3": set()},
+        initial={"P1", "P2"},
+        exec_times={"P1": 2.0},
+    )
+
+
+class TestDefine:
+    def test_universe_from_keys(self):
+        assert tiny().productions == {"P1", "P2", "P3"}
+
+    def test_undeclared_reference_rejected(self):
+        with pytest.raises(UnknownProductionError):
+            AddDeleteSystem.define(
+                add_sets={"P1": {"ghost"}},
+                delete_sets={"P1": set()},
+                initial={"P1"},
+            )
+
+    def test_undeclared_initial_rejected(self):
+        with pytest.raises(UnknownProductionError):
+            AddDeleteSystem.define(
+                add_sets={"P1": set()},
+                delete_sets={"P1": set()},
+                initial={"P9"},
+            )
+
+    def test_exec_times_validated(self):
+        with pytest.raises(UnknownProductionError):
+            AddDeleteSystem.define(
+                add_sets={"P1": set()},
+                delete_sets={"P1": set()},
+                initial={"P1"},
+                exec_times={"P9": 1.0},
+            )
+
+    def test_default_time_is_one(self):
+        system = tiny()
+        assert system.time("P2") == 1.0
+        assert system.time("P1") == 2.0
+
+
+class TestFiring:
+    def test_fire_applies_delete_then_add(self):
+        system = tiny()
+        result = system.fire(frozenset({"P1", "P2"}), "P1")
+        assert result == {"P3"}
+
+    def test_fired_production_leaves_set(self):
+        system = tiny()
+        assert "P2" not in system.fire(frozenset({"P2"}), "P2")
+
+    def test_fire_inactive_rejected(self):
+        with pytest.raises(UnknownProductionError):
+            tiny().fire(frozenset({"P2"}), "P3")
+
+    def test_fire_sequence_and_validity(self):
+        system = tiny()
+        assert system.is_valid_sequence(["P1", "P3"])
+        assert not system.is_valid_sequence(["P3"])
+        assert system.fire_sequence(["P1", "P3"]) == frozenset()
+
+    def test_sequence_time(self):
+        assert tiny().sequence_time(["P1", "P2"]) == 3.0
+
+    def test_fire_parallel_requires_active(self):
+        with pytest.raises(UnknownProductionError):
+            tiny().fire_parallel(frozenset({"P1"}), ["P1", "P3"])
+
+    def test_fire_parallel_unions_effects(self):
+        system = tiny()
+        result = system.fire_parallel(
+            frozenset({"P1", "P2"}), ["P1", "P2"]
+        )
+        assert result == {"P3"}
+
+
+class TestInterference:
+    def test_self_interference(self):
+        assert tiny().interferes("P1", "P1")
+
+    def test_delete_of_other_is_interference(self):
+        assert tiny().interferes("P1", "P2")
+        assert tiny().interferes("P2", "P1")  # symmetric
+
+    def test_disjoint_productions_independent(self):
+        assert not tiny().interferes("P2", "P3")
+
+    def test_delete_vs_add_collision(self):
+        system = AddDeleteSystem.define(
+            add_sets={"A": {"X"}, "B": set(), "X": set()},
+            delete_sets={"A": set(), "B": {"X"}, "X": set()},
+            initial={"A", "B"},
+        )
+        assert system.interferes("A", "B")
+
+
+class TestPaperInstances:
+    def test_section_3_3_initial_conflict_set(self):
+        system = section_3_3_example()
+        assert system.initial == {"P1", "P2", "P3", "P5"}
+        assert len(system.productions) == 6
+
+    def test_section_3_3_p6_is_inert(self):
+        system = section_3_3_example()
+        # P6 is never activated: not initial and in nobody's add set.
+        assert "P6" not in system.initial
+        assert all(
+            "P6" not in system.add_sets[p] for p in system.productions
+        )
+
+    def test_table_5_1_sigma1(self):
+        system = table_5_1()
+        assert system.is_valid_sequence(["P2", "P3", "P4"])
+        assert system.sequence_time(["P2", "P3", "P4"]) == 9.0
+        assert system.fire_sequence(["P2", "P3", "P4"]) == frozenset()
+
+    def test_table_5_1_exec_times(self):
+        assert table_5_1().exec_times == SECTION_5_EXEC_TIMES
+
+    def test_table_5_2_sigma2(self):
+        system = table_5_2()
+        assert system.is_valid_sequence(["P3", "P2"])
+        assert system.sequence_time(["P3", "P2"]) == 5.0
+        assert system.fire_sequence(["P3", "P2"]) == frozenset()
+
+    def test_table_5_2_has_more_conflict_than_5_1(self):
+        base = table_5_1()
+        conflicted = table_5_2()
+        base_pairs = sum(
+            base.interferes(a, b)
+            for a in base.productions
+            for b in base.productions
+            if a < b
+        )
+        conflicted_pairs = sum(
+            conflicted.interferes(a, b)
+            for a in conflicted.productions
+            for b in conflicted.productions
+            if a < b
+        )
+        assert conflicted_pairs > base_pairs
+
+    def test_custom_exec_times_override(self):
+        system = table_5_1({"P1": 5, "P2": 4, "P3": 2, "P4": 4})
+        assert system.sequence_time(["P2", "P3", "P4"]) == 10.0

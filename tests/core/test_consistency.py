@@ -1,0 +1,78 @@
+"""Tests for the semantic-consistency checker (Definition 3.2)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.addsets import section_3_3_example, table_5_1
+from repro.core.consistency import ConsistencyChecker
+from repro.core.execution_graph import ExecutionGraph
+from repro.sim.workload import random_add_delete_system
+
+
+class TestChecker:
+    def test_valid_maximal_sequence(self):
+        checker = ConsistencyChecker(section_3_3_example())
+        assert checker.check_sequence(["P1", "P4", "P5"])
+        assert checker.check_complete(["P1", "P4", "P5"])
+
+    def test_prefix_is_consistent_but_not_complete(self):
+        checker = ConsistencyChecker(section_3_3_example())
+        assert checker.check_sequence(["P1", "P4"])
+        assert not checker.check_complete(["P1", "P4"])
+
+    def test_empty_sequence_is_consistent(self):
+        checker = ConsistencyChecker(section_3_3_example())
+        assert checker.check_sequence([])
+
+    def test_first_violation_index(self):
+        checker = ConsistencyChecker(section_3_3_example())
+        # P1 deletes P2, so firing P2 after P1 violates at index 1.
+        assert checker.first_violation(["P1", "P2"]) == 1
+        assert checker.first_violation(["P4"]) == 0
+        assert checker.first_violation(["P1", "P4", "P5"]) is None
+
+    def test_check_many_report(self):
+        checker = ConsistencyChecker(section_3_3_example())
+        report = checker.check_many(
+            [["P1", "P4", "P5"], ["P4"], ["P2", "P3"]]
+        )
+        assert report.checked == 3
+        assert not report.consistent
+        assert report.violations == ((("P4",), 0),)
+        assert "INCONSISTENT" in str(report)
+
+    def test_consistent_report_str(self):
+        checker = ConsistencyChecker(table_5_1())
+        report = checker.check_many([["P2", "P3", "P4"]])
+        assert report.consistent
+        assert "consistent" in str(report)
+
+
+class TestAgainstEnumeration:
+    def test_checker_agrees_with_graph_enumeration(self):
+        system = section_3_3_example()
+        graph = ExecutionGraph(system)
+        checker = ConsistencyChecker(system)
+        es = graph.es_single()
+        for string in es:
+            assert checker.check_sequence(string)
+        # Some strings not in ES must be rejected.
+        assert not checker.check_sequence(["P4", "P5"])
+
+
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 10))
+@settings(max_examples=40, deadline=None)
+def test_every_enumerated_path_passes_checker(seed, n):
+    """Property: on random (terminating) systems, every prefix of an
+    enumerated execution-graph path satisfies the checker, and every
+    single-production non-member fails it."""
+    system = random_add_delete_system(
+        n, conflict_degree=0.3, activation_degree=0.3, seed=seed
+    )
+    graph = ExecutionGraph(system, max_depth=12, max_nodes=4_000)
+    checker = ConsistencyChecker(system)
+    for state in list(graph.iter_states())[:200]:
+        assert checker.check_sequence(state.string.pids)
+    for pid in system.productions:
+        if pid not in system.initial:
+            assert checker.first_violation([pid]) == 0

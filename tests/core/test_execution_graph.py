@@ -1,0 +1,149 @@
+"""Tests for execution-graph construction and ES_single (Section 3)."""
+
+import pytest
+
+from repro.core.addsets import AddDeleteSystem, section_3_3_example
+from repro.core.execution_graph import ExecutionGraph
+from repro.core.semantics import ExecutionString, SystemState
+
+
+class TestExecutionString:
+    def test_epsilon(self):
+        assert str(ExecutionString.epsilon()) == "ε"
+        assert len(ExecutionString.epsilon()) == 0
+
+    def test_append_and_str(self):
+        s = ExecutionString.epsilon().append("P1").append("P2")
+        assert str(s) == "p1p2"
+
+    def test_prefix_relation(self):
+        s = ExecutionString.of(["P1", "P2", "P3"])
+        assert ExecutionString.of(["P1"]).is_prefix_of(s)
+        assert s.is_prefix_of(s)
+        assert not ExecutionString.of(["P2"]).is_prefix_of(s)
+
+    def test_prefixes_enumeration(self):
+        s = ExecutionString.of(["P1", "P2"])
+        assert [p.pids for p in s.prefixes()] == [
+            (), ("P1",), ("P1", "P2")
+        ]
+
+
+class TestSystemState:
+    def test_terminal(self):
+        state = SystemState(frozenset(), ExecutionString.epsilon())
+        assert state.is_terminal
+
+    def test_state_key_ignores_string(self):
+        a = SystemState(frozenset({"P1"}), ExecutionString.of(["P2"]))
+        b = SystemState(frozenset({"P1"}), ExecutionString.of(["P3"]))
+        assert a.state_key() == b.state_key()
+
+
+class TestSection33Graph:
+    """The Figure 3.2 reproduction: exactly nine maximal sequences."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return ExecutionGraph(section_3_3_example())
+
+    def test_nine_maximal_sequences(self, graph):
+        assert len(graph.maximal_sequences()) == 9
+
+    def test_not_truncated(self, graph):
+        assert not graph.truncated
+
+    def test_legible_paper_sequences_present(self, graph):
+        rendered = {str(s) for s in graph.maximal_sequences()}
+        for expected in ("p1p4p5", "p2p3p4p5", "p5p1p4p5", "p5p2p3p4p5"):
+            assert expected in rendered
+
+    def test_p5_fires_twice_in_some_sequence(self, graph):
+        assert any(
+            s.pids.count("P5") == 2 for s in graph.maximal_sequences()
+        )
+
+    def test_p6_never_fires(self, graph):
+        assert all(
+            "P6" not in s.pids for s in graph.maximal_sequences()
+        )
+
+    def test_es_single_contains_all_prefixes(self, graph):
+        es = graph.es_single()
+        for maximal in graph.maximal_sequences():
+            for prefix in maximal.prefixes():
+                assert prefix.pids in es
+
+    def test_contains_agrees_with_enumeration(self, graph):
+        es = graph.es_single()
+        for string in es:
+            assert graph.contains(string)
+        assert not graph.contains(("P4",))  # P4 not initially active
+        assert not graph.contains(("P1", "P2"))  # P1 deletes P2
+
+    def test_root_is_initial_state(self, graph):
+        assert graph.root.conflict_set == {"P1", "P2", "P3", "P5"}
+
+    def test_state_at_and_children(self, graph):
+        state = graph.state_at(("P1",))
+        assert state is not None
+        assert state.conflict_set == {"P4"}
+        edges = graph.children(state)
+        assert [e.pid for e in edges] == ["P4"]
+
+    def test_render_contains_terminal_marker(self, graph):
+        assert "(terminal)" in graph.render(max_lines=200)
+
+
+class TestTruncation:
+    def _looping(self):
+        # P1 re-activates itself: the graph is infinite.
+        return AddDeleteSystem.define(
+            add_sets={"P1": {"P1"}},
+            delete_sets={"P1": set()},
+            initial={"P1"},
+        )
+
+    def test_depth_cap_marks_truncated(self):
+        graph = ExecutionGraph(self._looping(), max_depth=5)
+        assert graph.truncated
+
+    def test_es_single_refuses_when_truncated(self):
+        graph = ExecutionGraph(self._looping(), max_depth=5)
+        with pytest.raises(ValueError):
+            graph.es_single()
+
+    def test_contains_still_works_when_truncated(self):
+        graph = ExecutionGraph(self._looping(), max_depth=5)
+        assert graph.contains(("P1",) * 50)
+
+    def test_node_cap(self):
+        system = AddDeleteSystem.define(
+            add_sets={f"P{i}": set() for i in range(1, 9)},
+            delete_sets={f"P{i}": set() for i in range(1, 9)},
+            initial={f"P{i}" for i in range(1, 9)},
+        )
+        graph = ExecutionGraph(system, max_nodes=100)
+        assert graph.truncated
+        assert len(graph) <= 101
+
+
+class TestDotExport:
+    def test_dot_structure(self):
+        graph = ExecutionGraph(section_3_3_example())
+        dot = graph.to_dot()
+        assert dot.startswith("digraph execution_graph {")
+        assert dot.rstrip().endswith("}")
+        assert '"ε"' in dot
+        assert "doublecircle" in dot  # terminal states present
+        assert '[label="p1"]' in dot
+
+    def test_dot_node_cap(self):
+        graph = ExecutionGraph(section_3_3_example())
+        dot = graph.to_dot(max_nodes=3)
+        assert '"..."' in dot
+
+    def test_dot_edge_count_matches_graph(self):
+        graph = ExecutionGraph(section_3_3_example())
+        dot = graph.to_dot()
+        assert dot.count(" -> ") == len(graph.edges)

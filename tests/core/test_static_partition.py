@@ -1,0 +1,107 @@
+"""Tests for the static partitioning approach (Section 4.1)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.static_partition import (
+    greedy_partition,
+    maximal_noninterfering_subset,
+    partition_conflict_set,
+    partition_quality,
+)
+
+
+def clash_if_same_parity(a, b):
+    return a % 2 == b % 2
+
+
+class TestGreedyPartition:
+    def test_no_interference_single_group(self):
+        groups = greedy_partition([1, 2, 3], lambda a, b: False)
+        assert groups == [[1, 2, 3]]
+
+    def test_total_interference_singleton_groups(self):
+        groups = greedy_partition([1, 2, 3], lambda a, b: True)
+        assert groups == [[1], [2], [3]]
+
+    def test_parity_partition(self):
+        groups = greedy_partition(
+            [1, 2, 3, 4, 5], clash_if_same_parity
+        )
+        assert groups == [[1, 2], [3, 4], [5]]
+
+    def test_groups_internally_noninterfering(self):
+        groups = greedy_partition(
+            list(range(10)), clash_if_same_parity
+        )
+        for group in groups:
+            for i, a in enumerate(group):
+                for b in group[i + 1:]:
+                    assert not clash_if_same_parity(a, b)
+
+    def test_empty_input(self):
+        assert greedy_partition([], lambda a, b: True) == []
+
+    def test_partition_covers_all_items(self):
+        items = list(range(7))
+        groups = greedy_partition(items, clash_if_same_parity)
+        assert sorted(x for g in groups for x in g) == items
+
+
+class TestMaximalSubset:
+    def test_greedy_takes_first_compatible(self):
+        chosen = maximal_noninterfering_subset(
+            [1, 2, 3, 4], clash_if_same_parity
+        )
+        assert chosen == [1, 2]
+
+    def test_maximality(self):
+        items = [1, 2, 3, 4, 5, 6]
+        chosen = maximal_noninterfering_subset(
+            items, clash_if_same_parity
+        )
+        for item in items:
+            if item in chosen:
+                continue
+            assert any(clash_if_same_parity(item, c) for c in chosen)
+
+    def test_no_interference_takes_all(self):
+        assert maximal_noninterfering_subset(
+            [1, 2, 3], lambda a, b: False
+        ) == [1, 2, 3]
+
+
+class TestQualityMetrics:
+    def test_quality_of_even_partition(self):
+        quality = partition_quality([[1, 2], [3, 4]])
+        assert quality["waves"] == 2
+        assert quality["width"] == 2
+        assert quality["mean_width"] == 2
+
+    def test_quality_of_empty(self):
+        assert partition_quality([])["width"] == 0
+
+    def test_partition_conflict_set_alias(self):
+        assert partition_conflict_set(
+            [1, 2, 3], lambda a, b: False
+        ) == [[1, 2, 3]]
+
+
+@given(
+    st.lists(st.integers(0, 20), max_size=15, unique=True),
+    st.integers(2, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_partition_invariants(items, modulus):
+    """Property: every greedy partition (a) covers the items exactly,
+    and (b) every group is pairwise non-interfering."""
+    def interferes(a, b):
+        return a % modulus == b % modulus
+
+    groups = greedy_partition(items, interferes)
+    flattened = sorted(x for g in groups for x in g)
+    assert flattened == sorted(items)
+    for group in groups:
+        for i, a in enumerate(group):
+            for b in group[i + 1:]:
+                assert not interferes(a, b)

@@ -1,0 +1,89 @@
+"""Executable checks of Theorems 1 and 2 (property-based).
+
+DESIGN.md invariants 1 and 2.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.addsets import table_5_1
+from repro.core.theorems import check_theorem_1, check_theorem_2
+from repro.core.static_partition import maximal_noninterfering_subset
+from repro.sim.multithread import simulate_multithread
+from repro.sim.workload import random_add_delete_system
+
+
+class TestTheorem1:
+    def test_noninterfering_pair_passes(self):
+        system = table_5_1()
+        # P3 and P4 have empty delete sets and empty add sets.
+        assert check_theorem_1(system, ["P3", "P4"])
+
+    def test_inactive_member_rejected(self):
+        system = table_5_1()
+        outcome = check_theorem_1(
+            system, ["P3"], start=frozenset({"P1"})
+        )
+        assert not outcome
+        assert "not active" in outcome.detail
+
+    def test_interfering_pair_reported_as_hypothesis_violation(self):
+        system = table_5_1()
+        outcome = check_theorem_1(system, ["P1", "P2"])  # P2 deletes P1
+        assert not outcome
+        assert "interfere" in outcome.detail
+
+    def test_singleton_always_passes(self):
+        system = table_5_1()
+        for pid in system.initial:
+            assert check_theorem_1(system, [pid])
+
+
+@given(seed=st.integers(0, 10_000), n=st.integers(3, 12))
+@settings(max_examples=50, deadline=None)
+def test_theorem_1_on_random_systems(seed, n):
+    """Property: any greedy non-interfering subset of the initial
+    conflict set satisfies Theorem 1's conclusion."""
+    system = random_add_delete_system(
+        n, conflict_degree=0.4, activation_degree=0.3, seed=seed
+    )
+    subset = maximal_noninterfering_subset(
+        sorted(system.initial), system.interferes
+    )
+    outcome = check_theorem_1(system, subset)
+    assert outcome, outcome.detail
+
+
+class TestTheorem2:
+    def test_multithread_commit_sequences_consistent(self):
+        system = table_5_1()
+        result = simulate_multithread(system, processors=4)
+        assert check_theorem_2(system, [result.commit_sequence])
+
+    def test_invalid_sequence_detected(self):
+        system = table_5_1()
+        outcome = check_theorem_2(system, [("P2", "P1")])  # P1 deleted
+        assert not outcome
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(2, 12),
+    processors=st.integers(1, 8),
+    conflict=st.floats(0.0, 0.8),
+)
+@settings(max_examples=80, deadline=None)
+def test_theorem_2_multithread_simulation(seed, n, processors, conflict):
+    """Property (the paper's central guarantee): the commit sequence of
+    ANY multiple-thread execution is in ES_single."""
+    system = random_add_delete_system(
+        n,
+        conflict_degree=conflict,
+        activation_degree=0.25,
+        seed=seed,
+    )
+    result = simulate_multithread(system, processors)
+    outcome = check_theorem_2(system, [result.commit_sequence])
+    assert outcome, outcome.detail
+    # And the run drained the conflict set: the sequence is maximal.
+    assert system.fire_sequence(result.commit_sequence) == frozenset()

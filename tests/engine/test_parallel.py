@@ -1,0 +1,143 @@
+"""Tests for the wave-parallel engine under both lock schemes."""
+
+import pytest
+
+from repro.engine import Interpreter, ParallelEngine, replay_commit_sequence
+from repro.errors import EngineError
+from repro.lang import RuleBuilder
+from repro.lang.builder import gt, var
+from repro.txn.serializability import is_conflict_serializable
+from repro.wm import WMSnapshot, WorkingMemory
+
+
+def fresh_order_wm():
+    wm = WorkingMemory()
+    for i in range(1, 6):
+        wm.make("order", id=i, status="open", total=40 + i * 10)
+    wm.make("hold", order=3)
+    return wm
+
+
+@pytest.mark.parametrize("scheme", ["rc", "2pl", "c2pl"])
+class TestBothSchemes:
+    def test_reaches_same_final_state_as_single_thread(
+        self, scheme, order_rules
+    ):
+        serial_wm = fresh_order_wm()
+        Interpreter(order_rules, serial_wm).run()
+        parallel_wm = fresh_order_wm()
+        ParallelEngine(order_rules, parallel_wm, scheme=scheme).run()
+        assert (
+            parallel_wm.value_identity_set()
+            == serial_wm.value_identity_set()
+        )
+
+    def test_commit_sequence_replays_single_threaded(
+        self, scheme, order_rules
+    ):
+        wm = fresh_order_wm()
+        snapshot = WMSnapshot.capture(wm)
+        engine = ParallelEngine(order_rules, wm, scheme=scheme)
+        result = engine.run()
+        outcome = replay_commit_sequence(
+            snapshot, order_rules, result.firings
+        )
+        assert outcome.consistent, outcome.detail
+
+    def test_history_conflict_serializable(self, scheme, order_rules):
+        wm = fresh_order_wm()
+        engine = ParallelEngine(order_rules, wm, scheme=scheme)
+        engine.run()
+        assert is_conflict_serializable(engine.history)
+
+    def test_quiescent_stop(self, scheme, order_rules):
+        engine = ParallelEngine(
+            order_rules, fresh_order_wm(), scheme=scheme
+        )
+        result = engine.run()
+        assert result.stop_reason == "quiescent"
+
+    def test_processor_cap_limits_wave_width(self, scheme, order_rules):
+        wm = fresh_order_wm()
+        engine = ParallelEngine(
+            order_rules, wm, scheme=scheme, processors=1
+        )
+        result = engine.run()
+        assert all(len(w.committed) <= 1 for w in engine.waves)
+        assert result.stop_reason == "quiescent"
+
+
+class TestSchemeDifferences:
+    def _contention_rules(self):
+        """Two rules whose instantiations conflict on the same tuple."""
+        toggle = (
+            RuleBuilder("toggle")
+            .when("flag", id=var("f"), state="on")
+            .modify(1, state="off")
+            .build()
+        )
+        observe = (
+            RuleBuilder("observe")
+            .when("flag", id=var("f"), state="on")
+            .make("seen", flag=var("f"))
+            .build()
+        )
+        return [toggle, observe]
+
+    def test_rc_aborts_or_defers_conflicting_wave_member(self):
+        wm = WorkingMemory()
+        wm.make("flag", id=1, state="on")
+        engine = ParallelEngine(
+            self._contention_rules(), wm, scheme="rc", strategy="priority"
+        )
+        result = engine.run()
+        # Whatever interleaving happened, the run must be replayable.
+        snapshot_rules = self._contention_rules()
+        assert result.stop_reason == "quiescent"
+        assert is_conflict_serializable(engine.history)
+
+    def test_2pl_defers_blocked_writer(self):
+        wm = WorkingMemory()
+        wm.make("flag", id=1, state="on")
+        engine = ParallelEngine(
+            self._contention_rules(), wm, scheme="2pl"
+        )
+        result = engine.run()
+        assert result.stop_reason == "quiescent"
+        deferred = [w for wave in engine.waves for w in wave.deferred]
+        aborted = [w for wave in engine.waves for w in wave.aborted]
+        # Under 2PL conflicts defer rather than abort.
+        assert not aborted or deferred is not None
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(EngineError):
+            ParallelEngine([], WorkingMemory(), scheme="optimistic")
+
+
+class TestWaveAccounting:
+    def test_waves_recorded(self, order_rules):
+        engine = ParallelEngine(order_rules, fresh_order_wm())
+        engine.run()
+        assert len(engine.waves) >= 1
+        assert str(engine.waves[0]).startswith("wave 1")
+
+    def test_halt_in_wave_stops_run(self):
+        wm = WorkingMemory()
+        wm.make("go", v=1)
+        rules = [RuleBuilder("stop").when("go", v=1).halt().build()]
+        result = ParallelEngine(rules, wm).run()
+        assert result.halted
+        assert result.stop_reason == "halt"
+
+    def test_outputs_collected_across_waves(self):
+        wm = WorkingMemory()
+        wm.make("x", v=1)
+        rules = [
+            RuleBuilder("w")
+            .when("x", v=var("n"))
+            .write(var("n"))
+            .remove(1)
+            .build()
+        ]
+        result = ParallelEngine(rules, wm).run()
+        assert result.outputs == [(1,)]

@@ -1,0 +1,88 @@
+"""Tests for the Section 5 analytics and factor sweeps."""
+
+import pytest
+
+from repro.analysis.factors import (
+    sweep_conflict_degree,
+    sweep_exec_times,
+    sweep_processors,
+)
+from repro.analysis.speedup import (
+    multi_thread_uniprocessor_time,
+    single_thread_time,
+    speedup_bound,
+)
+from repro.core.addsets import SECTION_5_EXEC_TIMES
+from repro.errors import SimulationError
+from repro.sim.metrics import monotone_fraction
+
+
+class TestAnalyticalModels:
+    def test_single_thread_time(self):
+        assert single_thread_time(
+            SECTION_5_EXEC_TIMES, ["P2", "P3", "P4"]
+        ) == 9.0
+
+    def test_uniprocessor_inequality_example_5_1(self):
+        """T_single <= T_multi,uni across the whole f range."""
+        committed = ["P2", "P3", "P4"]
+        aborted = ["P1"]
+        base = single_thread_time(SECTION_5_EXEC_TIMES, committed)
+        for f in (0.0, 0.25, 0.5, 0.99):
+            multi = multi_thread_uniprocessor_time(
+                SECTION_5_EXEC_TIMES, committed, aborted, f
+            )
+            assert multi >= base
+
+    def test_uniprocessor_time_grows_with_f(self):
+        committed, aborted = ["P2"], ["P1"]
+        times = [
+            multi_thread_uniprocessor_time(
+                SECTION_5_EXEC_TIMES, committed, aborted, f
+            )
+            for f in (0.0, 0.3, 0.6, 0.9)
+        ]
+        assert times == sorted(times)
+        assert times[0] < times[-1]
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(SimulationError):
+            multi_thread_uniprocessor_time(
+                SECTION_5_EXEC_TIMES, ["P1"], [], 1.0
+            )
+
+    def test_speedup_bound(self):
+        bound = speedup_bound(
+            SECTION_5_EXEC_TIMES, ["P1", "P2", "P3", "P4"], processors=4
+        )
+        assert bound == pytest.approx(14 / 5)
+        assert speedup_bound(
+            SECTION_5_EXEC_TIMES, ["P1", "P2", "P3", "P4"], processors=2
+        ) == 2.0
+        assert speedup_bound({}, [], 4) == 1.0
+
+
+class TestSweeps:
+    """Shape claims of Section 5 over randomized workloads."""
+
+    def test_conflict_sweep_mostly_decreasing(self):
+        points = sweep_conflict_degree(
+            degrees=(0.0, 0.2, 0.5, 0.8), trials=6, n_productions=12
+        )
+        speedups = [p.speedup for p in points]
+        assert monotone_fraction(speedups, decreasing=True) >= 0.6
+        assert speedups[0] > speedups[-1]
+
+    def test_processor_sweep_increases_then_saturates(self):
+        points = sweep_processors(
+            processor_counts=(1, 2, 4, 8, 16), trials=6, n_productions=12
+        )
+        speedups = [p.speedup for p in points]
+        assert monotone_fraction(speedups, decreasing=False) >= 0.75
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[-1] > 1.0
+
+    def test_exec_time_sweep_produces_points(self):
+        points = sweep_exec_times(skews=(1.0, 4.0), trials=4)
+        assert len(points) == 2
+        assert all(p.speedup >= 1.0 for p in points)

@@ -1,0 +1,79 @@
+"""Integration tests for the Miss Manners workload."""
+
+import pytest
+
+from repro.engine import Interpreter, ParallelEngine, replay_commit_sequence
+from repro.wm import WMSnapshot
+from repro.workloads import (
+    build_manners_memory,
+    build_manners_rules,
+    seating_order,
+    validate_seating,
+)
+
+
+class TestManners:
+    @pytest.mark.parametrize(
+        "matcher", ["rete", "treat", "cond", "naive"]
+    )
+    def test_all_matchers_solve_it(self, matcher):
+        memory = build_manners_memory(10, seed=2)
+        result = Interpreter(
+            build_manners_rules(),
+            memory,
+            matcher=matcher,
+            strategy="priority",
+        ).run(max_cycles=100)
+        assert result.halted
+        validate_seating(memory)
+
+    def test_seating_is_deterministic_per_strategy(self):
+        orders = []
+        for _ in range(2):
+            memory = build_manners_memory(8, seed=5)
+            Interpreter(
+                build_manners_rules(),
+                memory,
+                strategy="priority",
+            ).run(max_cycles=100)
+            orders.append(seating_order(memory))
+        assert orders[0] == orders[1]
+
+    def test_validator_rejects_broken_seating(self):
+        memory = build_manners_memory(6, seed=0)
+        Interpreter(
+            build_manners_rules(), memory, strategy="priority"
+        ).run(max_cycles=100)
+        # Sabotage: remove one seating tuple.
+        memory.remove(memory.elements("seating")[0])
+        with pytest.raises(AssertionError):
+            validate_seating(memory)
+
+    def test_parallel_engine_solves_it_consistently(self):
+        """The chain structure serializes naturally (each extension
+        depends on the previous `last`), but the parallel engine must
+        still get it right and stay semantically consistent."""
+        rules = build_manners_rules()
+        memory = build_manners_memory(8, seed=3)
+        snapshot = WMSnapshot.capture(memory)
+        engine = ParallelEngine(
+            rules, memory, scheme="rc", strategy="priority"
+        )
+        result = engine.run(max_waves=100)
+        assert result.halted
+        validate_seating(memory)
+        outcome = replay_commit_sequence(snapshot, rules, result.firings)
+        assert outcome.consistent, outcome.detail
+
+    def test_scaling_structure(self):
+        for n in (4, 9, 15):
+            memory = build_manners_memory(n, seed=1)
+            result = Interpreter(
+                build_manners_rules(),
+                memory,
+                strategy="priority",
+            ).run(max_cycles=5 * n)
+            assert result.halted
+            assert len(seating_order(memory)) == n
+            # seed + (n-1) extensions + halt rule
+            assert result.cycles == n + 1

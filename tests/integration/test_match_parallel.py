@@ -1,0 +1,92 @@
+"""Tests for the intra-phase (parallel match) model."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.match_parallel import (
+    lpt_makespan,
+    match_speedup,
+    skewed_costs,
+    speedup_ceiling,
+    speedup_curve,
+)
+from repro.errors import SimulationError
+
+
+class TestLpt:
+    def test_single_processor_is_sum(self):
+        assert lpt_makespan([3, 1, 2], 1) == 6
+
+    def test_enough_processors_is_max(self):
+        assert lpt_makespan([3, 1, 2], 3) == 3
+        assert lpt_makespan([3, 1, 2], 10) == 3
+
+    def test_classic_approximation_gap(self):
+        # {5,4,3,3,3} on 2 machines: OPT = 9 (5+4 | 3+3+3) but LPT
+        # packs greedily to 10 — the textbook LPT gap instance.
+        assert lpt_makespan([5, 4, 3, 3, 3], 2) == 10
+
+    def test_empty(self):
+        assert lpt_makespan([], 4) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SimulationError):
+            lpt_makespan([1], 0)
+        with pytest.raises(SimulationError):
+            lpt_makespan([-1], 2)
+
+
+class TestSpeedup:
+    def test_balanced_costs_scale_linearly(self):
+        costs = [1.0] * 8
+        assert match_speedup(costs, 8) == pytest.approx(8.0)
+
+    def test_ceiling_is_skew_limited(self):
+        costs = [10.0, 1.0, 1.0, 1.0]
+        assert speedup_ceiling(costs) == pytest.approx(1.3)
+        # More processors cannot beat the ceiling.
+        assert match_speedup(costs, 100) <= speedup_ceiling(costs) + 1e-9
+
+    def test_curve_monotone(self):
+        costs = skewed_costs(40, skew=1.5, seed=3)
+        curve = speedup_curve(costs, (1, 2, 4, 8, 16))
+        values = [s for _, s in curve]
+        assert values[0] == pytest.approx(1.0)
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_skewed_costs_reproducible(self):
+        assert skewed_costs(10, seed=1) == skewed_costs(10, seed=1)
+
+    def test_skew_parameter_validated(self):
+        with pytest.raises(SimulationError):
+            skewed_costs(5, skew=0)
+
+    def test_gupta_saturation_shape(self):
+        """Highly skewed costs saturate early: going 8->64 processors
+        gains far less than 1->8 — the survey's empirical point that
+        production-level match parallelism is limited."""
+        costs = skewed_costs(60, skew=1.1, seed=7)
+        s1 = match_speedup(costs, 1)
+        s8 = match_speedup(costs, 8)
+        s64 = match_speedup(costs, 64)
+        assert (s8 - s1) > (s64 - s8)
+
+
+@given(
+    costs=st.lists(st.floats(0.0, 50.0), max_size=30),
+    processors=st.integers(1, 16),
+)
+@settings(max_examples=100, deadline=None)
+def test_lpt_invariants(costs, processors):
+    """Properties: makespan between the two lower bounds and the serial
+    sum; Graham's guarantee (4/3 of optimal, here vs lower bound)."""
+    makespan = lpt_makespan(costs, processors)
+    total = sum(costs)
+    longest = max(costs, default=0.0)
+    lower = max(longest, total / processors)
+    assert makespan >= lower - 1e-9
+    assert makespan <= total + 1e-9
+    if lower > 0:
+        # LPT is a 4/3-approximation of OPT >= lower bound.
+        assert makespan <= (4 / 3) * lower + longest

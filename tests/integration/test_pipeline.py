@@ -1,0 +1,81 @@
+"""Tests for inter-phase (pipelined) parallelism analysis."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.pipeline import (
+    balanced_speedup_bound,
+    overlap_speedup,
+    pipelined_time,
+    sequential_time,
+)
+from repro.errors import SimulationError
+
+
+class TestFormulas:
+    def test_sequential_is_sum(self):
+        assert sequential_time([1, 2], [3, 4]) == 10
+
+    def test_pipelined_two_cycles(self):
+        # m1 + max(m2, e1) + e2 = 1 + max(2,3) + 4 = 8
+        assert pipelined_time([1, 2], [3, 4]) == 8
+
+    def test_single_cycle_no_overlap_possible(self):
+        assert pipelined_time([2], [3]) == 5
+        assert overlap_speedup([2], [3]) == 1.0
+
+    def test_empty_run(self):
+        assert pipelined_time([], []) == 0.0
+        assert overlap_speedup([], []) == 1.0
+
+    def test_balanced_pipeline_approaches_two(self):
+        n = 50
+        match = [1.0] * n
+        execute = [1.0] * n
+        speedup = overlap_speedup(match, execute)
+        assert speedup == pytest.approx(2 * n / (n + 1))
+        assert speedup == pytest.approx(balanced_speedup_bound(n))
+
+    def test_execute_dominated_pipeline(self):
+        # match is negligible: overlap hides it almost entirely.
+        match = [0.01] * 10
+        execute = [5.0] * 10
+        speedup = overlap_speedup(match, execute)
+        assert 1.0 < speedup < 1.02
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SimulationError):
+            pipelined_time([1], [1, 2])
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(SimulationError):
+            sequential_time([-1], [1])
+
+    def test_bound_needs_cycles(self):
+        with pytest.raises(SimulationError):
+            balanced_speedup_bound(0)
+
+
+@given(
+    times=st.lists(
+        st.tuples(
+            st.floats(0.0, 100.0, allow_nan=False),
+            st.floats(0.0, 100.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_pipeline_invariants(times):
+    """Properties: pipelining never slows a run down, never beats 2x,
+    and never beats the per-phase lower bounds."""
+    match = [m for m, _ in times]
+    execute = [e for _, e in times]
+    seq = sequential_time(match, execute)
+    pipe = pipelined_time(match, execute)
+    assert pipe <= seq + 1e-9
+    assert pipe >= max(sum(match), sum(execute)) - 1e-9
+    if pipe > 0:
+        assert seq / pipe <= 2.0 + 1e-9

@@ -1,0 +1,130 @@
+"""Tests for the rule-program linter."""
+
+from repro.lang import RuleBuilder, parse_program
+from repro.lang.builder import gt, var
+from repro.lang.lint import Finding, format_findings, lint_program
+
+
+def codes(findings):
+    return sorted(f.code for f in findings)
+
+
+class TestCleanPrograms:
+    def test_clean_chain(self):
+        rules = parse_program(
+            """
+            (p a-to-b (a ^id <x>) --> (remove 1) (make b ^id <x>))
+            (p b-sink (b ^id <x>) --> (remove 1) (write <x>))
+            """
+        )
+        assert lint_program(rules, known_relations=["a"]) == []
+
+    def test_known_relations_satisfy_matchability(self):
+        rules = parse_program('(p eat (food ^kind "fruit") --> (remove 1))')
+        assert lint_program(rules, known_relations=["food"]) == []
+        assert codes(lint_program(rules)) == ["unmatchable-rule"]
+
+    def test_format_clean(self):
+        assert format_findings([]) == "no lint findings"
+
+
+class TestFindings:
+    def test_unused_variable(self):
+        rules = parse_program(
+            "(p r (a ^id <x> ^extra <dead>) --> (modify 1 ^id (<x> + 1)))"
+        )
+        findings = lint_program(rules, known_relations=["a"])
+        assert codes(findings) == ["unused-variable"]
+        assert "<dead>" in findings[0].message
+
+    def test_underscore_wildcard_not_flagged(self):
+        rules = parse_program(
+            "(p r (a ^id <_ignored>) --> (remove 1))"
+        )
+        assert lint_program(rules, known_relations=["a"]) == []
+
+    def test_join_variable_not_flagged(self):
+        rules = parse_program(
+            "(p r (a ^id <x>) (b ^ref <x>) --> (remove 1))"
+        )
+        findings = lint_program(rules, known_relations=["a", "b"])
+        assert findings == []
+
+    def test_rhs_use_not_flagged(self):
+        rules = parse_program(
+            "(p r (a ^id <x>) --> (make out ^v <x>) (remove 1))"
+        )
+        findings = lint_program(rules, known_relations=["a"])
+        # 'out' is a dead write, but <x> is used.
+        assert "unused-variable" not in codes(findings)
+
+    def test_predicate_use_counts(self):
+        rules = parse_program(
+            "(p r (limit ^v <l>) (bid ^amt > <l>) --> (remove 2))"
+        )
+        findings = lint_program(
+            rules, known_relations=["limit", "bid"]
+        )
+        assert "unused-variable" not in codes(findings)
+
+    def test_unmatchable_rule(self):
+        rules = parse_program('(p r (ghost ^kind "k") --> (remove 1))')
+        assert codes(lint_program(rules)) == ["unmatchable-rule"]
+
+    def test_rule_feeding_itself_is_matchable(self):
+        rules = parse_program(
+            "(p r (loop ^n <n>) --> (modify 1 ^n (<n> + 1)))"
+        )
+        assert lint_program(rules) == []
+
+    def test_dead_write(self):
+        rules = parse_program(
+            "(p r (a ^id <x>) --> (remove 1) (make orphan ^id <x>))"
+        )
+        findings = lint_program(rules, known_relations=["a"])
+        assert codes(findings) == ["dead-write"]
+
+    def test_shadowed_rule(self):
+        rules = [
+            RuleBuilder("first").when("a", v=var("x")).remove(1).build(),
+            RuleBuilder("second").when("a", v=var("x")).make(
+                "b", v=var("x")
+            ).build(),
+            RuleBuilder("b-sink").when("b", v=var("x")).remove(1).build(),
+        ]
+        findings = lint_program(rules, known_relations=["a"])
+        shadowed = [f for f in findings if f.code == "shadowed-rule"]
+        assert len(shadowed) == 1
+        assert shadowed[0].rule == "second"
+        assert "first" in shadowed[0].message
+
+    def test_negation_unbound(self):
+        rules = parse_program(
+            "(p r (a ^id <x>) -(b ^v > <ghost>) --> (remove 1))"
+        )
+        findings = lint_program(rules, known_relations=["a", "b"])
+        assert "negation-unbound" in codes(findings)
+
+    def test_negation_with_bound_variable_ok(self):
+        rules = parse_program(
+            "(p r (a ^id <x>) -(b ^v > <x>) --> (remove 1))"
+        )
+        findings = lint_program(rules, known_relations=["a", "b"])
+        assert "negation-unbound" not in codes(findings)
+
+    def test_multiple_findings_accumulate(self):
+        rules = parse_program(
+            """
+            (p messy (ghost ^id <x> ^u <unused>)
+               -->
+               (remove 1)
+               (make orphan ^id <x>))
+            """
+        )
+        found = codes(lint_program(rules))
+        assert found == ["dead-write", "unmatchable-rule", "unused-variable"]
+
+    def test_finding_str(self):
+        finding = Finding("r", "dead-write", "creates 'x'")
+        assert str(finding) == "r: [dead-write] creates 'x'"
+        assert "dead-write" in format_findings([finding])

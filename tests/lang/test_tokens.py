@@ -1,0 +1,127 @@
+"""Tests for the rule-DSL lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.tokens import (
+    ARROW,
+    ATTRIBUTE,
+    EOF,
+    LPAREN,
+    NEGATION,
+    NUMBER,
+    OPERATOR,
+    RPAREN,
+    STRING,
+    SYMBOL,
+    VARIABLE,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_parens(self):
+        assert kinds("()") == [LPAREN, RPAREN, EOF]
+
+    def test_symbol(self):
+        assert kinds("hello") == [SYMBOL, EOF]
+
+    def test_symbol_with_dashes(self):
+        assert texts("ship-order") == ["ship-order"]
+
+    def test_attribute(self):
+        tokens = tokenize("^status")
+        assert tokens[0].kind == ATTRIBUTE
+        assert tokens[0].text == "status"
+
+    def test_attribute_without_name_fails(self):
+        with pytest.raises(ParseError):
+            tokenize("^ )")
+
+    def test_arrow(self):
+        assert kinds("-->") == [ARROW, EOF]
+
+    def test_negation_before_paren(self):
+        assert kinds("-(") == [NEGATION, LPAREN, EOF]
+
+    def test_minus_as_operator(self):
+        assert kinds("- x") == [OPERATOR, SYMBOL, EOF]
+
+    def test_comment_skipped(self):
+        assert kinds("; a comment\nfoo") == [SYMBOL, EOF]
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("42", "42"), ("-7", "-7"), ("3.25", "3.25"), ("-0.5", "-0.5")],
+    )
+    def test_number_texts(self, text, expected):
+        tokens = tokenize(text)
+        assert tokens[0].kind == NUMBER
+        assert tokens[0].text == expected
+
+    def test_number_then_symbol(self):
+        assert kinds("1 x") == [NUMBER, SYMBOL, EOF]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind == STRING
+        assert tokens[0].text == "hello world"
+
+    def test_escapes(self):
+        tokens = tokenize(r'"a\"b\nc"')
+        assert tokens[0].text == 'a"b\nc'
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+
+class TestAngleDisambiguation:
+    def test_variable(self):
+        tokens = tokenize("<x>")
+        assert tokens[0].kind == VARIABLE
+        assert tokens[0].text == "x"
+
+    def test_less_than(self):
+        tokens = tokenize("< 5")
+        assert tokens[0].kind == OPERATOR
+        assert tokens[0].text == "<"
+
+    def test_less_equal(self):
+        assert texts("<= 5")[0] == "<="
+
+    def test_not_equal(self):
+        assert texts("<> 5")[0] == "<>"
+
+    def test_variable_with_digits(self):
+        tokens = tokenize("<x1>")
+        assert tokens[0].kind == VARIABLE
+        assert tokens[0].text == "x1"
+
+    def test_lt_followed_by_variable(self):
+        tokens = tokenize("< <x>")
+        assert [t.kind for t in tokens[:2]] == [OPERATOR, VARIABLE]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("@")
+        assert "unexpected" in str(err.value)

@@ -1,0 +1,106 @@
+"""Tests for lock escalation to relation level (Section 4.3)."""
+
+from repro.lang.ast import ConditionElement, ConstantTest
+from repro.locks.escalation import EscalationPolicy
+from repro.txn import Transaction
+from repro.wm.element import WME
+from repro.wm.schema import Catalog
+
+
+def element(relation, negated=False):
+    return ConditionElement(relation, (ConstantTest("k", 1),), negated)
+
+
+class TestGranularity:
+    def test_positive_element_locks_tuple(self):
+        policy = EscalationPolicy()
+        txn = Transaction()
+        wme = WME.make("order", id=7, k=1)
+        objs = policy.objects_for_element(txn, element("order"), wme)
+        assert objs == [("order", 7)]
+
+    def test_negative_element_locks_relation(self):
+        """'a condition dependent on the absence of some tuples ...
+        a lock can be placed at the relation level' — mandatory for
+        negated elements."""
+        policy = EscalationPolicy()
+        txn = Transaction()
+        objs = policy.objects_for_element(
+            txn, element("hold", negated=True), None
+        )
+        assert objs == [Catalog.catalog_lock_key("hold")]
+
+    def test_unmatched_positive_element_locks_relation(self):
+        policy = EscalationPolicy()
+        txn = Transaction()
+        objs = policy.objects_for_element(txn, element("order"), None)
+        assert objs == [Catalog.catalog_lock_key("order")]
+
+    def test_write_locks_tuple_and_relation(self):
+        policy = EscalationPolicy()
+        txn = Transaction()
+        wme = WME.make("order", id=7)
+        objs = policy.objects_for_write(txn, wme)
+        assert ("order", 7) in objs
+        assert Catalog.catalog_lock_key("order") in objs
+
+
+class TestThresholdEscalation:
+    def test_no_threshold_never_escalates(self):
+        policy = EscalationPolicy(threshold=0)
+        txn = Transaction()
+        for i in range(50):
+            wme = WME.make("order", id=i, k=1)
+            objs = policy.objects_for_element(txn, element("order"), wme)
+            assert objs == [("order", i)]
+        assert policy.escalations == 0
+
+    def test_threshold_triggers_relation_lock(self):
+        policy = EscalationPolicy(threshold=3)
+        txn = Transaction()
+        results = []
+        for i in range(5):
+            wme = WME.make("order", id=i, k=1)
+            results.append(
+                policy.objects_for_element(txn, element("order"), wme)
+            )
+        assert results[2] == [("order", 2)]
+        assert results[3] == [Catalog.catalog_lock_key("order")]
+        assert policy.escalations >= 1
+
+    def test_threshold_is_per_transaction(self):
+        policy = EscalationPolicy(threshold=2)
+        t1, t2 = Transaction(), Transaction()
+        for i in range(2):
+            policy.objects_for_element(
+                t1, element("order"), WME.make("order", id=i, k=1)
+            )
+        # t1 is at the threshold; t2 is fresh and still gets tuples.
+        objs = policy.objects_for_element(
+            t2, element("order"), WME.make("order", id=9, k=1)
+        )
+        assert objs == [("order", 9)]
+
+    def test_threshold_is_per_relation(self):
+        policy = EscalationPolicy(threshold=2)
+        txn = Transaction()
+        for i in range(2):
+            policy.objects_for_element(
+                txn, element("order"), WME.make("order", id=i, k=1)
+            )
+        objs = policy.objects_for_element(
+            txn, element("customer"), WME.make("customer", id=1, k=1)
+        )
+        assert objs == [("customer", 1)]
+
+    def test_forget_resets_counters(self):
+        policy = EscalationPolicy(threshold=1)
+        txn = Transaction()
+        policy.objects_for_element(
+            txn, element("order"), WME.make("order", id=1, k=1)
+        )
+        policy.forget(txn)
+        objs = policy.objects_for_element(
+            txn, element("order"), WME.make("order", id=2, k=1)
+        )
+        assert objs == [("order", 2)]

@@ -1,0 +1,171 @@
+"""Tests for the centralized lock manager."""
+
+import pytest
+
+from repro.locks import LockManager, LockMode
+from repro.txn import History, Transaction
+
+
+@pytest.fixture
+def manager():
+    return LockManager()
+
+
+def txn(name=""):
+    return Transaction(rule_name=name)
+
+
+class TestGrantRules:
+    def test_immediate_grant_on_free_object(self, manager):
+        t = txn()
+        request = manager.acquire(t, "q", LockMode.R)
+        assert request.is_granted
+        assert manager.holds(t, "q", LockMode.R)
+
+    def test_shared_reads(self, manager):
+        t1, t2 = txn(), txn()
+        assert manager.acquire(t1, "q", LockMode.R).is_granted
+        assert manager.acquire(t2, "q", LockMode.R).is_granted
+
+    def test_writer_blocked_by_reader(self, manager):
+        t1, t2 = txn(), txn()
+        manager.acquire(t1, "q", LockMode.R)
+        request = manager.acquire(t2, "q", LockMode.W)
+        assert request.is_waiting
+
+    def test_try_acquire_denies_without_queueing(self, manager):
+        t1, t2 = txn(), txn()
+        manager.acquire(t1, "q", LockMode.W)
+        assert not manager.try_acquire(t2, "q", LockMode.R)
+        assert manager.waiting_requests("q") == []
+
+    def test_no_barging_past_queued_writer(self, manager):
+        t1, t2, t3 = txn(), txn(), txn()
+        manager.acquire(t1, "q", LockMode.R)
+        manager.acquire(t2, "q", LockMode.W)  # queued
+        late_reader = manager.acquire(t3, "q", LockMode.R)
+        assert late_reader.is_waiting  # must not starve the writer
+
+    def test_upgrade_bypasses_queue(self, manager):
+        t1, t2 = txn(), txn()
+        manager.acquire(t1, "q", LockMode.R)
+        manager.acquire(t2, "q", LockMode.W)  # queued writer
+        # t1 already holds R; upgrading to W must not deadlock on the
+        # queue, only on other holders (none here besides itself).
+        upgrade = manager.acquire(t1, "q", LockMode.W)
+        assert upgrade.is_granted
+
+    def test_upgrade_blocked_by_other_reader(self, manager):
+        t1, t2 = txn(), txn()
+        manager.acquire(t1, "q", LockMode.R)
+        manager.acquire(t2, "q", LockMode.R)
+        assert manager.acquire(t1, "q", LockMode.W).is_waiting
+
+
+class TestRelease:
+    def test_release_wakes_waiter(self, manager):
+        t1, t2 = txn(), txn()
+        manager.acquire(t1, "q", LockMode.W)
+        waiting = manager.acquire(t2, "q", LockMode.R)
+        manager.release(t1, "q")
+        assert waiting.is_granted
+
+    def test_release_all_wakes_across_objects(self, manager):
+        t1, t2, t3 = txn(), txn(), txn()
+        manager.acquire(t1, "a", LockMode.W)
+        manager.acquire(t1, "b", LockMode.W)
+        wait_a = manager.acquire(t2, "a", LockMode.R)
+        wait_b = manager.acquire(t3, "b", LockMode.R)
+        manager.release_all(t1)
+        assert wait_a.is_granted
+        assert wait_b.is_granted
+        assert manager.locked_objects(t1) == frozenset()
+
+    def test_fifo_grant_order(self, manager):
+        t1, t2, t3 = txn(), txn(), txn()
+        manager.acquire(t1, "q", LockMode.W)
+        first = manager.acquire(t2, "q", LockMode.W)
+        second = manager.acquire(t3, "q", LockMode.W)
+        manager.release(t1, "q")
+        assert first.is_granted
+        assert second.is_waiting
+
+    def test_release_all_cancels_own_waiting_requests(self, manager):
+        t1, t2 = txn(), txn()
+        manager.acquire(t1, "q", LockMode.W)
+        waiting = manager.acquire(t2, "q", LockMode.W)
+        manager.release_all(t2)
+        assert not waiting.is_granted
+        manager.release(t1, "q")
+        assert not waiting.is_granted  # cancelled, not woken
+
+    def test_cancel_unblocks_queue(self, manager):
+        t1, t2, t3 = txn(), txn(), txn()
+        manager.acquire(t1, "q", LockMode.R)
+        blocked_writer = manager.acquire(t2, "q", LockMode.W)
+        queued_reader = manager.acquire(t3, "q", LockMode.R)
+        manager.cancel(blocked_writer)
+        assert queued_reader.is_granted
+
+
+class TestBookkeeping:
+    def test_history_records_reads_and_writes(self):
+        history = History()
+        manager = LockManager(history=history)
+        t = txn()
+        manager.acquire(t, "q", LockMode.R)
+        manager.acquire(t, "p", LockMode.W)
+        kinds = [op.kind for op in history]
+        assert kinds == ["r", "w"]
+        assert t.read_set == {"q"}
+        assert t.write_set == {"p"}
+
+    def test_waits_for_edges(self, manager):
+        t1, t2 = txn(), txn()
+        manager.acquire(t1, "q", LockMode.W)
+        manager.acquire(t2, "q", LockMode.R)
+        assert (t2, t1) in list(manager.waits_for_edges())
+
+    def test_waits_for_includes_queued_ahead(self, manager):
+        t1, t2, t3 = txn(), txn(), txn()
+        manager.acquire(t1, "q", LockMode.R)
+        manager.acquire(t2, "q", LockMode.W)  # waits on t1
+        manager.acquire(t3, "q", LockMode.W)  # waits on t1 and t2
+        edges = set(manager.waits_for_edges())
+        assert (t3, t2) in edges
+
+    def test_grant_table_snapshot(self, manager):
+        t = txn()
+        manager.acquire(t, "q", LockMode.R)
+        table = manager.grant_table()
+        assert table == {"q": {t.txn_id: ("R",)}}
+
+    def test_can_grant_probe_is_pure(self, manager):
+        t1, t2 = txn(), txn()
+        manager.acquire(t1, "q", LockMode.W)
+        assert not manager.can_grant(t2, "q", LockMode.R)
+        assert manager.can_grant(t1, "q", LockMode.R)  # own upgrade
+        assert manager.waiting_requests() == []
+
+    def test_stats_counters(self, manager):
+        t1, t2 = txn(), txn()
+        manager.acquire(t1, "q", LockMode.W)
+        manager.acquire(t2, "q", LockMode.R)
+        manager.try_acquire(t2, "q", LockMode.W)
+        assert manager.stats["grants"] == 1
+        assert manager.stats["waits"] == 1
+        assert manager.stats["denials"] == 1
+
+
+class TestAuditor:
+    def test_auditor_passes_on_legal_states(self, manager):
+        t1, t2 = txn(), txn()
+        manager.acquire(t1, "q", LockMode.R)
+        manager.acquire(t2, "q", LockMode.R)  # fine
+
+    def test_rc_wa_coexistence_allowed_by_auditor(self):
+        manager = LockManager()
+        t1, t2 = txn(), txn()
+        manager.acquire(t1, "q", LockMode.RC)
+        granted = manager.acquire(t2, "q", LockMode.WA)
+        assert granted.is_granted  # the deliberate Rc-Wa coexistence

@@ -1,0 +1,139 @@
+"""Thread-stress tests for the lock manager's mutual exclusion.
+
+The deterministic tests pin the grant rules; these hammer the manager
+from real OS threads and assert the safety invariants the paper's
+schemes rely on: no incompatible simultaneous grants (checked by the
+runtime auditor on every grant) and full release on completion.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.errors import LockError
+from repro.locks import LockManager, LockMode, RcScheme
+from repro.txn import Transaction
+
+
+class TestThreadStress:
+    N_THREADS = 8
+    N_OPS = 60
+    OBJECTS = ["a", "b", "c", "d"]
+
+    def test_no_incompatible_grants_under_contention_2pl_modes(self):
+        manager = LockManager(audit=True)  # auditor raises on violation
+        errors: list[Exception] = []
+
+        def worker(seed: int) -> None:
+            rng = random.Random(seed)
+            try:
+                for _ in range(self.N_OPS):
+                    txn = Transaction()
+                    objs = rng.sample(self.OBJECTS, 2)
+                    granted_all = True
+                    for obj in objs:
+                        mode = (
+                            LockMode.W
+                            if rng.random() < 0.3
+                            else LockMode.R
+                        )
+                        if not manager.try_acquire(txn, obj, mode):
+                            granted_all = False
+                            break
+                    if granted_all and rng.random() < 0.5:
+                        txn.commit()
+                    manager.release_all(txn)
+            except Exception as exc:  # auditor violations land here
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # Everything was released.
+        assert manager.grant_table() == {}
+
+    def test_rc_scheme_commit_race_is_single_winner(self):
+        """Many Wa writers race to commit against many Rc readers on
+        one hot object: every reader must end either committed (it won
+        the race to its commit point) or aborted — never both, and the
+        auditor must stay silent throughout."""
+        for round_seed in range(5):
+            scheme = RcScheme(audit=True)
+            readers = [
+                Transaction(rule_name=f"r{i}") for i in range(6)
+            ]
+            for reader in readers:
+                assert scheme.try_lock_condition(reader, "hot")
+            writer = Transaction(rule_name="w")
+            assert scheme.try_lock_action(writer, writes=["hot"])
+
+            barrier = threading.Barrier(len(readers) + 1)
+            outcomes: list[str] = []
+            lock = threading.Lock()
+
+            def commit_reader(txn: Transaction) -> None:
+                barrier.wait()
+                if txn.try_abort.__self__ is txn:  # touch to keep ref
+                    pass
+                # Race to the commit point.
+                committed = False
+                try:
+                    txn.commit()
+                    committed = True
+                except Exception:
+                    committed = False
+                with lock:
+                    outcomes.append(
+                        "committed" if committed else "aborted"
+                    )
+
+            def commit_writer() -> None:
+                barrier.wait()
+                scheme.commit(writer)
+
+            threads = [
+                threading.Thread(
+                    target=commit_reader, args=(r,), daemon=True
+                )
+                for r in readers
+            ]
+            threads.append(
+                threading.Thread(target=commit_writer, daemon=True)
+            )
+            random.Random(round_seed).shuffle(threads)
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            # Every reader resolved exactly one way.
+            assert len(outcomes) == len(readers)
+            for reader in readers:
+                assert reader.is_committed != reader.is_aborted
+            assert writer.is_committed
+
+    def test_blocking_acquire_wakes_across_threads(self):
+        manager = LockManager()
+        holder = Transaction()
+        manager.acquire(holder, "q", LockMode.W)
+        results = {}
+
+        def blocked_reader():
+            txn = Transaction()
+            request = manager.acquire(
+                txn, "q", LockMode.R, blocking=True, timeout=5.0
+            )
+            results["granted"] = request.is_granted
+
+        thread = threading.Thread(target=blocked_reader, daemon=True)
+        thread.start()
+        manager.release_all(holder)
+        thread.join(timeout=5.0)
+        assert results.get("granted") is True

@@ -1,0 +1,110 @@
+"""Tests for lock modes and Table 4.1."""
+
+import pytest
+
+from repro.locks.modes import (
+    COMPATIBILITY,
+    LockMode,
+    PAPER_TABLE_4_1,
+    TWO_PHASE_COMPATIBILITY,
+    compatible,
+    is_upgrade,
+    table_4_1,
+)
+
+
+class TestTable41:
+    """The compatibility matrix must be *exactly* the paper's Table 4.1."""
+
+    def test_matches_paper(self):
+        assert tuple(g for _, _, g in table_4_1()) == PAPER_TABLE_4_1
+
+    def test_rc_wa_conflict_allowed(self):
+        """The paper's key design point: Wa is granted over Rc."""
+        assert compatible(LockMode.WA, LockMode.RC)
+
+    def test_rc_blocked_by_wa(self):
+        """...but a new Rc must wait for an existing Wa."""
+        assert not compatible(LockMode.RC, LockMode.WA)
+
+    def test_ra_blocks_wa(self):
+        assert not compatible(LockMode.WA, LockMode.RA)
+        assert not compatible(LockMode.RA, LockMode.WA)
+
+    def test_reads_all_compatible(self):
+        for left in (LockMode.RC, LockMode.RA):
+            for right in (LockMode.RC, LockMode.RA):
+                assert compatible(left, right)
+
+    def test_wa_wa_incompatible(self):
+        assert not compatible(LockMode.WA, LockMode.WA)
+
+    def test_asymmetry_is_only_rc_wa(self):
+        """Table 4.1 is symmetric except the deliberate Rc/Wa cell."""
+        modes = (LockMode.RC, LockMode.RA, LockMode.WA)
+        for a in modes:
+            for b in modes:
+                if {a, b} == {LockMode.RC, LockMode.WA}:
+                    continue
+                assert COMPATIBILITY[a][b] == COMPATIBILITY[b][a]
+
+
+class TestTwoPhaseMatrix:
+    def test_read_read_shared(self):
+        assert compatible(LockMode.R, LockMode.R)
+
+    @pytest.mark.parametrize(
+        "req,held",
+        [(LockMode.R, LockMode.W), (LockMode.W, LockMode.R),
+         (LockMode.W, LockMode.W)],
+    )
+    def test_writer_exclusive(self, req, held):
+        assert not compatible(req, held)
+
+    def test_matrix_complete(self):
+        for requested, row in TWO_PHASE_COMPATIBILITY.items():
+            assert set(row) == {LockMode.R, LockMode.W}
+
+
+class TestModeProperties:
+    def test_read_classification(self):
+        assert LockMode.R.is_read
+        assert LockMode.RC.is_read
+        assert LockMode.RA.is_read
+        assert not LockMode.W.is_read
+        assert not LockMode.WA.is_read
+
+    def test_write_classification(self):
+        assert LockMode.W.is_write
+        assert LockMode.WA.is_write
+        assert not LockMode.RC.is_write
+
+    def test_cross_scheme_comparison_raises(self):
+        with pytest.raises(KeyError):
+            compatible(LockMode.R, LockMode.WA)
+
+
+class TestUpgrades:
+    @pytest.mark.parametrize(
+        "held,req",
+        [
+            (LockMode.R, LockMode.W),
+            (LockMode.RC, LockMode.RA),
+            (LockMode.RC, LockMode.WA),
+            (LockMode.RA, LockMode.WA),
+        ],
+    )
+    def test_valid_upgrades(self, held, req):
+        assert is_upgrade(held, req)
+
+    @pytest.mark.parametrize(
+        "held,req",
+        [
+            (LockMode.W, LockMode.R),
+            (LockMode.WA, LockMode.RC),
+            (LockMode.RA, LockMode.RC),
+            (LockMode.R, LockMode.R),
+        ],
+    )
+    def test_non_upgrades(self, held, req):
+        assert not is_upgrade(held, req)

@@ -1,0 +1,230 @@
+"""Tests for the 2PL and Rc/Ra/Wa disciplines — the paper's Section 4
+scenarios (Figures 4.1-4.4) as executable cases."""
+
+import pytest
+
+from repro.locks import LockMode, RcScheme, TwoPhaseScheme
+from repro.txn import History, Transaction, is_conflict_serializable
+
+
+def txn(name=""):
+    return Transaction(rule_name=name)
+
+
+class TestTwoPhaseScheme:
+    def test_condition_then_action_lifecycle(self):
+        scheme = TwoPhaseScheme()
+        t = txn("p1")
+        assert scheme.lock_condition(t, "q").is_granted
+        requests = scheme.lock_action(t, reads=["q"], writes=["r"])
+        assert all(r.is_granted for r in requests)
+        outcome = scheme.commit(t)
+        assert outcome.committed and not outcome.victims
+        assert scheme.manager.locked_objects(t) == frozenset()
+
+    def test_writer_blocked_by_condition_reader(self):
+        """Figure 4.1's conservatism: condition R locks block writers."""
+        scheme = TwoPhaseScheme()
+        reader, writer = txn("reader"), txn("writer")
+        scheme.lock_condition(reader, "q")
+        assert not scheme.try_lock_action(writer, writes=["q"])
+
+    def test_writer_proceeds_after_reader_commits(self):
+        scheme = TwoPhaseScheme()
+        reader, writer = txn(), txn()
+        scheme.lock_condition(reader, "q")
+        scheme.commit(reader)
+        assert scheme.try_lock_action(writer, writes=["q"])
+
+    def test_false_condition_releases_locks(self):
+        scheme = TwoPhaseScheme()
+        t = txn()
+        scheme.lock_condition(t, "q")
+        scheme.release_condition_locks(t)
+        assert scheme.manager.locked_objects(t) == frozenset()
+
+    def test_abort_releases_everything(self):
+        scheme = TwoPhaseScheme()
+        t = txn()
+        scheme.lock_condition(t, "q")
+        scheme.abort(t, "victim")
+        assert t.is_aborted
+        assert scheme.manager.locked_objects(t) == frozenset()
+
+    def test_history_records_commit_and_abort(self):
+        history = History()
+        scheme = TwoPhaseScheme(history=history)
+        a, b = txn(), txn()
+        scheme.lock_condition(a, "q")
+        scheme.commit(a)
+        scheme.lock_condition(b, "p")
+        scheme.abort(b)
+        assert history.committed() == {a.txn_id}
+        assert history.aborted() == {b.txn_id}
+
+    def test_no_victims_ever(self):
+        scheme = TwoPhaseScheme()
+        a, b = txn(), txn()
+        scheme.lock_condition(a, "q")
+        scheme.lock_condition(b, "q")
+        assert scheme.commit(a).victims == []
+
+
+class TestRcSchemeFigure43:
+    """The two-production Rc-Wa scenario of Figure 4.3."""
+
+    def _setup(self, history=None):
+        scheme = RcScheme(history=history)
+        pi, pj = txn("Pi"), txn("Pj")
+        # Pj evaluates its condition over q; Pi writes q in its action.
+        assert scheme.lock_condition(pj, "q").is_granted
+        granted = scheme.lock_action(pi, writes=["q"])
+        assert all(r.is_granted for r in granted), "Wa must bypass Rc"
+        return scheme, pi, pj
+
+    def test_case_a_rc_holder_commits_first(self):
+        """Figure 4.3(a): Pj commits first -> both commit, order Pj Pi."""
+        history = History()
+        scheme, pi, pj = self._setup(history)
+        assert scheme.commit(pj).victims == []
+        outcome = scheme.commit(pi)
+        assert outcome.victims == []
+        assert pi.is_committed and pj.is_committed
+        assert history.commit_order() == (pj.txn_id, pi.txn_id)
+        assert is_conflict_serializable(history)
+
+    def test_case_b_wa_holder_commits_first(self):
+        """Figure 4.3(b): Pi commits first -> Pj is forced to abort."""
+        history = History()
+        scheme, pi, pj = self._setup(history)
+        outcome = scheme.commit(pi)
+        assert [v.txn_id for v in outcome.victims] == [pj.txn_id]
+        assert pj.is_aborted
+        scheme.abort(pj)
+        assert is_conflict_serializable(history)
+        assert scheme.forced_aborts == 1
+
+    def test_victim_locks_released_after_abort(self):
+        scheme, pi, pj = self._setup()
+        scheme.commit(pi)
+        scheme.abort(pj)
+        # A new transaction can take any lock on q now.
+        fresh = txn()
+        assert scheme.try_lock_action(fresh, writes=["q"])
+
+    def test_unrelated_rc_holders_spared(self):
+        scheme = RcScheme()
+        pi, bystander = txn("Pi"), txn("bystander")
+        scheme.lock_condition(bystander, "unrelated")
+        scheme.lock_action(pi, writes=["q"])
+        assert scheme.commit(pi).victims == []
+        assert bystander.is_active
+
+
+class TestRcSchemeFigure44:
+    """Circular conflict: Pi Rc(q)+Wa(r); Pj Rc(r)+Wa(q).
+
+    'The commitment of one production always forces the other to
+    abort.  Thus the consistent execution semantics is once again
+    satisfied.'
+    """
+
+    def _setup(self):
+        scheme = RcScheme()
+        pi, pj = txn("Pi"), txn("Pj")
+        assert scheme.lock_condition(pi, "q").is_granted
+        assert scheme.lock_condition(pj, "r").is_granted
+        assert all(
+            r.is_granted for r in scheme.lock_action(pi, writes=["r"])
+        )
+        assert all(
+            r.is_granted for r in scheme.lock_action(pj, writes=["q"])
+        )
+        return scheme, pi, pj
+
+    def test_exactly_one_commits_pi_first(self):
+        scheme, pi, pj = self._setup()
+        outcome = scheme.commit(pi)
+        assert [v.txn_id for v in outcome.victims] == [pj.txn_id]
+        assert pi.is_committed and pj.is_aborted
+
+    def test_exactly_one_commits_pj_first(self):
+        scheme, pi, pj = self._setup()
+        outcome = scheme.commit(pj)
+        assert [v.txn_id for v in outcome.victims] == [pi.txn_id]
+        assert pj.is_committed and pi.is_aborted
+
+
+class TestRevalidation:
+    """The paper's alternative to rule (ii): re-evaluate instead of
+    unconditionally aborting."""
+
+    def test_revalidator_spares_still_valid_holders(self):
+        scheme = RcScheme(revalidator=lambda txn, obj: True)
+        pi, pj = txn("Pi"), txn("Pj")
+        scheme.lock_condition(pj, "q")
+        scheme.lock_action(pi, writes=["q"])
+        outcome = scheme.commit(pi)
+        assert outcome.victims == []
+        assert pj.is_active
+        assert scheme.revalidated == 1
+
+    def test_revalidator_false_still_aborts(self):
+        scheme = RcScheme(revalidator=lambda txn, obj: False)
+        pi, pj = txn("Pi"), txn("Pj")
+        scheme.lock_condition(pj, "q")
+        scheme.lock_action(pi, writes=["q"])
+        outcome = scheme.commit(pi)
+        assert [v.txn_id for v in outcome.victims] == [pj.txn_id]
+
+    def test_revalidator_called_per_conflicting_object(self):
+        seen = []
+        scheme = RcScheme(
+            revalidator=lambda txn, obj: seen.append(obj) or True
+        )
+        pi, pj = txn(), txn()
+        scheme.lock_condition(pj, "q")
+        scheme.lock_condition(pj, "p")
+        scheme.lock_action(pi, writes=["q", "p"])
+        scheme.commit(pi)
+        assert sorted(seen) == ["p", "q"]
+
+
+class TestRcSchemeEdgeCases:
+    def test_committed_victim_is_spared(self):
+        """rule (i): whoever reaches the commit point first wins."""
+        scheme = RcScheme()
+        pi, pj = txn("Pi"), txn("Pj")
+        scheme.lock_condition(pj, "q")
+        scheme.lock_action(pi, writes=["q"])
+        pj.commit()  # Pj wins the race to its commit point
+        outcome = scheme.commit(pi)
+        assert outcome.victims == []
+        assert pj.is_committed
+
+    def test_rc_blocked_by_existing_wa(self):
+        """New matching cannot sneak in once the writer holds Wa."""
+        scheme = RcScheme()
+        pi, late = txn("Pi"), txn("late")
+        scheme.lock_action(pi, writes=["q"])
+        assert not scheme.try_lock_condition(late, "q")
+
+    def test_ra_blocks_wa(self):
+        scheme = RcScheme()
+        holder, writer = txn(), txn()
+        scheme.lock_action(holder, reads=["q"])
+        assert not scheme.try_lock_action(writer, writes=["q"])
+
+    def test_own_rc_upgrades_to_wa(self):
+        scheme = RcScheme()
+        t = txn()
+        scheme.lock_condition(t, "q")
+        assert scheme.try_lock_action(t, writes=["q"])
+        assert scheme.manager.holds(t, "q", LockMode.WA)
+
+    def test_self_not_victim(self):
+        scheme = RcScheme()
+        t = txn()
+        scheme.lock_condition(t, "q")
+        scheme.lock_action(t, writes=["q"])
+        assert scheme.commit(t).victims == []

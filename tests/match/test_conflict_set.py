@@ -1,0 +1,115 @@
+"""Tests for the conflict set and its delta tracking."""
+
+from repro.lang import RuleBuilder
+from repro.lang.builder import var
+from repro.match.conflict_set import ConflictSet
+from repro.match.instantiation import Instantiation
+from repro.wm.element import WME
+
+
+def _inst(name, tag):
+    rule = RuleBuilder(name).when("i", v=var("x")).remove(1).build()
+    return Instantiation.build(
+        rule, (WME.make("i", {"v": 0}, timetag=tag),), {}
+    )
+
+
+class TestMembership:
+    def test_add_and_contains(self):
+        cs = ConflictSet()
+        inst = _inst("a", 1)
+        assert cs.add(inst)
+        assert inst in cs
+        assert len(cs) == 1
+
+    def test_duplicate_add_returns_false(self):
+        cs = ConflictSet()
+        inst = _inst("a", 1)
+        cs.add(inst)
+        assert not cs.add(inst)
+        assert len(cs) == 1
+
+    def test_remove(self):
+        cs = ConflictSet()
+        inst = _inst("a", 1)
+        cs.add(inst)
+        assert cs.remove(inst)
+        assert not cs.remove(inst)
+        assert cs.is_empty()
+
+    def test_rule_names_and_for_rule(self):
+        cs = ConflictSet()
+        cs.add(_inst("a", 1))
+        cs.add(_inst("a", 2))
+        cs.add(_inst("b", 3))
+        assert cs.rule_names() == {"a", "b"}
+        assert len(cs.for_rule("a")) == 2
+
+    def test_clear(self):
+        cs = ConflictSet()
+        cs.add(_inst("a", 1))
+        cs.clear()
+        assert cs.is_empty()
+
+
+class TestRefraction:
+    def test_fired_excluded_from_eligible(self):
+        cs = ConflictSet()
+        a, b = _inst("a", 1), _inst("b", 2)
+        cs.add(a)
+        cs.add(b)
+        cs.mark_fired(a)
+        assert cs.eligible() == [b]
+        assert cs.has_fired(a)
+
+    def test_remove_clears_fired_state(self):
+        cs = ConflictSet()
+        a = _inst("a", 1)
+        cs.add(a)
+        cs.mark_fired(a)
+        cs.remove(a)
+        # Re-adding the same instantiation makes it eligible again:
+        # OPS5 refraction is per conflict-set residency.
+        cs.add(a)
+        assert cs.eligible() == [a]
+
+
+class TestDeltas:
+    def test_take_delta_captures_adds_and_removes(self):
+        cs = ConflictSet()
+        a, b = _inst("a", 1), _inst("b", 2)
+        cs.add(a)
+        cs.take_delta()
+        cs.add(b)
+        cs.remove(a)
+        delta = cs.take_delta()
+        assert delta.added == {b}
+        assert delta.removed == {a}
+
+    def test_add_then_remove_in_same_window_cancels(self):
+        cs = ConflictSet()
+        a = _inst("a", 1)
+        cs.add(a)
+        cs.remove(a)
+        assert cs.take_delta().is_empty()
+
+    def test_remove_then_readd_cancels(self):
+        cs = ConflictSet()
+        a = _inst("a", 1)
+        cs.add(a)
+        cs.take_delta()
+        cs.remove(a)
+        cs.add(a)
+        assert cs.take_delta().is_empty()
+
+    def test_take_delta_resets(self):
+        cs = ConflictSet()
+        cs.add(_inst("a", 1))
+        cs.take_delta()
+        assert cs.take_delta().is_empty()
+
+    def test_peek_delta_does_not_reset(self):
+        cs = ConflictSet()
+        cs.add(_inst("a", 1))
+        assert not cs.peek_delta().is_empty()
+        assert not cs.take_delta().is_empty()

@@ -1,0 +1,68 @@
+"""Tests for instantiations and their ordering keys."""
+
+from repro.lang import RuleBuilder
+from repro.lang.builder import var
+from repro.match.instantiation import Instantiation
+from repro.wm.element import WME
+
+
+def _rule(name="r"):
+    return RuleBuilder(name).when("item", v=var("x")).remove(1).build()
+
+
+def _inst(rule, *timetags, bindings=None):
+    wmes = tuple(
+        WME.make("item", {"v": i}, timetag=t) for i, t in enumerate(timetags)
+    )
+    return Instantiation.build(rule, wmes, bindings or {})
+
+
+class TestIdentity:
+    def test_equality_by_rule_and_timetags(self):
+        rule = _rule()
+        assert _inst(rule, 1, 2) == _inst(rule, 1, 2)
+        assert _inst(rule, 1, 2) != _inst(rule, 1, 3)
+
+    def test_different_rules_not_equal(self):
+        assert _inst(_rule("a"), 1) != _inst(_rule("b"), 1)
+
+    def test_hashable_for_sets(self):
+        rule = _rule()
+        assert len({_inst(rule, 1), _inst(rule, 1)}) == 1
+
+    def test_bindings_roundtrip(self):
+        inst = _inst(_rule(), 1, bindings={"x": 42})
+        assert inst.bindings == {"x": 42}
+
+    def test_mentions(self):
+        rule = _rule()
+        inst = _inst(rule, 5)
+        assert inst.mentions(WME.make("item", {"v": 0}, timetag=5))
+        assert not inst.mentions(WME.make("item", {"v": 0}, timetag=6))
+
+
+class TestOrderingKeys:
+    def test_recency_key_sorted_descending(self):
+        inst = _inst(_rule(), 3, 9, 1)
+        assert inst.recency_key() == (9, 3, 1)
+
+    def test_lex_prefers_more_recent(self):
+        rule = _rule()
+        older = _inst(rule, 1, 2)
+        newer = _inst(rule, 1, 5)
+        assert newer.recency_key() > older.recency_key()
+
+    def test_mea_key_prefers_first_element_recency(self):
+        rule = _rule()
+        a = _inst(rule, 10, 1)   # first element very recent
+        b = _inst(rule, 2, 50)   # later elements recent, first old
+        assert a.mea_key() > b.mea_key()
+
+    def test_empty_wmes_mea_key(self):
+        inst = Instantiation.build(_rule(), (), {})
+        assert inst.mea_key() == (0,)
+
+    def test_str_contains_rule_and_tags(self):
+        text = str(_inst(_rule("my-rule"), 4))
+        assert "my-rule" in text
+        assert "4" in text

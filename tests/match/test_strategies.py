@@ -1,0 +1,122 @@
+"""Tests for conflict-resolution strategies."""
+
+import pytest
+
+from repro.lang import RuleBuilder
+from repro.lang.builder import var
+from repro.match.instantiation import Instantiation
+from repro.match.strategies import (
+    FifoStrategy,
+    LexStrategy,
+    MeaStrategy,
+    PriorityStrategy,
+    RandomStrategy,
+    make_strategy,
+)
+from repro.wm.element import WME
+
+
+def rule(name, priority=0, tests=1):
+    builder = RuleBuilder(name, priority=priority)
+    kwargs = {f"a{i}": var(f"x{i}") for i in range(tests)}
+    return builder.when("item", **kwargs).remove(1).build()
+
+
+def inst(production, *tags):
+    wmes = tuple(
+        WME.make("item", {"i": n}, timetag=t) for n, t in enumerate(tags)
+    )
+    return Instantiation.build(production, wmes, {})
+
+
+class TestLex:
+    def test_prefers_recency(self):
+        r = rule("r")
+        old, new = inst(r, 1), inst(r, 9)
+        assert LexStrategy().select([old, new]) is new
+
+    def test_recency_is_lexicographic(self):
+        r = rule("r")
+        a = inst(r, 9, 1)
+        b = inst(r, 9, 5)
+        assert LexStrategy().select([a, b]) is b
+
+    def test_specificity_breaks_ties(self):
+        specific = rule("specific", tests=3)
+        vague = rule("vague", tests=1)
+        a = inst(specific, 5)
+        b = inst(vague, 5)
+        assert LexStrategy().select([a, b]) is a
+
+    def test_deterministic_on_full_tie(self):
+        a, b = inst(rule("aaa"), 5), inst(rule("bbb"), 5)
+        first = LexStrategy().select([a, b])
+        second = LexStrategy().select([b, a])
+        assert first is second
+
+
+class TestMea:
+    def test_first_element_recency_dominates(self):
+        r = rule("r")
+        goal_recent = inst(r, 10, 1)
+        rest_recent = inst(r, 2, 50)
+        assert MeaStrategy().select([goal_recent, rest_recent]) is goal_recent
+
+
+class TestPriority:
+    def test_priority_wins(self):
+        high = inst(rule("high", priority=5), 1)
+        low = inst(rule("low", priority=1), 99)
+        assert PriorityStrategy().select([high, low]) is high
+
+    def test_lex_breaks_priority_ties(self):
+        r1 = rule("a", priority=2)
+        r2 = rule("b", priority=2)
+        old, new = inst(r1, 1), inst(r2, 9)
+        assert PriorityStrategy().select([old, new]) is new
+
+
+class TestFifo:
+    def test_oldest_first(self):
+        r = rule("r")
+        old, new = inst(r, 1), inst(r, 9)
+        assert FifoStrategy().select([old, new]) is old
+
+
+class TestRandom:
+    def test_seeded_reproducibility(self):
+        r = rule("r")
+        candidates = [inst(r, t) for t in range(1, 8)]
+        picks_a = [
+            RandomStrategy(seed=5).select(candidates) for _ in range(3)
+        ]
+        picks_b = [
+            RandomStrategy(seed=5).select(candidates) for _ in range(3)
+        ]
+        assert picks_a == picks_b
+
+    def test_covers_multiple_choices(self):
+        r = rule("r")
+        candidates = [inst(r, t) for t in range(1, 8)]
+        strategy = RandomStrategy(seed=0)
+        picks = {strategy.select(candidates) for _ in range(50)}
+        assert len(picks) > 1
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name", ["lex", "mea", "priority", "fifo", "random"]
+    )
+    def test_known_names(self, name):
+        assert make_strategy(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_strategy("coin-flip")
+
+    def test_all_strategies_pick_from_candidates(self):
+        r = rule("r")
+        candidates = [inst(r, t) for t in (3, 7, 2)]
+        for name in ("lex", "mea", "priority", "fifo", "random"):
+            chosen = make_strategy(name, seed=1).select(candidates)
+            assert chosen in candidates

@@ -1,0 +1,123 @@
+"""Tests for the discrete-event engine and processor pool."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventQueue, Simulator
+from repro.sim.processor import ProcessorPool
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda s: order.append("b"))
+        queue.push(1.0, lambda s: order.append("a"))
+        for _ in range(2):
+            _, handler = queue.pop()
+            handler(None)
+        assert order == ["a", "b"]
+
+    def test_stable_at_equal_times(self):
+        queue = EventQueue()
+        order = []
+        for label in "xyz":
+            queue.push(1.0, lambda s, l=label: order.append(l))
+        while queue:
+            queue.pop()[1](None)
+        assert order == ["x", "y", "z"]
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(5.0, lambda s: None)
+        assert queue.peek_time() == 5.0
+
+
+class TestSimulator:
+    def test_run_advances_clock(self):
+        sim = Simulator()
+        sim.at(3.0, lambda s: None)
+        assert sim.run() == 3.0
+
+    def test_after_relative_scheduling(self):
+        sim = Simulator()
+        times = []
+        def first(s):
+            times.append(s.now)
+            s.after(2.0, lambda s2: times.append(s2.now))
+        sim.at(1.0, first)
+        sim.run()
+        assert times == [1.0, 3.0]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.at(5.0, lambda s: s.at(1.0, lambda s2: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-1.0, lambda s: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1.0, lambda s: fired.append(1))
+        sim.at(10.0, lambda s: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_event_budget_guard(self):
+        sim = Simulator(max_events=10)
+        def reschedule(s):
+            s.after(1.0, reschedule)
+        sim.at(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestProcessorPool:
+    def test_lowest_numbered_first(self):
+        pool = ProcessorPool(3)
+        assert pool.acquire("a") == 0
+        assert pool.acquire("b") == 1
+        pool.release(0)
+        assert pool.acquire("c") == 0
+
+    def test_exhaustion_raises(self):
+        pool = ProcessorPool(1)
+        pool.acquire("a")
+        assert not pool.has_free()
+        with pytest.raises(SimulationError):
+            pool.acquire("b")
+
+    def test_release_returns_task(self):
+        pool = ProcessorPool(2)
+        pool.acquire("a")
+        assert pool.release(0) == "a"
+
+    def test_release_idle_raises(self):
+        with pytest.raises(SimulationError):
+            ProcessorPool(1).release(0)
+
+    def test_release_task_by_name(self):
+        pool = ProcessorPool(2)
+        pool.acquire("a")
+        pool.acquire("b")
+        assert pool.release_task("b") == 1
+        assert pool.release_task("ghost") is None
+
+    def test_counts(self):
+        pool = ProcessorPool(3)
+        pool.acquire("a")
+        assert pool.free_count() == 2
+        assert pool.busy_count() == 1
+        assert pool.processor_of("a") == 0
+        assert pool.processor_of("zz") is None
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(SimulationError):
+            ProcessorPool(0)

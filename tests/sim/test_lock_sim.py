@@ -1,0 +1,185 @@
+"""Tests for the lock-level scheme simulation (2PL vs Rc)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.lock_sim import FiringSpec, simulate_lock_scheme
+from repro.sim.workload import (
+    disjoint_firing_batch,
+    random_firing_batch,
+    reader_writer_chain,
+)
+from repro.txn.serializability import is_conflict_serializable
+
+
+class TestDisjointWorkload:
+    """Zero contention: both schemes reach the parallel optimum."""
+
+    def test_both_schemes_equal_makespan(self):
+        batch = disjoint_firing_batch(4, match_time=1, act_time=4)
+        for scheme in ("2pl", "rc"):
+            result = simulate_lock_scheme(batch, 4, scheme=scheme)
+            assert result.makespan == 5.0
+            assert len(result.committed) == 4
+            assert result.aborted == ()
+
+    def test_serialized_by_processor_shortage(self):
+        batch = disjoint_firing_batch(4, match_time=1, act_time=4)
+        result = simulate_lock_scheme(batch, 1, scheme="2pl")
+        assert result.makespan == 20.0
+
+
+class TestReaderWriterPathology:
+    """Section 4.3's motivating scenario: long readers vs one writer."""
+
+    def test_2pl_writer_waits_for_all_readers(self):
+        batch = reader_writer_chain(n_readers=3, act_time=8)
+        result = simulate_lock_scheme(batch, 8, scheme="2pl")
+        # Readers: 1 match + 8 act = commit at 9; writer acts 9..11.
+        assert result.makespan == 11.0
+        assert len(result.committed) == 4
+        assert result.aborted == ()
+
+    def test_rc_writer_barges_and_aborts_readers(self):
+        batch = reader_writer_chain(n_readers=3, act_time=8)
+        result = simulate_lock_scheme(batch, 8, scheme="rc")
+        # Writer matches 0..1, acts 1..3; readers abort at t=3.
+        assert result.makespan == 3.0
+        assert result.committed == ("W",)
+        assert set(result.aborted) == {"R1", "R2", "R3"}
+        assert result.wasted_time > 0
+
+    def test_rc_faster_than_2pl_here(self):
+        batch = reader_writer_chain(n_readers=3)
+        rc = simulate_lock_scheme(batch, 8, scheme="rc")
+        two_pl = simulate_lock_scheme(batch, 8, scheme="2pl")
+        assert rc.makespan < two_pl.makespan
+
+    def test_restart_aborted_readers_refire(self):
+        batch = reader_writer_chain(n_readers=2, act_time=4)
+        result = simulate_lock_scheme(
+            batch, 8, scheme="rc", restart_aborted=True
+        )
+        # With restart, every firing eventually commits.
+        assert sorted(result.committed) == ["R1", "R2", "W"]
+        assert result.aborted == ()
+
+
+class TestSerializability:
+    @pytest.mark.parametrize("scheme", ["2pl", "rc"])
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_histories_conflict_serializable(self, scheme, seed):
+        batch = random_firing_batch(10, n_objects=5, seed=seed)
+        result = simulate_lock_scheme(batch, 4, scheme=scheme)
+        assert is_conflict_serializable(result.history)
+
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_2pl_commits_everything(self, seed):
+        batch = random_firing_batch(10, n_objects=5, seed=seed)
+        result = simulate_lock_scheme(batch, 4, scheme="2pl")
+        assert len(result.committed) == 10
+
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_rc_accounts_for_every_firing(self, seed):
+        batch = random_firing_batch(10, n_objects=5, seed=seed)
+        result = simulate_lock_scheme(batch, 4, scheme="rc")
+        assert len(result.committed) + len(result.aborted) == 10
+
+
+class TestMechanics:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_lock_scheme([], 2, scheme="optimistic")
+
+    def test_empty_batch(self):
+        result = simulate_lock_scheme([], 2, scheme="2pl")
+        assert result.makespan == 0.0
+        assert result.committed == ()
+
+    def test_throughput(self):
+        batch = disjoint_firing_batch(2, match_time=1, act_time=1)
+        result = simulate_lock_scheme(batch, 2, scheme="2pl")
+        assert result.throughput() == pytest.approx(1.0)
+
+    def test_deadlock_broken_and_work_completes(self):
+        # Classic 2PL upgrade deadlock: both read each other's write
+        # target during match, then want the write lock.
+        batch = [
+            FiringSpec.build(
+                "A", reads=["y"], writes=["x"], match_time=1, act_time=2
+            ),
+            FiringSpec.build(
+                "B", reads=["x"], writes=["y"], match_time=1, act_time=2
+            ),
+        ]
+        result = simulate_lock_scheme(batch, 2, scheme="2pl")
+        assert result.deadlock_aborts >= 1
+        assert len(result.committed) == 2  # victims restart and finish
+
+    def test_rc_same_shape_has_no_deadlock(self):
+        # Wa bypasses Rc, so the same workload never deadlocks under Rc;
+        # commits resolve it via rule (ii) aborts instead.
+        batch = [
+            FiringSpec.build(
+                "A", reads=["y"], writes=["x"], match_time=1, act_time=2
+            ),
+            FiringSpec.build(
+                "B", reads=["x"], writes=["y"], match_time=1, act_time=2
+            ),
+        ]
+        result = simulate_lock_scheme(batch, 2, scheme="rc")
+        assert result.deadlock_aborts == 0
+        assert len(result.committed) >= 1
+
+    def test_blocked_time_accounted(self):
+        batch = reader_writer_chain(n_readers=2)
+        result = simulate_lock_scheme(batch, 8, scheme="2pl")
+        assert result.blocked_time > 0
+
+
+class TestConservative2PL:
+    """Preclaiming (deadlock-avoidance) 2PL: the third scheme."""
+
+    def test_never_deadlocks(self):
+        for seed in range(6):
+            batch = random_firing_batch(10, n_objects=5, seed=seed)
+            result = simulate_lock_scheme(batch, 4, scheme="c2pl")
+            assert result.deadlock_aborts == 0
+            assert len(result.committed) == 10
+            assert is_conflict_serializable(result.history)
+
+    def test_never_aborts(self):
+        batch = reader_writer_chain(n_readers=3)
+        result = simulate_lock_scheme(batch, 8, scheme="c2pl")
+        assert result.aborted == ()
+        assert result.wasted_time == 0
+
+    def test_concurrency_ordering_holds(self):
+        """c2pl <= 2pl <= rc in attainable concurrency (makespan the
+        other way) on the reader/writer pathology."""
+        batch = reader_writer_chain(n_readers=4, act_time=8)
+        c2pl = simulate_lock_scheme(batch, 12, scheme="c2pl")
+        two_pl = simulate_lock_scheme(batch, 12, scheme="2pl")
+        rc = simulate_lock_scheme(batch, 12, scheme="rc")
+        assert rc.makespan < two_pl.makespan <= c2pl.makespan
+
+    def test_zero_contention_still_optimal(self):
+        batch = disjoint_firing_batch(4, match_time=1, act_time=4)
+        result = simulate_lock_scheme(batch, 4, scheme="c2pl")
+        assert result.makespan == 5.0
+
+    def test_writer_excludes_condition_readers_entirely(self):
+        """Under preclaiming, a writer's W(q) blocks even the *match*
+        of q-readers (they cannot take R(q)); under plain 2PL they
+        could at least match concurrently."""
+        batch = [
+            FiringSpec.build("W", reads=["src"], writes=["q"],
+                             match_time=1, act_time=4),
+            FiringSpec.build("R", reads=["q"], writes=["out"],
+                             match_time=1, act_time=1),
+        ]
+        c2pl = simulate_lock_scheme(batch, 4, scheme="c2pl")
+        # R cannot even start until W commits at t=5: R ends at 7.
+        assert c2pl.makespan == 7.0
+        two_pl = simulate_lock_scheme(batch, 4, scheme="2pl")
+        assert two_pl.makespan < c2pl.makespan

@@ -1,0 +1,103 @@
+"""Tests for speedup/utilization metrics and the Gantt trace."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.gantt import ABORTED, COMMITTED, ExecutionTrace
+from repro.sim.metrics import (
+    SweepPoint,
+    efficiency,
+    monotone_fraction,
+    speedup,
+    sweep_table,
+    utilization,
+)
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(9, 4) == pytest.approx(2.25)
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(SimulationError):
+            speedup(9, 0)
+
+    def test_efficiency(self):
+        assert efficiency(2.0, 4) == pytest.approx(0.5)
+
+    def test_efficiency_needs_processors(self):
+        with pytest.raises(SimulationError):
+            efficiency(1.0, 0)
+
+
+class TestUtilization:
+    def test_full_utilization(self):
+        assert utilization(8.0, 2.0, 4) == 1.0
+
+    def test_partial(self):
+        assert utilization(4.0, 2.0, 4) == 0.5
+
+    def test_zero_makespan(self):
+        assert utilization(1.0, 0.0, 4) == 0.0
+
+
+class TestSweepHelpers:
+    def test_sweep_point_speedup(self):
+        point = SweepPoint(0.5, 10.0, 4.0)
+        assert point.speedup == pytest.approx(2.5)
+
+    def test_sweep_table_renders_rows(self):
+        table = sweep_table(
+            "Title", "param", [SweepPoint(1.0, 4.0, 2.0)]
+        )
+        assert "Title" in table
+        assert "param" in table
+        assert "2.000" in table
+
+    def test_monotone_fraction_decreasing(self):
+        assert monotone_fraction([3, 2, 1]) == 1.0
+        assert monotone_fraction([1, 2, 3]) == 0.0
+        assert monotone_fraction([3, 1, 2]) == 0.5
+
+    def test_monotone_fraction_increasing_mode(self):
+        assert monotone_fraction([1, 2, 3], decreasing=False) == 1.0
+
+    def test_monotone_fraction_trivial(self):
+        assert monotone_fraction([1]) == 1.0
+
+
+class TestExecutionTrace:
+    def _trace(self):
+        trace = ExecutionTrace()
+        trace.record(0, "A", 0.0, 3.0, COMMITTED)
+        trace.record(1, "B", 0.0, 2.0, ABORTED)
+        trace.record(1, "C", 2.0, 5.0, COMMITTED)
+        return trace
+
+    def test_makespan_from_committed_only(self):
+        assert self._trace().makespan() == 5.0
+
+    def test_wasted_time(self):
+        assert self._trace().wasted_time() == 2.0
+
+    def test_busy_time(self):
+        assert self._trace().busy_time() == 8.0
+
+    def test_outcomes_latest_wins(self):
+        trace = ExecutionTrace()
+        trace.record(0, "A", 0.0, 1.0, ABORTED)
+        trace.record(0, "A", 1.0, 2.0, COMMITTED)
+        assert trace.outcomes() == {"A": COMMITTED}
+
+    def test_by_processor_grouping(self):
+        grouped = self._trace().by_processor()
+        assert [s.task for s in grouped[1]] == ["B", "C"]
+
+    def test_render_empty(self):
+        assert ExecutionTrace().render() == "(empty trace)"
+
+    def test_render_rows(self):
+        rendered = self._trace().render(width=30)
+        assert "cpu0" in rendered
+        assert "cpu1" in rendered
+        assert "x" in rendered  # aborted fill

@@ -1,0 +1,154 @@
+"""Tests for single- vs multiple-thread simulation — Section 5 exactly."""
+
+import pytest
+
+from repro.core.addsets import (
+    AddDeleteSystem,
+    SECTION_5_EXEC_TIMES,
+    table_5_1,
+    table_5_2,
+)
+from repro.errors import SimulationError
+from repro.sim.gantt import ABORTED
+from repro.sim.multithread import (
+    simulate_multithread,
+    simulate_single_thread,
+    simulate_uniprocessor_multithread,
+)
+
+
+class TestFigure51:
+    """Base case: T=(5,3,2,4), Np=4 -> 9 / 4 / 2.25."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return simulate_multithread(table_5_1(), processors=4)
+
+    def test_single_thread_time(self, result):
+        assert result.single_thread_time == 9.0
+
+    def test_multi_thread_makespan(self, result):
+        assert result.makespan == 4.0
+
+    def test_speedup(self, result):
+        assert result.speedup() == pytest.approx(2.25)
+
+    def test_p1_aborted_by_p2_commit(self, result):
+        assert result.aborted == ("P1",)
+        # P1 dies when P2 commits at t=3, wasting 3 units.
+        assert result.wasted_time == 3.0
+
+    def test_commit_sequence_in_es_single(self, result):
+        assert table_5_1().is_valid_sequence(result.commit_sequence)
+
+
+class TestFigure52:
+    """Higher conflict (Table 5.2): 5 / 3 / 1.67."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return simulate_multithread(table_5_2(), processors=4)
+
+    def test_values(self, result):
+        assert result.single_thread_time == 5.0
+        assert result.makespan == 3.0
+        assert result.speedup() == pytest.approx(5 / 3)
+
+    def test_both_victims_aborted(self, result):
+        assert set(result.aborted) == {"P1", "P4"}
+
+
+class TestFigure53:
+    """T(P2) increased by 1: 10 / 4 / 2.5."""
+
+    def test_values(self):
+        times = dict(SECTION_5_EXEC_TIMES)
+        times["P2"] = 4.0
+        result = simulate_multithread(table_5_1(times), processors=4)
+        assert result.single_thread_time == 10.0
+        assert result.makespan == 4.0
+        assert result.speedup() == pytest.approx(2.5)
+
+
+class TestFigure54:
+    """Np reduced to 3: 9 / 6 / 1.5."""
+
+    def test_values(self):
+        result = simulate_multithread(table_5_1(), processors=3)
+        assert result.single_thread_time == 9.0
+        assert result.makespan == 6.0
+        assert result.speedup() == pytest.approx(1.5)
+
+    def test_p4_starts_after_p3_frees_a_processor(self):
+        result = simulate_multithread(table_5_1(), processors=3)
+        segments = {
+            s.task: s for s in result.trace.segments if s.outcome != ABORTED
+        }
+        assert segments["P4"].start == 2.0  # P3 finished at t=2
+        assert segments["P4"].end == 6.0
+
+
+class TestSingleThread:
+    def test_sums_execution_times(self):
+        assert simulate_single_thread(table_5_1(), ["P2", "P3", "P4"]) == 9.0
+
+    def test_invalid_sequence_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_single_thread(table_5_1(), ["P2", "P1"])
+
+
+class TestUniprocessorMultithread:
+    def test_example_5_1_inequality(self):
+        """T_single <= T_multi,uni for every f in [0,1)."""
+        system = table_5_1()
+        for fraction in (0.0, 0.3, 0.9):
+            time, sequence = simulate_uniprocessor_multithread(
+                system, abort_fraction=fraction
+            )
+            assert time >= system.sequence_time(sequence)
+
+    def test_zero_fraction_equals_committed_work(self):
+        system = table_5_1()
+        time, sequence = simulate_uniprocessor_multithread(
+            system, abort_fraction=0.0
+        )
+        assert time == system.sequence_time(sequence)
+
+    def test_fraction_one_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_uniprocessor_multithread(table_5_1(), 1.0)
+
+
+class TestMechanics:
+    def test_single_processor_serializes(self):
+        result = simulate_multithread(table_5_1(), processors=1)
+        # One processor: pure serial run of some valid sequence.
+        assert result.makespan == result.single_thread_time
+
+    def test_reactivated_production_runs_again(self):
+        system = AddDeleteSystem.define(
+            add_sets={"P1": {"P2"}, "P2": set()},
+            delete_sets={"P1": set(), "P2": set()},
+            initial={"P1", "P2"},
+            exec_times={"P1": 3.0, "P2": 1.0},
+        )
+        result = simulate_multithread(system, processors=2)
+        # P2 commits at t=1; P1 commits at t=3 re-adding P2, which
+        # runs again and commits at t=4.
+        assert result.commit_sequence == ("P2", "P1", "P2")
+        assert result.makespan == 4.0
+
+    def test_nontermination_guard(self):
+        looping = AddDeleteSystem.define(
+            add_sets={"P1": {"P1"}},
+            delete_sets={"P1": set()},
+            initial={"P1"},
+        )
+        with pytest.raises(SimulationError):
+            simulate_multithread(looping, processors=1, max_commits=50)
+
+    def test_gantt_render_mentions_tasks(self):
+        result = simulate_multithread(table_5_1(), processors=4)
+        rendered = result.trace.render()
+        assert "cpu0" in rendered
+        assert "P" in rendered

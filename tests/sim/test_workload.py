@@ -1,0 +1,115 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.core.execution_graph import ExecutionGraph
+from repro.sim.multithread import simulate_multithread
+from repro.sim.workload import (
+    disjoint_firing_batch,
+    random_add_delete_system,
+    random_firing_batch,
+    reader_writer_chain,
+)
+
+
+class TestRandomAddDeleteSystem:
+    def test_reproducible_with_seed(self):
+        a = random_add_delete_system(8, seed=42)
+        b = random_add_delete_system(8, seed=42)
+        assert a.add_sets == b.add_sets
+        assert a.delete_sets == b.delete_sets
+        assert a.initial == b.initial
+        assert a.exec_times == b.exec_times
+
+    def test_different_seeds_differ(self):
+        a = random_add_delete_system(10, seed=1)
+        b = random_add_delete_system(10, seed=2)
+        assert (
+            a.add_sets != b.add_sets
+            or a.delete_sets != b.delete_sets
+            or a.initial != b.initial
+        )
+
+    def test_activation_dag_guarantees_termination(self):
+        # High activation degree would loop if adds could go backwards.
+        for seed in range(5):
+            system = random_add_delete_system(
+                8,
+                conflict_degree=0.0,
+                activation_degree=1.0,
+                seed=seed,
+            )
+            result = simulate_multithread(system, 4, max_commits=2_000)
+            assert system.fire_sequence(result.commit_sequence) == frozenset()
+
+    def test_initial_fraction(self):
+        system = random_add_delete_system(
+            10, initial_fraction=0.5, seed=0
+        )
+        assert len(system.initial) == 5
+
+    def test_time_range_respected(self):
+        system = random_add_delete_system(
+            10, time_range=(2.0, 3.0), seed=0
+        )
+        assert all(2.0 <= t <= 3.0 for t in system.exec_times.values())
+
+    def test_zero_conflict_zero_activation_graph_is_permutations(self):
+        system = random_add_delete_system(
+            4,
+            conflict_degree=0.0,
+            activation_degree=0.0,
+            initial_fraction=1.0,
+            seed=0,
+        )
+        graph = ExecutionGraph(system)
+        assert len(graph.maximal_sequences()) == 24  # 4!
+
+
+class TestRandomFiringBatch:
+    def test_reproducible(self):
+        assert random_firing_batch(5, seed=3) == random_firing_batch(
+            5, seed=3
+        )
+
+    def test_sizes_and_shapes(self):
+        batch = random_firing_batch(
+            6, n_objects=10, reads_per_firing=2, writes_per_firing=1, seed=0
+        )
+        assert len(batch) == 6
+        for spec in batch:
+            assert len(spec.reads) == 2
+            assert len(spec.writes) == 1
+            assert spec.action_reads <= spec.reads
+
+    def test_action_read_fraction_extremes(self):
+        none = random_firing_batch(
+            5, action_read_fraction=0.0, seed=0
+        )
+        assert all(not s.action_reads for s in none)
+        full = random_firing_batch(
+            5, action_read_fraction=1.0, seed=0
+        )
+        assert all(s.action_reads == s.reads for s in full)
+
+    def test_invalid_object_count(self):
+        with pytest.raises(ValueError):
+            random_firing_batch(3, n_objects=0)
+
+
+class TestFixedWorkloads:
+    def test_disjoint_batch_is_disjoint(self):
+        batch = disjoint_firing_batch(5)
+        touched = [spec.reads | spec.writes for spec in batch]
+        for i, a in enumerate(touched):
+            for b in touched[i + 1:]:
+                assert not (a & b)
+
+    def test_reader_writer_chain_shape(self):
+        batch = reader_writer_chain(3)
+        writer = [s for s in batch if s.pid == "W"]
+        readers = [s for s in batch if s.pid.startswith("R")]
+        assert len(writer) == 1
+        assert len(readers) == 3
+        assert all("q" in s.reads for s in readers)
+        assert "q" in writer[0].writes

@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+RULES = """
+(p greet
+   (person ^name <n>)
+   -->
+   (write "hello" <n>)
+   (remove 1))
+"""
+
+
+@pytest.fixture
+def rule_file(tmp_path):
+    path = tmp_path / "rules.ops"
+    path.write_text(RULES)
+    return path
+
+
+@pytest.fixture
+def facts_file(tmp_path):
+    path = tmp_path / "facts.jsonl"
+    lines = [
+        json.dumps({"relation": "person", "name": "ada"}),
+        "# a comment",
+        "",
+        json.dumps({"relation": "person", "name": "grace"}),
+    ]
+    path.write_text("\n".join(lines))
+    return path
+
+
+class TestRun:
+    def test_single_thread_run(self, rule_file, facts_file, capsys):
+        code = main(["run", str(rule_file), "--facts", str(facts_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "loaded 2 facts" in out
+        assert out.count("greet") == 2
+        assert "hello" in out
+        assert "quiescent" in out
+
+    @pytest.mark.parametrize("scheme", ["rc", "2pl"])
+    def test_parallel_run_validates(self, rule_file, facts_file, capsys, scheme):
+        code = main(
+            ["run", str(rule_file), "--facts", str(facts_file),
+             "--parallel", scheme]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "consistent" in out
+        assert "INCONSISTENT" not in out
+
+    def test_dump_prints_memory(self, rule_file, tmp_path, capsys):
+        facts = tmp_path / "f.jsonl"
+        facts.write_text(json.dumps({"relation": "thing", "id": 1}))
+        code = main(
+            ["run", str(rule_file), "--facts", str(facts), "--dump"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "thing" in out
+
+    def test_matcher_option(self, rule_file, facts_file, capsys):
+        for matcher in ("naive", "rete", "treat", "cond"):
+            code = main(
+                ["run", str(rule_file), "--facts", str(facts_file),
+                 "--matcher", matcher]
+            )
+            assert code == 0
+
+    def test_empty_rule_file_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.ops"
+        empty.write_text("; nothing here\n")
+        assert main(["run", str(empty)]) == 1
+
+    def test_bad_fact_line_reports_error(self, rule_file, tmp_path, capsys):
+        facts = tmp_path / "bad.jsonl"
+        facts.write_text("{not json}")
+        code = main(["run", str(rule_file), "--facts", str(facts)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "bad fact line" in err
+
+
+class TestGraph:
+    def test_graph_prints_sequences(self, capsys):
+        assert main(["graph"]) == 0
+        out = capsys.readouterr().out
+        assert "p1p4p5" in out
+        assert "S[ε]" in out
+
+
+class TestSection5:
+    def test_section5_all_ok(self, capsys):
+        assert main(["section5"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 4
+        assert "MISMATCH" not in out
+
+
+class TestLint:
+    def test_clean_program(self, rule_file, facts_file, capsys):
+        code = main(
+            ["lint", str(rule_file), "--facts", str(facts_file)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no lint findings" in out
+
+    def test_findings_reported_and_nonzero_exit(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ops"
+        bad.write_text(
+            '(p r (ghost ^kind "k") --> (remove 1) (make orphan ^v 1))'
+        )
+        code = main(["lint", str(bad)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "unmatchable-rule" in out
+        assert "dead-write" in out
+
+    def test_graph_dot_output(self, capsys):
+        assert main(["graph", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph execution_graph {")
+        assert "doublecircle" in out

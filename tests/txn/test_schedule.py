@@ -1,0 +1,68 @@
+"""Tests for operation histories."""
+
+import pytest
+
+from repro.txn.schedule import History, Operation
+
+
+class TestOperation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("t1", "x", "obj")
+
+    def test_read_requires_object(self):
+        with pytest.raises(ValueError):
+            Operation("t1", "r")
+
+    def test_commit_needs_no_object(self):
+        assert Operation("t1", "c").obj is None
+
+    def test_str_forms(self):
+        assert str(Operation("t1", "r", "q")) == "r[t1,'q']"
+        assert str(Operation("t1", "c")) == "c[t1]"
+
+
+class TestHistory:
+    def _history(self):
+        h = History()
+        h.read("t1", "q")
+        h.write("t2", "q")
+        h.commit("t2")
+        h.abort("t1")
+        return h
+
+    def test_recording_and_length(self):
+        assert len(self._history()) == 4
+
+    def test_transactions_in_first_appearance_order(self):
+        assert self._history().transactions() == ("t1", "t2")
+
+    def test_committed_and_aborted(self):
+        h = self._history()
+        assert h.committed() == {"t2"}
+        assert h.aborted() == {"t1"}
+
+    def test_commit_order(self):
+        h = History()
+        for t in ("b", "a", "c"):
+            h.commit(t)
+        assert h.commit_order() == ("b", "a", "c")
+
+    def test_committed_projection_drops_aborted(self):
+        h = self._history()
+        projected = h.committed_projection()
+        assert projected.transactions() == ("t2",)
+        assert all(op.txn_id == "t2" for op in projected)
+
+    def test_iteration_is_snapshot(self):
+        h = History()
+        h.read("t1", "q")
+        ops = list(h)
+        h.read("t1", "r")
+        assert len(ops) == 1
+
+    def test_str_joins_operations(self):
+        h = History()
+        h.read("t1", "q")
+        h.commit("t1")
+        assert str(h) == "r[t1,'q'] c[t1]"

@@ -1,0 +1,100 @@
+"""Tests for the transaction lifecycle."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.txn import Transaction, TxnState
+
+
+class TestLifecycle:
+    def test_fresh_transaction_is_active(self):
+        txn = Transaction()
+        assert txn.is_active
+        assert txn.state is TxnState.ACTIVE
+
+    def test_auto_ids_are_unique_and_ordered(self):
+        a, b = Transaction(), Transaction()
+        assert a.txn_id != b.txn_id
+        assert b.start_order > a.start_order
+
+    def test_explicit_id_kept(self):
+        assert Transaction(txn_id="mine").txn_id == "mine"
+
+    def test_commit(self):
+        txn = Transaction()
+        txn.commit()
+        assert txn.is_committed
+
+    def test_abort_with_reason(self):
+        txn = Transaction()
+        txn.abort("conflict")
+        assert txn.is_aborted
+        assert txn.abort_reason == "conflict"
+
+    def test_commit_after_abort_rejected(self):
+        txn = Transaction()
+        txn.abort()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_abort_after_commit_rejected(self):
+        txn = Transaction()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.abort()
+
+    def test_commit_idempotent(self):
+        txn = Transaction()
+        txn.commit()
+        txn.commit()
+        assert txn.is_committed
+
+
+class TestTryAbort:
+    def test_aborts_active(self):
+        txn = Transaction()
+        assert txn.try_abort("forced")
+        assert txn.is_aborted
+
+    def test_spares_committed(self):
+        txn = Transaction()
+        txn.commit()
+        assert not txn.try_abort()
+        assert txn.is_committed
+
+    def test_true_for_already_aborted(self):
+        txn = Transaction()
+        txn.abort()
+        assert txn.try_abort()
+
+    def test_first_reason_wins(self):
+        txn = Transaction()
+        txn.abort("first")
+        txn.try_abort("second")
+        assert txn.abort_reason == "first"
+
+
+class TestAccessTracking:
+    def test_read_and_write_sets(self):
+        txn = Transaction()
+        txn.record_read("a")
+        txn.record_write("b")
+        assert txn.read_set == {"a"}
+        assert txn.write_set == {"b"}
+        assert txn.footprint() == {"a", "b"}
+
+    def test_access_after_commit_rejected(self):
+        txn = Transaction()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.record_read("a")
+
+    def test_equality_and_hash_by_id(self):
+        a = Transaction(txn_id="same")
+        b = Transaction(txn_id="same")
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_str_mentions_rule(self):
+        txn = Transaction(rule_name="fire-alarm")
+        assert "fire-alarm" in str(txn)

@@ -1,0 +1,147 @@
+"""Tests for the working-memory store."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownElementError
+from repro.wm import Catalog, RelationSchema, WME, WorkingMemory
+from repro.wm.memory import WMDelta
+
+
+class TestMutation:
+    def test_make_inserts_and_returns_wme(self, wm):
+        w = wm.make("order", id=1)
+        assert w in wm
+        assert len(wm) == 1
+
+    def test_add_rejects_duplicate_timetag(self, wm):
+        w = wm.make("r", a=1)
+        with pytest.raises(UnknownElementError):
+            wm.add(w)
+
+    def test_remove_by_wme_and_timetag(self, wm):
+        a = wm.make("r", a=1)
+        b = wm.make("r", a=2)
+        wm.remove(a)
+        wm.remove(b.timetag)
+        assert len(wm) == 0
+
+    def test_remove_missing_raises(self, wm):
+        with pytest.raises(UnknownElementError):
+            wm.remove(999)
+
+    def test_modify_replaces_and_bumps_timetag(self, wm):
+        old = wm.make("order", id=1, status="open")
+        new = wm.modify(old, {"status": "shipped"})
+        assert old not in wm
+        assert new in wm
+        assert new["status"] == "shipped"
+        assert new["id"] == 1
+        assert new.timetag > old.timetag
+
+    def test_modify_missing_raises(self, wm):
+        with pytest.raises(UnknownElementError):
+            wm.modify(12345, {"a": 1})
+
+    def test_clear_empties_store(self, wm):
+        for i in range(5):
+            wm.make("r", i=i)
+        wm.clear()
+        assert len(wm) == 0
+
+    def test_catalog_validation_applied_on_add(self):
+        catalog = Catalog([RelationSchema.define("r", {"a": "int"})])
+        memory = WorkingMemory(catalog=catalog)
+        with pytest.raises(SchemaError):
+            memory.make("r", a="bad")
+
+
+class TestQueries:
+    def test_get_by_timetag(self, wm):
+        w = wm.make("r", a=1)
+        assert wm.get(w.timetag) is w
+        assert wm.get(10**9) is None
+
+    def test_elements_filters_by_relation(self, wm):
+        wm.make("a", x=1)
+        wm.make("b", x=2)
+        assert [w.relation for w in wm.elements("a")] == ["a"]
+        assert len(wm.elements()) == 2
+
+    def test_select_with_equalities(self, wm):
+        wm.make("order", id=1, status="open")
+        wm.make("order", id=2, status="closed")
+        rows = wm.select("order", [("status", "open")])
+        assert [w["id"] for w in rows] == [1]
+
+    def test_select_multiple_equalities(self, wm):
+        wm.make("order", id=1, status="open", region="eu")
+        wm.make("order", id=2, status="open", region="us")
+        rows = wm.select(
+            "order", [("status", "open"), ("region", "us")]
+        )
+        assert [w["id"] for w in rows] == [2]
+
+    def test_select_empty_relation(self, wm):
+        assert wm.select("ghost") == []
+
+    def test_count(self, wm):
+        wm.make("r", a=1)
+        wm.make("r", a=2)
+        wm.make("s", a=3)
+        assert wm.count("r") == 2
+        assert wm.count("ghost") == 0
+
+    def test_value_identity_set_ignores_timetags(self, wm):
+        wm.make("r", a=1)
+        other = WorkingMemory()
+        other.make("r", a=1)
+        assert wm.value_identity_set() == other.value_identity_set()
+
+    def test_select_after_modify_sees_new_version_only(self, wm):
+        w = wm.make("order", id=1, status="open")
+        wm.modify(w, {"status": "shipped"})
+        assert wm.select("order", [("status", "open")]) == []
+        assert len(wm.select("order", [("status", "shipped")])) == 1
+
+
+class TestListeners:
+    def test_add_publishes_delta(self, wm):
+        seen: list[WMDelta] = []
+        wm.subscribe(seen.append)
+        w = wm.make("r", a=1)
+        assert [(d.kind, d.wme) for d in seen] == [("add", w)]
+
+    def test_modify_publishes_remove_then_add(self, wm):
+        w = wm.make("r", a=1)
+        seen: list[WMDelta] = []
+        wm.subscribe(seen.append)
+        wm.modify(w, {"a": 2})
+        assert [d.kind for d in seen] == ["remove", "add"]
+
+    def test_unsubscribe_stops_delivery(self, wm):
+        seen: list[WMDelta] = []
+        wm.subscribe(seen.append)
+        wm.unsubscribe(seen.append)
+        wm.make("r", a=1)
+        assert seen == []
+
+    def test_delta_inverted(self):
+        w = WME.make("r", a=1)
+        delta = WMDelta("add", w)
+        assert delta.inverted() == WMDelta("remove", w)
+        assert delta.inverted().inverted() == delta
+
+    def test_apply_add_and_remove(self, wm):
+        w = WME.make("r", a=1)
+        wm.apply(WMDelta("add", w))
+        assert w in wm
+        wm.apply(WMDelta("remove", w))
+        assert w not in wm
+
+
+class TestThreadSafeMode:
+    def test_mutations_work_with_mutex(self):
+        memory = WorkingMemory(thread_safe=True)
+        w = memory.make("r", a=1)
+        memory.modify(w, {"a": 2})
+        assert len(memory) == 1

@@ -1,0 +1,180 @@
+"""Tests for the relational query layer."""
+
+import pytest
+
+from repro.errors import WorkingMemoryError
+from repro.wm import Query, WorkingMemory
+
+
+@pytest.fixture
+def db():
+    wm = WorkingMemory()
+    wm.make("order", id=1, region="eu", total=100, customer="c1")
+    wm.make("order", id=2, region="us", total=250, customer="c2")
+    wm.make("order", id=3, region="eu", total=50, customer="c1")
+    wm.make("customer", cid="c1", name="Ada")
+    wm.make("customer", cid="c2", name="Grace")
+    wm.make("line", order=1, sku="widget", qty=2)
+    wm.make("line", order=1, sku="gadget", qty=1)
+    wm.make("line", order=2, sku="widget", qty=5)
+    return wm
+
+
+class TestSelection:
+    def test_where_equality(self, db):
+        assert Query.from_(db, "order").where(region="eu").count() == 2
+
+    def test_where_is_conjunctive(self, db):
+        rows = Query.from_(db, "order").where(
+            region="eu", customer="c1"
+        ).rows()
+        assert {r["id"] for r in rows} == {1, 3}
+
+    def test_filter_predicate(self, db):
+        rows = (
+            Query.from_(db, "order")
+            .filter(lambda r: r["total"] > 80)
+            .rows()
+        )
+        assert {r["id"] for r in rows} == {1, 2}
+
+    def test_queries_are_immutable(self, db):
+        base = Query.from_(db, "order")
+        eu = base.where(region="eu")
+        assert base.count() == 3
+        assert eu.count() == 2
+
+    def test_query_sees_live_store(self, db):
+        query = Query.from_(db, "order").where(region="eu")
+        assert query.count() == 2
+        db.make("order", id=4, region="eu", total=10)
+        assert query.count() == 3
+
+
+class TestProjectionOrderingLimit:
+    def test_project(self, db):
+        rows = Query.from_(db, "order").project("id").rows()
+        assert all(set(r) == {"id"} for r in rows)
+
+    def test_order_by(self, db):
+        ids = (
+            Query.from_(db, "order").order_by("total").values("id")
+        )
+        assert ids == [3, 1, 2]
+
+    def test_order_by_descending(self, db):
+        ids = (
+            Query.from_(db, "order")
+            .order_by("total", descending=True)
+            .values("id")
+        )
+        assert ids == [2, 1, 3]
+
+    def test_order_by_mixed_types_is_total(self, db):
+        db.make("order", id=9, region=None, total="n/a")
+        # Must not raise despite None/str/int mix.
+        Query.from_(db, "order").order_by("total").rows()
+
+    def test_limit(self, db):
+        assert Query.from_(db, "order").limit(2).count() == 2
+
+    def test_negative_limit_rejected(self, db):
+        with pytest.raises(WorkingMemoryError):
+            Query.from_(db, "order").limit(-1)
+
+    def test_first_and_exists(self, db):
+        assert Query.from_(db, "order").where(id=2).first()["total"] == 250
+        assert Query.from_(db, "order").where(id=99).first() is None
+        assert Query.from_(db, "order").where(id=2).exists()
+        assert not Query.from_(db, "ghost").exists()
+
+
+class TestJoins:
+    def test_equi_join(self, db):
+        rows = (
+            Query.from_(db, "order")
+            .join("customer", "customer", "cid")
+            .rows()
+        )
+        names = {(r["id"], r["customer.name"]) for r in rows}
+        assert names == {(1, "Ada"), (2, "Grace"), (3, "Ada")}
+
+    def test_join_multiplicity(self, db):
+        rows = Query.from_(db, "order").join("line", "id", "order").rows()
+        assert len(rows) == 3  # order 1 x2 lines, order 2 x1, order 3 x0
+
+    def test_chained_joins(self, db):
+        rows = (
+            Query.from_(db, "order")
+            .join("customer", "customer", "cid")
+            .join("line", "id", "order")
+            .rows()
+        )
+        assert len(rows) == 3
+        assert all("customer.name" in r and "line.sku" in r for r in rows)
+
+    def test_custom_prefix(self, db):
+        row = (
+            Query.from_(db, "order")
+            .where(id=1)
+            .join("customer", "customer", "cid", prefix="cust_")
+            .first()
+        )
+        assert row["cust_name"] == "Ada"
+
+    def test_filter_after_join(self, db):
+        rows = (
+            Query.from_(db, "order")
+            .join("line", "id", "order")
+            .filter(lambda r: r["line.qty"] >= 2)
+            .rows()
+        )
+        assert {r["line.sku"] for r in rows} == {"widget"}
+
+
+class TestAggregates:
+    def test_whole_result_aggregates(self, db):
+        agg = Query.from_(db, "order").aggregate(
+            n=("count", "id"),
+            revenue=("sum", "total"),
+            biggest=("max", "total"),
+            smallest=("min", "total"),
+            mean=("avg", "total"),
+        )
+        assert agg == {
+            "n": 3,
+            "revenue": 400,
+            "biggest": 250,
+            "smallest": 50,
+            "mean": pytest.approx(400 / 3),
+        }
+
+    def test_aggregate_on_empty(self, db):
+        agg = Query.from_(db, "ghost").aggregate(
+            n=("count", "x"), top=("max", "x"), s=("sum", "x")
+        )
+        assert agg == {"n": 0, "top": None, "s": 0}
+
+    def test_unknown_aggregate_rejected(self, db):
+        with pytest.raises(WorkingMemoryError):
+            Query.from_(db, "order").aggregate(x=("median", "total"))
+
+    def test_group_by(self, db):
+        groups = Query.from_(db, "order").group_by(
+            "region", revenue=("sum", "total"), n=("count", "id")
+        )
+        assert groups == {
+            "eu": {"revenue": 150, "n": 2},
+            "us": {"revenue": 250, "n": 1},
+        }
+
+    def test_group_by_after_join(self, db):
+        groups = (
+            Query.from_(db, "order")
+            .join("line", "id", "order")
+            .group_by("line.sku", qty=("sum", "line.qty"))
+        )
+        assert groups == {
+            "widget": {"qty": 7},
+            "gadget": {"qty": 1},
+        }

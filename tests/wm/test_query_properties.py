@@ -1,0 +1,100 @@
+"""Property tests for the relational query layer."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.wm import Query, WorkingMemory
+
+_row = st.fixed_dictionaries(
+    {
+        "k": st.integers(0, 3),
+        "v": st.integers(0, 9),
+        "tag": st.sampled_from(["x", "y", "z"]),
+    }
+)
+
+
+def _build(rows):
+    wm = WorkingMemory()
+    for row in rows:
+        wm.make("t", **row)
+    return wm
+
+
+@given(rows=st.lists(_row, max_size=15), key=st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_where_equals_filter(rows, key):
+    """Index-backed where == python-level filter."""
+    wm = _build(rows)
+    via_where = Query.from_(wm, "t").where(k=key).count()
+    via_filter = (
+        Query.from_(wm, "t").filter(lambda r: r["k"] == key).count()
+    )
+    assert via_where == via_filter == sum(1 for r in rows if r["k"] == key)
+
+
+@given(rows=st.lists(_row, max_size=15))
+@settings(max_examples=60, deadline=None)
+def test_filters_commute(rows):
+    wm = _build(rows)
+    a = (
+        Query.from_(wm, "t")
+        .filter(lambda r: r["v"] > 4)
+        .where(tag="x")
+        .count()
+    )
+    b = (
+        Query.from_(wm, "t")
+        .where(tag="x")
+        .filter(lambda r: r["v"] > 4)
+        .count()
+    )
+    assert a == b
+
+
+@given(rows=st.lists(_row, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_self_join_cardinality(rows):
+    """|t ⋈_k t| = Σ_k count(k)^2."""
+    wm = _build(rows)
+    joined = Query.from_(wm, "t").join("t", "k", "k").count()
+    by_key: dict[int, int] = {}
+    for row in rows:
+        by_key[row["k"]] = by_key.get(row["k"], 0) + 1
+    assert joined == sum(n * n for n in by_key.values())
+
+
+@given(rows=st.lists(_row, max_size=15))
+@settings(max_examples=60, deadline=None)
+def test_group_by_partitions_count(rows):
+    wm = _build(rows)
+    groups = Query.from_(wm, "t").group_by("tag", n=("count", "v"))
+    assert sum(g["n"] for g in groups.values()) == len(rows)
+
+
+@given(rows=st.lists(_row, max_size=15))
+@settings(max_examples=60, deadline=None)
+def test_order_limit_prefix(rows):
+    """limit(n) of an ordered query is a prefix of the full ordering."""
+    wm = _build(rows)
+    full = Query.from_(wm, "t").order_by("v", "k", "tag").rows()
+    for n in (0, 1, 3):
+        prefix = (
+            Query.from_(wm, "t").order_by("v", "k", "tag").limit(n).rows()
+        )
+        assert prefix == full[:n]
+
+
+@given(rows=st.lists(_row, min_size=1, max_size=15))
+@settings(max_examples=60, deadline=None)
+def test_aggregates_match_python(rows):
+    wm = _build(rows)
+    agg = Query.from_(wm, "t").aggregate(
+        total=("sum", "v"), lo=("min", "v"), hi=("max", "v"),
+        mean=("avg", "v"),
+    )
+    values = [r["v"] for r in rows]
+    assert agg["total"] == sum(values)
+    assert agg["lo"] == min(values)
+    assert agg["hi"] == max(values)
+    assert abs(agg["mean"] - sum(values) / len(values)) < 1e-9

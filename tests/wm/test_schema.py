@@ -1,0 +1,129 @@
+"""Tests for relation schemas and the system catalog."""
+
+import pytest
+
+from repro.errors import DuplicateSchemaError, SchemaError
+from repro.wm.element import WME
+from repro.wm.schema import AttributeDef, Catalog, RelationSchema
+
+
+class TestAttributeDef:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("x", "tensor")
+
+    @pytest.mark.parametrize(
+        "type_name,value,ok",
+        [
+            ("symbol", "abc", True),
+            ("symbol", 5, False),
+            ("int", 5, True),
+            ("int", 5.0, False),
+            ("int", True, False),  # bool is not an int column value
+            ("float", 5.0, True),
+            ("float", 5, True),
+            ("number", 5, True),
+            ("number", 2.5, True),
+            ("number", "x", False),
+            ("bool", True, True),
+            ("bool", 1, False),
+            ("any", object(), True),
+        ],
+    )
+    def test_accepts(self, type_name, value, ok):
+        assert AttributeDef("a", type_name).accepts(value) is ok
+
+    def test_none_always_accepted(self):
+        assert AttributeDef("a", "int").accepts(None)
+
+
+class TestRelationSchema:
+    def test_define_with_mapping(self):
+        schema = RelationSchema.define(
+            "order", {"id": "int", "status": "symbol"}, key="id"
+        )
+        assert schema.key == "id"
+        assert schema.attribute("id").type_name == "int"
+
+    def test_define_with_names(self):
+        schema = RelationSchema.define("r", ["a", "b"])
+        assert schema.attribute("a").type_name == "any"
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(
+                "r", (AttributeDef("a"), AttributeDef("a"))
+            )
+
+    def test_key_must_be_declared(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.define("r", ["a"], key="missing")
+
+    def test_validate_accepts_conforming_wme(self):
+        schema = RelationSchema.define("order", {"id": "int"})
+        schema.validate(WME.make("order", id=1))
+
+    def test_validate_rejects_wrong_relation(self):
+        schema = RelationSchema.define("order", {"id": "int"})
+        with pytest.raises(SchemaError):
+            schema.validate(WME.make("customer", id=1))
+
+    def test_validate_rejects_undeclared_attribute(self):
+        schema = RelationSchema.define("order", {"id": "int"})
+        with pytest.raises(SchemaError):
+            schema.validate(WME.make("order", id=1, rogue="x"))
+
+    def test_validate_rejects_type_mismatch(self):
+        schema = RelationSchema.define("order", {"id": "int"})
+        with pytest.raises(SchemaError):
+            schema.validate(WME.make("order", id="not-an-int"))
+
+    def test_required_attribute_enforced(self):
+        schema = RelationSchema(
+            "r", (AttributeDef("a", "any", required=True),)
+        )
+        with pytest.raises(SchemaError):
+            schema.validate(WME.make("r"))
+
+    def test_empty_schema_accepts_anything(self):
+        RelationSchema("r").validate(WME.make("r", whatever=1))
+
+
+class TestCatalog:
+    def test_declare_and_get(self):
+        catalog = Catalog()
+        schema = RelationSchema.define("order", {"id": "int"})
+        catalog.declare(schema)
+        assert catalog.get("order") is schema
+        assert "order" in catalog
+        assert len(catalog) == 1
+
+    def test_identical_redeclaration_is_noop(self):
+        catalog = Catalog()
+        schema = RelationSchema.define("r", ["a"])
+        catalog.declare(schema)
+        catalog.declare(RelationSchema.define("r", ["a"]))
+        assert len(catalog) == 1
+
+    def test_conflicting_redeclaration_rejected(self):
+        catalog = Catalog([RelationSchema.define("r", ["a"])])
+        with pytest.raises(DuplicateSchemaError):
+            catalog.declare(RelationSchema.define("r", ["b"]))
+
+    def test_validate_skips_undeclared_relations(self):
+        Catalog().validate(WME.make("anything", x=1))
+
+    def test_validate_applies_declared_schema(self):
+        catalog = Catalog([RelationSchema.define("r", {"a": "int"})])
+        with pytest.raises(SchemaError):
+            catalog.validate(WME.make("r", a="bad"))
+
+    def test_catalog_lock_key(self):
+        key = Catalog.catalog_lock_key("order")
+        assert key == ("SYSTEM-CATALOG", "order")
+
+    def test_iteration(self):
+        catalog = Catalog(
+            [RelationSchema.define("a"), RelationSchema.define("b")]
+        )
+        assert {s.name for s in catalog} == {"a", "b"}

@@ -1,0 +1,75 @@
+"""Tests for working-memory snapshots."""
+
+from repro.wm import WMSnapshot, WorkingMemory
+
+
+class TestSnapshot:
+    def test_capture_and_materialize(self, wm):
+        wm.make("r", a=1)
+        wm.make("s", b=2)
+        snap = WMSnapshot.capture(wm)
+        clone = snap.materialize()
+        assert clone.value_identity_set() == wm.value_identity_set()
+        assert {w.timetag for w in clone} == {w.timetag for w in wm}
+
+    def test_capture_is_immutable_against_later_changes(self, wm):
+        wm.make("r", a=1)
+        snap = WMSnapshot.capture(wm)
+        wm.make("r", a=2)
+        assert len(snap) == 1
+
+    def test_restore_removes_extra_elements(self, wm):
+        wm.make("r", a=1)
+        snap = WMSnapshot.capture(wm)
+        wm.make("r", a=2)
+        snap.restore(wm)
+        assert len(wm) == 1
+
+    def test_restore_reinstates_removed_elements(self, wm):
+        w = wm.make("r", a=1)
+        snap = WMSnapshot.capture(wm)
+        wm.remove(w)
+        snap.restore(wm)
+        assert w in wm
+
+    def test_restore_publishes_minimal_deltas(self, wm):
+        keep = wm.make("r", a=1)
+        snap = WMSnapshot.capture(wm)
+        extra = wm.make("r", a=2)
+        deltas = []
+        wm.subscribe(deltas.append)
+        snap.restore(wm)
+        # Only the extra element is removed; `keep` is untouched.
+        assert [(d.kind, d.wme.timetag) for d in deltas] == [
+            ("remove", extra.timetag)
+        ]
+        assert keep in wm
+
+    def test_restore_roundtrip_after_arbitrary_changes(self, wm):
+        a = wm.make("r", a=1)
+        wm.make("r", a=2)
+        snap = WMSnapshot.capture(wm)
+        wm.modify(a, {"a": 99})
+        wm.make("s", x=1)
+        snap.restore(wm)
+        assert {w.timetag for w in wm} == {w.timetag for w in snap.elements}
+
+    def test_value_identity_set(self, wm):
+        wm.make("r", a=1)
+        snap = WMSnapshot.capture(wm)
+        other = WorkingMemory()
+        other.make("r", a=1)
+        assert snap.value_identity_set() == WMSnapshot.capture(
+            other
+        ).value_identity_set()
+
+    def test_contains(self, wm):
+        w = wm.make("r", a=1)
+        snap = WMSnapshot.capture(wm)
+        assert w in snap
+        assert "not a wme" not in snap
+
+    def test_empty_snapshot(self, wm):
+        snap = WMSnapshot.capture(wm)
+        assert len(snap) == 0
+        assert len(snap.materialize()) == 0

@@ -1,0 +1,107 @@
+"""Tests for the undo log, including a hypothesis round-trip property."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.wm import UndoLog, WorkingMemory
+
+
+class TestUndoLog:
+    def test_rollback_undoes_make(self, wm):
+        log = UndoLog(wm).attach()
+        wm.make("r", a=1)
+        assert log.rollback() == 1
+        assert len(wm) == 0
+        log.detach()
+
+    def test_rollback_undoes_remove(self, wm):
+        w = wm.make("r", a=1)
+        log = UndoLog(wm).attach()
+        wm.remove(w)
+        log.rollback()
+        log.detach()
+        assert w in wm
+
+    def test_rollback_undoes_modify(self, wm):
+        w = wm.make("r", a=1)
+        before = wm.value_identity_set()
+        with UndoLog(wm) as log:
+            wm.modify(w, {"a": 2})
+            log.rollback()
+        assert wm.value_identity_set() == before
+        assert wm.get(w.timetag) is not None
+
+    def test_rollback_in_reverse_order(self, wm):
+        with UndoLog(wm) as log:
+            a = wm.make("r", step=1)
+            wm.modify(a, {"step": 2})
+            log.rollback()
+        assert len(wm) == 0
+
+    def test_commit_discards_log(self, wm):
+        with UndoLog(wm) as log:
+            wm.make("r", a=1)
+            assert log.commit() == 1
+            assert log.rollback() == 0
+        assert len(wm) == 1
+
+    def test_rollback_is_idempotent(self, wm):
+        with UndoLog(wm) as log:
+            wm.make("r", a=1)
+            assert log.rollback() == 1
+            assert log.rollback() == 0
+
+    def test_detached_log_records_nothing(self, wm):
+        log = UndoLog(wm)
+        wm.make("r", a=1)
+        assert len(log) == 0
+
+    def test_only_changes_in_scope_are_recorded(self, wm):
+        wm.make("r", a=1)  # outside the log's scope
+        with UndoLog(wm) as log:
+            wm.make("r", a=2)
+            log.rollback()
+        assert len(wm) == 1
+        assert wm.elements("r")[0]["a"] == 1
+
+    def test_deltas_view(self, wm):
+        with UndoLog(wm) as log:
+            wm.make("r", a=1)
+            assert [d.kind for d in log.deltas] == ["add"]
+
+
+# A small command language for the property test.
+_command = st.one_of(
+    st.tuples(st.just("make"), st.integers(0, 5)),
+    st.tuples(st.just("remove"), st.integers(0, 9)),
+    st.tuples(st.just("modify"), st.integers(0, 9), st.integers(0, 5)),
+)
+
+
+@given(
+    initial=st.lists(st.integers(0, 5), max_size=6),
+    commands=st.lists(_command, max_size=12),
+)
+@settings(max_examples=80, deadline=None)
+def test_rollback_restores_exact_state(initial, commands):
+    """Property: after any action sequence, rollback restores working
+    memory byte-for-byte (same elements, same timetags)."""
+    memory = WorkingMemory()
+    for value in initial:
+        memory.make("item", v=value)
+    before = {w.timetag: w for w in memory}
+
+    with UndoLog(memory) as log:
+        for command in commands:
+            live = sorted(memory, key=lambda w: w.timetag)
+            if command[0] == "make":
+                memory.make("item", v=command[1])
+            elif command[0] == "remove" and live:
+                memory.remove(live[command[1] % len(live)])
+            elif command[0] == "modify" and live:
+                target = live[command[1] % len(live)]
+                memory.modify(target, {"v": command[2]})
+        log.rollback()
+
+    after = {w.timetag: w for w in memory}
+    assert after == before
