@@ -14,6 +14,13 @@ Subcommands
 ``repro section5``
     Print the paper-vs-measured table for the Section 5 speedup
     figures.
+``repro trace RULES [--scheme rc] ...``
+    Run under the wave-parallel engine with observability enabled and
+    emit the structured trace (lock grant/wait/deny, rule-(ii) aborts,
+    wave spans) as JSON lines.
+``repro metrics RULES [--scheme rc] ...``
+    Same run, but emit the metrics registry snapshot (lock-wait
+    histogram, abort/commit counters, wave widths) as one JSON object.
 
 Installed as the ``repro`` console script.
 """
@@ -25,6 +32,7 @@ import json
 import sys
 from pathlib import Path
 
+import repro.obs as obs
 from repro.core import ExecutionGraph, section_3_3_example
 from repro.engine import Interpreter, ParallelEngine, replay_commit_sequence
 from repro.errors import ReproError
@@ -100,6 +108,65 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("final working memory:")
         for wme in sorted(memory, key=lambda w: (w.relation, w.timetag)):
             print("  ", wme)
+    return 0
+
+
+def _run_observed(
+    args: argparse.Namespace,
+) -> tuple["obs.Observer", object]:
+    """Run ``args.rules`` under the wave-parallel engine with a live
+    observer attached; returns ``(observer, run_result)``."""
+    if args.capacity < 1:
+        raise ReproError(
+            f"--capacity must be >= 1, got {args.capacity}"
+        )
+    rules = parse_program(Path(args.rules).read_text(encoding="utf-8"))
+    if not rules:
+        raise ReproError("no productions found")
+    memory = WorkingMemory()
+    if args.facts:
+        _load_facts(memory, Path(args.facts))
+    observer = obs.Observer(trace_capacity=args.capacity)
+    engine = ParallelEngine(
+        rules,
+        memory,
+        scheme=args.scheme,
+        matcher=args.matcher,
+        strategy=args.strategy,
+        processors=args.processors,
+        seed=args.seed,
+        observer=observer,
+    )
+    result = engine.run(max_waves=args.max_cycles)
+    return observer, result
+
+
+def _write_or_print(text: str, out: str | None) -> None:
+    if out:
+        Path(out).write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    observer, result = _run_observed(args)
+    _write_or_print(observer.trace.to_json_lines(args.kind), args.out)
+    summary = ", ".join(
+        f"{kind}={count}" for kind, count in observer.trace.kinds().items()
+    )
+    print(
+        f"# {len(observer.trace)} events "
+        f"({observer.trace.dropped} dropped), "
+        f"stop={result.stop_reason}: {summary}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    observer, result = _run_observed(args)
+    _write_or_print(observer.metrics.to_json(), args.out)
+    print(f"# stop={result.stop_reason}", file=sys.stderr)
     return 0
 
 
@@ -205,6 +272,57 @@ def build_parser() -> argparse.ArgumentParser:
         "section5", help="reproduce the Section 5 speedup figures"
     )
     section5.set_defaults(handler=_cmd_section5)
+
+    def add_observed_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("rules", help="rule file (OPS5-style DSL)")
+        parser.add_argument("--facts", help="JSON-lines facts file")
+        parser.add_argument(
+            "--scheme",
+            choices=["rc", "2pl", "c2pl"],
+            default="rc",
+            help="lock scheme for the wave-parallel engine",
+        )
+        parser.add_argument(
+            "--matcher",
+            choices=["rete", "treat", "naive", "cond"],
+            default="rete",
+        )
+        parser.add_argument(
+            "--strategy",
+            choices=["lex", "mea", "priority", "fifo", "random"],
+            default="lex",
+        )
+        parser.add_argument("--processors", type=int, default=None)
+        parser.add_argument("--seed", type=int, default=None)
+        parser.add_argument("--max-cycles", type=int, default=10_000)
+        parser.add_argument(
+            "--capacity",
+            type=int,
+            default=65_536,
+            help="trace ring-buffer capacity",
+        )
+        parser.add_argument(
+            "--out", help="write the JSON payload to this file"
+        )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run with observability on; emit the trace as JSON lines",
+    )
+    add_observed_arguments(trace)
+    trace.add_argument(
+        "--kind",
+        help="only events of this kind (a trailing '.' matches the "
+        "prefix family, e.g. 'lock.')",
+    )
+    trace.set_defaults(handler=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run with observability on; emit the metrics snapshot JSON",
+    )
+    add_observed_arguments(metrics)
+    metrics.set_defaults(handler=_cmd_metrics)
 
     lint = sub.add_parser("lint", help="lint a rule program")
     lint.add_argument("rules", help="rule file (OPS5-style DSL)")

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Literal
 
+import repro.obs as obs_module
 from repro.engine.actions import ActionExecutor
 from repro.engine.interpreter import MatcherName, build_matcher
 from repro.engine.result import FiringRecord, RunResult
@@ -86,6 +87,10 @@ class ParallelEngine:
         the deadlock-avoidance variant).
     processors:
         Wave width limit (``Np``); ``None`` means unbounded.
+    observer:
+        Observability sink (wave spans, firing/rollback events, match
+        latency), shared with the lock scheme and manager.  Defaults
+        to the module-level observer from :mod:`repro.obs`.
     """
 
     def __init__(
@@ -97,7 +102,11 @@ class ParallelEngine:
         strategy: str | Strategy = "lex",
         processors: int | None = None,
         seed: int | None = None,
+        observer=None,
     ) -> None:
+        self.obs = (
+            observer if observer is not None else obs_module.get_observer()
+        )
         self.memory = memory if memory is not None else WorkingMemory()
         if isinstance(matcher, str):
             self.matcher = build_matcher(matcher, self.memory)
@@ -112,12 +121,16 @@ class ParallelEngine:
         self.history = History()
         if scheme == "rc":
             self.scheme: RcScheme | TwoPhaseScheme = RcScheme(
-                history=self.history
+                history=self.history, observer=self.obs
             )
         elif scheme == "2pl":
-            self.scheme = TwoPhaseScheme(history=self.history)
+            self.scheme = TwoPhaseScheme(
+                history=self.history, observer=self.obs
+            )
         elif scheme == "c2pl":
-            self.scheme = ConservativeTwoPhaseScheme(history=self.history)
+            self.scheme = ConservativeTwoPhaseScheme(
+                history=self.history, observer=self.obs
+            )
         else:
             raise EngineError(f"unknown scheme {scheme!r}")
         self._preclaims = getattr(self.scheme, "preclaims", False)
@@ -145,7 +158,12 @@ class ParallelEngine:
     def run_wave(self) -> WaveResult:
         """Execute one wave; returns its summary."""
         wave = WaveResult(wave=len(self.waves) + 1)
+        obs = self.obs
+        wave_start = obs.clock() if obs.enabled else 0.0
         candidates = self._ordered_candidates()
+        if obs.enabled:
+            obs.match_latency(obs.clock() - wave_start)
+            obs.wave_started(wave.wave, len(candidates))
         slots: list[tuple[Instantiation, Transaction]] = []
 
         # Phase 1: condition locks for every candidate.  Under the
@@ -182,7 +200,7 @@ class ParallelEngine:
         for instantiation, txn in slots:
             if txn.is_aborted:
                 # Rule (ii) victim of an earlier commit in this wave.
-                self.scheme.abort(txn)
+                self.scheme.abort(txn, "rule (ii) victim")
                 wave.aborted.append(instantiation.production.name)
                 self.abort_count += 1
                 continue
@@ -209,7 +227,9 @@ class ParallelEngine:
                 outcome = self.executor.execute(instantiation)
             except Exception:
                 undo.detach()
-                undo.rollback()
+                undone = undo.rollback()
+                if obs.enabled:
+                    obs.rollback(txn.txn_id, undone)
                 self.scheme.abort(txn, "RHS execution failed")
                 raise
             undo.detach()
@@ -222,12 +242,24 @@ class ParallelEngine:
             )
             self.result.outputs.extend(outcome.outputs)
             wave.committed.append(instantiation.production.name)
+            if obs.enabled:
+                obs.firing_committed(
+                    instantiation.production.name, wave.wave
+                )
             if outcome.halted:
                 self.result.halted = True
             # commit.victims carry the rule-(ii) aborts; their slots
             # are skipped when their turn comes (txn.is_aborted above).
 
         self.waves.append(wave)
+        if obs.enabled:
+            obs.wave_finished(
+                wave.wave,
+                committed=len(wave.committed),
+                aborted=len(wave.aborted),
+                deferred=len(wave.deferred),
+                duration=obs.clock() - wave_start,
+            )
         return wave
 
     # -- whole runs -------------------------------------------------------------------------
@@ -258,19 +290,42 @@ class ParallelEngine:
         return self.result
 
     def _fire_single(self) -> None:
-        """Progress fallback: one single-thread firing."""
+        """Progress fallback: one single-thread firing.
+
+        Counts as its own sequential cycle and runs under an undo log,
+        so an RHS exception leaves working memory exactly as the wave
+        machinery would — rolled back, not half-mutated.
+        """
         candidates = self.matcher.conflict_set.eligible()
         if not candidates:
             return
+        obs = self.obs
         instantiation = self.strategy.select(candidates)
         txn = Transaction(rule_name=instantiation.production.name)
-        self.matcher.conflict_set.mark_fired(instantiation)
-        outcome = self.executor.execute(instantiation)
+        undo = UndoLog(self.memory).attach()
+        try:
+            self.matcher.conflict_set.mark_fired(instantiation)
+            outcome = self.executor.execute(instantiation)
+        except Exception:
+            undo.detach()
+            undone = undo.rollback()
+            if obs.enabled:
+                obs.rollback(txn.txn_id, undone)
+            self.history.abort(txn.txn_id)
+            txn.abort("RHS execution failed")
+            raise
+        undo.detach()
         self.history.commit(txn.txn_id)
         txn.commit()
+        undo.commit()
+        self.result.cycles += 1
         self.result.firings.append(
             FiringRecord.from_instantiation(instantiation, len(self.waves))
         )
         self.result.outputs.extend(outcome.outputs)
+        if obs.enabled:
+            obs.firing_committed(
+                instantiation.production.name, len(self.waves)
+            )
         if outcome.halted:
             self.result.halted = True

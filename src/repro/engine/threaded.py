@@ -27,6 +27,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Literal
 
+import repro.obs as obs_module
 from repro.engine.actions import ActionExecutor
 from repro.engine.interpreter import MatcherName, build_matcher
 from repro.engine.result import FiringRecord
@@ -69,11 +70,15 @@ class ThreadedWaveExecutor:
         scheme: SchemeName = "rc",
         matcher: MatcherName = "rete",
         lock_timeout: float = 0.2,
+        observer=None,
     ) -> None:
         if memory._mutex is None:  # noqa: SLF001 - deliberate check
             raise EngineError(
                 "threaded execution requires WorkingMemory(thread_safe=True)"
             )
+        self.obs = (
+            observer if observer is not None else obs_module.get_observer()
+        )
         self.memory = memory
         self.matcher = build_matcher(matcher, memory)
         self.matcher.add_productions(productions)
@@ -81,25 +86,36 @@ class ThreadedWaveExecutor:
         self.history = History()
         if scheme == "rc":
             self.scheme: RcScheme | TwoPhaseScheme = RcScheme(
-                history=self.history
+                history=self.history, observer=self.obs
             )
         elif scheme == "2pl":
-            self.scheme = TwoPhaseScheme(history=self.history)
+            self.scheme = TwoPhaseScheme(
+                history=self.history, observer=self.obs
+            )
         else:
             raise EngineError(f"unknown scheme {scheme!r}")
         self.lock_timeout = lock_timeout
         self.executor = ActionExecutor(memory)
         self._commit_mutex = threading.Lock()
+        #: Waves run so far; the current wave number is the ``cycle``
+        #: label stamped on committed :class:`FiringRecord`\ s.
+        self.waves_run = 0
 
     # -- one wave ------------------------------------------------------------------------
 
     def run_wave(self) -> ThreadedWaveResult:
         result = ThreadedWaveResult(history=self.history)
+        self.waves_run += 1
+        cycle = self.waves_run
+        obs = self.obs
+        wave_start = obs.clock() if obs.enabled else 0.0
         candidates = self.matcher.conflict_set.eligible()
+        if obs.enabled:
+            obs.wave_started(cycle, len(candidates))
         threads = [
             threading.Thread(
                 target=self._fire,
-                args=(instantiation, result),
+                args=(instantiation, result, cycle),
                 name=f"firing-{instantiation.production.name}",
                 daemon=True,
             )
@@ -109,6 +125,14 @@ class ThreadedWaveExecutor:
             thread.start()
         for thread in threads:
             thread.join()
+        if obs.enabled:
+            obs.wave_finished(
+                cycle,
+                committed=len(result.committed),
+                aborted=len(result.aborted),
+                deferred=len(result.timed_out),
+                duration=obs.clock() - wave_start,
+            )
         return result
 
     def _acquire_all(
@@ -127,7 +151,10 @@ class ThreadedWaveExecutor:
         return True
 
     def _fire(
-        self, instantiation: Instantiation, result: ThreadedWaveResult
+        self,
+        instantiation: Instantiation,
+        result: ThreadedWaveResult,
+        cycle: int,
     ) -> None:
         txn = Transaction(rule_name=instantiation.production.name)
         reads = instantiation_read_objects(instantiation)
@@ -162,5 +189,9 @@ class ThreadedWaveExecutor:
             self.executor.execute(instantiation)
             self.scheme.commit(txn)
             result.committed.append(
-                FiringRecord.from_instantiation(instantiation, cycle=0)
+                FiringRecord.from_instantiation(instantiation, cycle=cycle)
             )
+            if self.obs.enabled:
+                self.obs.firing_committed(
+                    instantiation.production.name, cycle
+                )

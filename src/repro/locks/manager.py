@@ -20,6 +20,7 @@ import threading
 from collections import defaultdict
 from typing import Callable, Iterator
 
+import repro.obs as obs_module
 from repro.errors import DeadlockDetected, LockError
 from repro.locks.modes import LockMode, compatible, is_upgrade
 from repro.locks.request import LockRequest, RequestStatus
@@ -41,13 +42,23 @@ class LockManager:
         When true (the default), every grant re-verifies the global
         compatibility invariant and raises :class:`LockError` on
         violation.  Cheap at test scale; disable for large benchmarks.
+    observer:
+        Observability sink for lock events (grant/wait/deny/cancel)
+        and metrics; defaults to the module-level observer from
+        :mod:`repro.obs` (inert unless enabled).
     """
 
     def __init__(
-        self, history: History | None = None, audit: bool = True
+        self,
+        history: History | None = None,
+        audit: bool = True,
+        observer=None,
     ) -> None:
         self.history = history
         self.audit = audit
+        self.obs = (
+            observer if observer is not None else obs_module.get_observer()
+        )
         self._mutex = threading.RLock()
         self._grants: dict[DataObject, dict[Transaction, set[LockMode]]] = (
             defaultdict(dict)
@@ -170,7 +181,9 @@ class LockManager:
 
         When ``blocking`` is true the call waits until granted, denied
         or ``timeout``; ``on_block`` (if given) runs once after the
-        request is queued — the deadlock detector hooks in there.
+        request is queued — the deadlock detector hooks in there.  A
+        blocking request whose timeout expires is cancelled and counts
+        as a denial in :attr:`stats`.
         """
         request = LockRequest(txn, obj, mode)
         with self._mutex:
@@ -178,12 +191,28 @@ class LockManager:
                 return request
             self._queues[obj].append(request)
             self.stats["waits"] += 1
+            if self.obs.enabled:
+                request.enqueued_at = self.obs.clock()
+                self.obs.lock_queued(
+                    txn.txn_id, obj, str(mode),
+                    depth=len(self._queues[obj]),
+                )
         if on_block is not None:
             on_block(request)
         if blocking:
             status = request.wait(timeout)
             if status is RequestStatus.WAITING:
                 self.cancel(request)
+                if request.status is RequestStatus.CANCELLED:
+                    # The wait timed out (nobody granted concurrently):
+                    # the caller was refused the lock, which is a
+                    # denial for accounting purposes.
+                    with self._mutex:
+                        self.stats["denials"] += 1
+                    if self.obs.enabled:
+                        self.obs.lock_denied(
+                            txn.txn_id, obj, str(mode), reason="timeout"
+                        )
         return request
 
     def try_acquire(
@@ -196,6 +225,10 @@ class LockManager:
                 return True
             request.resolve(RequestStatus.DENIED)
             self.stats["denials"] += 1
+            if self.obs.enabled:
+                self.obs.lock_denied(
+                    txn.txn_id, obj, str(mode), reason="busy"
+                )
             return False
 
     def _try_grant(self, request: LockRequest) -> bool:
@@ -221,6 +254,16 @@ class LockManager:
         self.stats["grants"] += 1
         if upgrading and any(is_upgrade(h, mode) for h in own):
             self.stats["upgrades"] += 1
+        if self.obs.enabled:
+            waited = (
+                self.obs.clock() - request.enqueued_at
+                if request.enqueued_at is not None
+                else 0.0
+            )
+            self.obs.lock_granted(
+                txn.txn_id, obj, str(mode), waited=waited,
+                queued=request.enqueued_at is not None,
+            )
         self._record(txn, obj, mode)
         if self.audit:
             self._audit_object(obj)
@@ -293,6 +336,10 @@ class LockManager:
                 queue.remove(request)
             if request.is_waiting:
                 request.resolve(RequestStatus.CANCELLED)
+                if self.obs.enabled:
+                    self.obs.lock_cancelled(
+                        request.txn.txn_id, request.obj, str(request.mode)
+                    )
             self._process_queue(request.obj)
 
     def _cancel_requests_of(self, txn: Transaction) -> None:
@@ -302,6 +349,10 @@ class LockManager:
                     queue.remove(request)
                     if request.is_waiting:
                         request.resolve(RequestStatus.CANCELLED)
+                        if self.obs.enabled:
+                            self.obs.lock_cancelled(
+                                txn.txn_id, obj, str(request.mode)
+                            )
             self._process_queue(obj)
 
     def _process_queue(self, obj: DataObject) -> None:

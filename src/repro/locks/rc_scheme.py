@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+import repro.obs as obs_module
 from repro.locks.manager import LockManager
 from repro.locks.modes import LockMode
 from repro.locks.request import LockRequest
@@ -56,6 +57,10 @@ class RcScheme:
         object — the paper's re-evaluation alternative.
     audit:
         Runtime compatibility auditing (see :class:`LockManager`).
+    observer:
+        Observability sink (rule-(ii) aborts, commits/aborts); shared
+        with the underlying manager.  Defaults to the module-level
+        observer from :mod:`repro.obs`.
     """
 
     name = "rc"
@@ -68,8 +73,14 @@ class RcScheme:
         history: History | None = None,
         revalidator: Revalidator | None = None,
         audit: bool = True,
+        observer=None,
     ) -> None:
-        self.manager = LockManager(history=history, audit=audit)
+        self.obs = (
+            observer if observer is not None else obs_module.get_observer()
+        )
+        self.manager = LockManager(
+            history=history, audit=audit, observer=self.obs
+        )
         self.revalidator = revalidator
         #: Forced aborts performed by rule (ii), for benchmarks.
         self.forced_aborts = 0
@@ -177,16 +188,26 @@ class RcScheme:
                 )
                 if still_valid:
                     self.revalidated += 1
+                    if self.obs.enabled:
+                        self.obs.revalidation_spared(
+                            holder.txn_id, txn.txn_id
+                        )
                     continue
             if holder.try_abort(
                 f"Rc-Wa conflict with committing {txn.txn_id}"
             ):
                 victims.append(holder)
                 self.forced_aborts += 1
+                if self.obs.enabled:
+                    self.obs.rule_ii_abort(
+                        holder.txn_id, txn.txn_id, objs
+                    )
         txn.commit()
         if self.manager.history is not None:
             self.manager.history.commit(txn.txn_id)
         self.manager.release_all(txn)
+        if self.obs.enabled:
+            self.obs.txn_committed(txn.txn_id, self.name)
         return CommitOutcome(committed=True, victims=victims)
 
     def abort(self, txn: Transaction, reason: str = "") -> None:
@@ -196,6 +217,8 @@ class RcScheme:
         if self.manager.history is not None:
             self.manager.history.abort(txn.txn_id)
         self.manager.release_all(txn)
+        if self.obs.enabled:
+            self.obs.txn_aborted(txn.txn_id, self.name, reason)
 
     def release_condition_locks(self, txn: Transaction) -> None:
         """Release after a false condition (Figure 4.2)."""

@@ -56,6 +56,9 @@ class LockRequest:
         self.obj = obj
         self.mode = mode
         self.status = RequestStatus.WAITING
+        #: Set by the manager (observability on) when the request is
+        #: queued; lets the eventual grant report its wait time.
+        self.enqueued_at: float | None = None
         self._event = threading.Event()
 
     # -- resolution (called by the manager) -----------------------------------------

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+import repro.obs as obs_module
 from repro.locks.manager import LockManager
 from repro.locks.modes import LockMode
 from repro.locks.request import LockRequest
@@ -52,9 +53,17 @@ class TwoPhaseScheme:
     action_write_mode = LockMode.W
 
     def __init__(
-        self, history: History | None = None, audit: bool = True
+        self,
+        history: History | None = None,
+        audit: bool = True,
+        observer=None,
     ) -> None:
-        self.manager = LockManager(history=history, audit=audit)
+        self.obs = (
+            observer if observer is not None else obs_module.get_observer()
+        )
+        self.manager = LockManager(
+            history=history, audit=audit, observer=self.obs
+        )
 
     # -- acquisition entry points --------------------------------------------------------
 
@@ -125,6 +134,8 @@ class TwoPhaseScheme:
         if self.manager.history is not None:
             self.manager.history.commit(txn.txn_id)
         self.manager.release_all(txn)
+        if self.obs.enabled:
+            self.obs.txn_committed(txn.txn_id, self.name)
         return CommitOutcome(committed=True)
 
     def abort(self, txn: Transaction, reason: str = "") -> None:
@@ -133,6 +144,8 @@ class TwoPhaseScheme:
         if self.manager.history is not None:
             self.manager.history.abort(txn.txn_id)
         self.manager.release_all(txn)
+        if self.obs.enabled:
+            self.obs.txn_aborted(txn.txn_id, self.name, reason)
 
     def release_condition_locks(self, txn: Transaction) -> None:
         """Release after a false condition (step 2 of Figure 4.1)."""

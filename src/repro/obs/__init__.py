@@ -1,0 +1,119 @@
+"""Observability: structured traces + metrics for engines and locks.
+
+The measurement substrate behind the Section 5 evaluation.  Three
+pieces:
+
+* :mod:`repro.obs.trace` — immutable :class:`TraceEvent` records in a
+  bounded ring buffer (:class:`TraceCollector`);
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms with a JSON snapshot;
+* :mod:`repro.obs.observer` — the :class:`Observer` facade whose
+  semantic hooks the lock manager, lock schemes, engines and
+  simulators call.
+
+Instrumentation is **off by default**: components resolve the
+module-level default observer at construction time, and that default
+is the inert :data:`NULL_OBSERVER` until :func:`enable` (or the
+:func:`observed` context manager) installs a live one.  Every hot-path
+call site is guarded with ``if obs.enabled:``, so a run without
+observability pays one attribute load per site.
+
+Typical use::
+
+    import repro.obs as obs
+
+    with obs.observed() as observer:
+        engine = ParallelEngine(rules, wm, scheme="rc")
+        engine.run()
+    print(observer.trace.kinds())
+    print(observer.metrics.to_json())
+
+Components also accept an explicit ``observer=`` argument for
+isolated measurement (several engines, separate registries).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TIME_BUCKETS,
+)
+from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer
+from repro.obs.trace import TraceCollector, TraceEvent
+
+_default: Observer | NullObserver = NULL_OBSERVER
+
+
+def get_observer() -> Observer | NullObserver:
+    """The observer newly constructed components will attach to."""
+    return _default
+
+
+def set_observer(
+    observer: Observer | NullObserver,
+) -> Observer | NullObserver:
+    """Install ``observer`` as the default; returns the previous one."""
+    global _default
+    previous = _default
+    _default = observer
+    return previous
+
+
+def enable(
+    trace_capacity: int = 65_536,
+    clock: Callable[[], float] | None = None,
+) -> Observer:
+    """Create a live :class:`Observer` and make it the default.
+
+    Only components constructed *after* this call pick it up — enable
+    observability before building engines/managers.
+    """
+    observer = Observer(trace_capacity=trace_capacity, clock=clock)
+    set_observer(observer)
+    return observer
+
+
+def disable() -> None:
+    """Restore the inert default observer."""
+    set_observer(NULL_OBSERVER)
+
+
+@contextmanager
+def observed(
+    trace_capacity: int = 65_536,
+    clock: Callable[[], float] | None = None,
+) -> Iterator[Observer]:
+    """Scoped :func:`enable`: restores the previous default on exit."""
+    observer = Observer(trace_capacity=trace_capacity, clock=clock)
+    previous = set_observer(observer)
+    try:
+        yield observer
+    finally:
+        set_observer(previous)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TIME_BUCKETS",
+    "COUNT_BUCKETS",
+    "TraceCollector",
+    "TraceEvent",
+    "Observer",
+    "NullObserver",
+    "NULL_OBSERVER",
+    "get_observer",
+    "set_observer",
+    "enable",
+    "disable",
+    "observed",
+]

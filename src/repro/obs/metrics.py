@@ -1,0 +1,192 @@
+"""Counters, gauges and fixed-bucket histograms with JSON snapshots.
+
+The aggregate side of the observability layer: where the trace records
+*what happened when*, the metrics registry keeps the running totals
+the Section 5 figures are made of — lock-wait time distributions, wave
+widths, abort/defer/commit rates, match latency, queue depth.
+
+Instruments are deliberately minimal (Prometheus-shaped, no labels):
+
+* :class:`Counter` — monotonically increasing total;
+* :class:`Gauge` — last-set value plus high-watermark (queue depths);
+* :class:`Histogram` — fixed upper-bound buckets with count/sum, so a
+  snapshot is O(buckets) regardless of how many observations flowed
+  through the hot path.
+
+A :class:`MetricsRegistry` owns the instruments by name and produces
+one JSON-able snapshot of everything — the payload ``repro metrics``
+prints and the benchmark harness archives next to its ``BENCH_*.json``
+results.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Sequence
+
+#: Default histogram buckets for durations in seconds: exponential
+#: from 1 microsecond to 10 s (lock waits and match latencies at test
+#: and bench scale land comfortably inside).
+TIME_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default buckets for small cardinalities (wave width, queue depth).
+COUNT_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative inc {amount}")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value; remembers its high watermark."""
+
+    __slots__ = ("name", "value", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value, "max": self.max}
+
+
+class Histogram:
+    """Fixed cumulative-style buckets (counts per upper bound).
+
+    ``buckets`` are strictly increasing upper bounds; observations
+    above the last bound land in the implicit ``+inf`` bucket.  Counts
+    here are *per-bucket* (not cumulative); the snapshot carries the
+    bounds so consumers can cumulate either way.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError(
+                f"histogram {name}: bounds must be strictly increasing, "
+                f"got {bounds}"
+            )
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last = +inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        buckets = {
+            f"{bound:g}": count
+            for bound, count in zip(self.bounds, self.counts)
+        }
+        buckets["+inf"] = self.counts[-1]
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with idempotent creation and one snapshot.
+
+    ``counter``/``gauge``/``histogram`` return the existing instrument
+    when the name is already registered (so call sites need no
+    create-or-lookup dance); asking for a name under a different
+    instrument type is a bug and raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._mutex = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = TIME_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, buckets)
+        )
+
+    def _get_or_create(self, name, cls, factory):
+        with self._mutex:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {cls.__name__}"
+                    )
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        with self._mutex:
+            return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        with self._mutex:
+            return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, dict]:
+        """All instruments as one JSON-able mapping, sorted by name."""
+        with self._mutex:
+            items = sorted(self._instruments.items())
+        return {name: instrument.snapshot() for name, instrument in items}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -1,0 +1,224 @@
+"""The observer facade: named hooks over one trace + one registry.
+
+Instrumented components (lock manager, lock schemes, engines,
+simulators) do not build trace events or look up metrics themselves —
+they call semantic hooks on an :class:`Observer` (``lock_granted``,
+``rule_ii_abort``, ``wave_finished``, ...).  The observer translates
+each hook into a trace event and the matching metric updates, keeping
+every instrumentation point a one-liner and the naming scheme in one
+place.
+
+The hot-path contract: components hold a reference to an observer and
+guard every hook call with ``if obs.enabled:``.  The default observer
+is :data:`NULL_OBSERVER` (``enabled = False``), so an uninstrumented
+run costs one attribute load and a falsy branch per site — nothing is
+allocated, stamped or counted (the < 5 % bench-regression budget in
+the observability issue).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    MetricsRegistry,
+    TIME_BUCKETS,
+)
+from repro.obs.trace import TraceCollector
+
+
+class Observer:
+    """Live observer: every hook traces and meters.
+
+    Parameters
+    ----------
+    trace_capacity:
+        Ring-buffer size for the trace collector.
+    clock:
+        Monotonic time source shared by trace and wait-timing; pass a
+        virtual clock when observing a discrete-event simulation.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        trace_capacity: int = 65_536,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if clock is None:
+            self.trace = TraceCollector(capacity=trace_capacity)
+        else:
+            self.trace = TraceCollector(
+                capacity=trace_capacity, clock=clock
+            )
+        self.metrics = MetricsRegistry()
+        self._mutex = threading.Lock()
+        m = self.metrics
+        self._lock_wait = m.histogram("lock.wait_seconds", TIME_BUCKETS)
+        self._queue_depth = m.gauge("lock.queue_depth")
+        self._wave_width = m.histogram("wave.width", COUNT_BUCKETS)
+        self._match_latency = m.histogram(
+            "engine.match_seconds", TIME_BUCKETS
+        )
+
+    def clock(self) -> float:
+        return self.trace.clock()
+
+    # -- lock manager ----------------------------------------------------------------------
+
+    def lock_granted(
+        self, txn_id: str, obj: object, mode: str,
+        waited: float, queued: bool,
+    ) -> None:
+        with self._mutex:
+            self.metrics.counter("lock.grants").inc()
+            self._lock_wait.observe(waited)
+        self.trace.emit(
+            "lock.grant", txn=txn_id, obj=repr(obj), mode=mode,
+            waited=waited, queued=queued,
+        )
+
+    def lock_queued(
+        self, txn_id: str, obj: object, mode: str, depth: int
+    ) -> None:
+        with self._mutex:
+            self.metrics.counter("lock.waits").inc()
+            self._queue_depth.set(depth)
+        self.trace.emit(
+            "lock.wait", txn=txn_id, obj=repr(obj), mode=mode, depth=depth
+        )
+
+    def lock_denied(
+        self, txn_id: str, obj: object, mode: str, reason: str
+    ) -> None:
+        with self._mutex:
+            self.metrics.counter("lock.denials").inc()
+        self.trace.emit(
+            "lock.deny", txn=txn_id, obj=repr(obj), mode=mode,
+            reason=reason,
+        )
+
+    def lock_cancelled(self, txn_id: str, obj: object, mode: str) -> None:
+        with self._mutex:
+            self.metrics.counter("lock.cancels").inc()
+        self.trace.emit(
+            "lock.cancel", txn=txn_id, obj=repr(obj), mode=mode
+        )
+
+    # -- lock schemes ----------------------------------------------------------------------
+
+    def txn_committed(self, txn_id: str, scheme: str) -> None:
+        with self._mutex:
+            self.metrics.counter("txn.commits").inc()
+        self.trace.emit("txn.commit", txn=txn_id, scheme=scheme)
+
+    def txn_aborted(self, txn_id: str, scheme: str, reason: str) -> None:
+        with self._mutex:
+            self.metrics.counter("txn.aborts").inc()
+        self.trace.emit(
+            "txn.abort", txn=txn_id, scheme=scheme, reason=reason
+        )
+
+    def rule_ii_abort(
+        self, victim_id: str, committer_id: str, objs: Iterable[object]
+    ) -> None:
+        """A Wa commit force-aborted an Rc holder (Section 4.3)."""
+        with self._mutex:
+            self.metrics.counter("rc.rule_ii_aborts").inc()
+        self.trace.emit(
+            "rc.rule_ii_abort", victim=victim_id, committer=committer_id,
+            objs=tuple(repr(o) for o in objs),
+        )
+
+    def revalidation_spared(
+        self, holder_id: str, committer_id: str
+    ) -> None:
+        with self._mutex:
+            self.metrics.counter("rc.revalidated").inc()
+        self.trace.emit(
+            "rc.revalidated", holder=holder_id, committer=committer_id
+        )
+
+    # -- engines ---------------------------------------------------------------------------
+
+    def wave_started(self, wave: int, candidates: int) -> None:
+        with self._mutex:
+            self._wave_width.observe(candidates)
+        self.trace.emit("wave.start", wave=wave, candidates=candidates)
+
+    def wave_finished(
+        self, wave: int, committed: int, aborted: int, deferred: int,
+        duration: float,
+    ) -> None:
+        with self._mutex:
+            m = self.metrics
+            m.counter("wave.count").inc()
+            m.counter("firing.committed").inc(committed)
+            m.counter("firing.aborted").inc(aborted)
+            m.counter("firing.deferred").inc(deferred)
+        self.trace.emit(
+            "wave.end", wave=wave, committed=committed, aborted=aborted,
+            deferred=deferred, duration=duration,
+        )
+
+    def firing_committed(self, rule: str, cycle: int) -> None:
+        self.trace.emit("firing.commit", rule=rule, cycle=cycle)
+
+    def rollback(self, txn_id: str, undone: int) -> None:
+        with self._mutex:
+            self.metrics.counter("engine.rollbacks").inc()
+        self.trace.emit("engine.rollback", txn=txn_id, undone=undone)
+
+    def match_latency(self, seconds: float) -> None:
+        with self._mutex:
+            self._match_latency.observe(seconds)
+
+    # -- simulators ------------------------------------------------------------------------
+
+    def sim_event(self, ts: float, kind: str, **fields: object) -> None:
+        """Virtual-time event from a discrete-event simulation."""
+        with self._mutex:
+            self.metrics.counter(f"{kind}.count").inc()
+        self.trace.emit_at(ts, kind, **fields)
+
+    def sim_observe(
+        self, name: str, value: float,
+        buckets: tuple[float, ...] = TIME_BUCKETS,
+    ) -> None:
+        """Record a virtual-time duration into a named histogram."""
+        with self._mutex:
+            self.metrics.histogram(name, buckets).observe(value)
+
+
+def _noop(self, *args, **kwargs) -> None:
+    return None
+
+
+class NullObserver:
+    """The disabled observer: every hook is a no-op.
+
+    ``enabled`` is False, so correctly guarded call sites never even
+    invoke the hooks; the no-op methods are a safety net for unguarded
+    (cold-path) calls.
+    """
+
+    enabled = False
+
+    def clock(self) -> float:
+        return 0.0
+
+
+for _name in [
+    attr
+    for attr in vars(Observer)
+    if not attr.startswith("_") and callable(getattr(Observer, attr))
+    and attr != "clock"
+]:
+    setattr(NullObserver, _name, _noop)
+
+
+#: The process-wide disabled observer (see :mod:`repro.obs`).
+NULL_OBSERVER = NullObserver()

@@ -1,0 +1,182 @@
+"""Structured trace events with a bounded ring-buffer collector.
+
+The Section 5 evaluation is entirely about *measured* behavior — abort
+rates under the Rc/Ra/Wa commit rule, lock-wait time under 2PL,
+speedup against processors.  The trace layer is the raw-material side
+of that measurement: instrumented components (lock manager, schemes,
+engines, simulators) emit small immutable :class:`TraceEvent` records
+— lock request → grant/wait/deny/cancel, rule-(ii) abort, wave
+start/end, rollback — into a :class:`TraceCollector`.
+
+Design constraints:
+
+* **Bounded memory.**  Events live in a ring buffer; overflow drops
+  the oldest and counts the loss (``dropped``) rather than growing or
+  raising, so tracing can stay on across arbitrarily long runs.
+* **Monotonic timestamps.**  The default clock is
+  :func:`time.perf_counter`; discrete-event simulators substitute
+  their virtual clock via :meth:`TraceCollector.emit_at`, so wall and
+  virtual time never mix within one record.
+* **Machine readable.**  ``to_json_lines`` emits one JSON object per
+  event, the format the ``repro trace`` CLI prints and benchmarks
+  archive.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One instrumented occurrence.
+
+    ``kind`` is a dotted lowercase path (``"lock.grant"``,
+    ``"wave.start"``, ``"rc.rule_ii_abort"``); ``fields`` carry the
+    event-specific scalars (txn ids, object reprs, durations).
+    """
+
+    seq: int
+    ts: float
+    kind: str
+    fields: tuple[tuple[str, object], ...]
+
+    def get(self, key: str, default: object = None) -> object:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+    def to_dict(self) -> dict:
+        out: dict = {"seq": self.seq, "ts": self.ts, "kind": self.kind}
+        out.update(self.fields)
+        return out
+
+    def __str__(self) -> str:
+        payload = " ".join(f"{k}={v!r}" for k, v in self.fields)
+        return f"[{self.ts:.6f}] {self.kind} {payload}".rstrip()
+
+
+def _jsonable(value: object) -> object:
+    """Coerce a field value to something ``json.dumps`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+class TraceCollector:
+    """Thread-safe bounded collector of :class:`TraceEvent` records.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size; the oldest events are evicted (and counted
+        in :attr:`dropped`) once it fills.
+    clock:
+        Monotonic time source used by :meth:`emit`; defaults to
+        :func:`time.perf_counter`.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 65_536,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.clock = clock
+        self.dropped = 0
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        self._mutex = threading.Lock()
+
+    # -- emission ------------------------------------------------------------------------
+
+    def emit(self, kind: str, **fields: object) -> TraceEvent:
+        """Record an event stamped with the collector's clock."""
+        return self.emit_at(self.clock(), kind, **fields)
+
+    def emit_at(self, ts: float, kind: str, **fields: object) -> TraceEvent:
+        """Record an event with an explicit timestamp (virtual time)."""
+        with self._mutex:
+            self._seq += 1
+            event = TraceEvent(
+                seq=self._seq,
+                ts=ts,
+                kind=kind,
+                fields=tuple(fields.items()),
+            )
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(event)
+            return event
+
+    @contextmanager
+    def span(self, kind: str, **fields: object) -> Iterator[TraceEvent]:
+        """Emit ``kind.start`` / ``kind.end`` around a block.
+
+        The end event repeats the start fields and adds the elapsed
+        ``duration`` (in clock units), so wave and firing intervals can
+        be reconstructed without pairing logic downstream.
+        """
+        start = self.emit(f"{kind}.start", **fields)
+        try:
+            yield start
+        finally:
+            end_ts = self.clock()
+            self.emit_at(
+                end_ts, f"{kind}.end", duration=end_ts - start.ts, **fields
+            )
+
+    # -- inspection ----------------------------------------------------------------------
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """All buffered events (oldest first), optionally one kind.
+
+        A ``kind`` ending in ``"."`` matches the whole prefix family
+        (``events("lock.")`` returns grants, waits, denials, ...).
+        """
+        with self._mutex:
+            snapshot = list(self._events)
+        if kind is None:
+            return snapshot
+        if kind.endswith("."):
+            return [e for e in snapshot if e.kind.startswith(kind)]
+        return [e for e in snapshot if e.kind == kind]
+
+    def kinds(self) -> dict[str, int]:
+        """Event counts per kind — the quick shape of a trace."""
+        out: dict[str, int] = {}
+        for event in self.events():
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return dict(sorted(out.items()))
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._events.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._events)
+
+    # -- serialization -------------------------------------------------------------------
+
+    def to_json_lines(self, kind: str | None = None) -> str:
+        """One JSON object per line, oldest event first."""
+        return "\n".join(
+            json.dumps(
+                {k: _jsonable(v) for k, v in event.to_dict().items()},
+                sort_keys=True,
+            )
+            for event in self.events(kind)
+        )

@@ -6,6 +6,7 @@ import heapq
 import itertools
 from typing import Callable
 
+import repro.obs as obs_module
 from repro.errors import SimulationError
 
 #: An event handler; receives the simulator so it can schedule more.
@@ -52,11 +53,18 @@ class Simulator:
         print(sim.now)
     """
 
-    def __init__(self, max_events: int = 1_000_000) -> None:
+    def __init__(
+        self, max_events: int = 1_000_000, observer=None
+    ) -> None:
         self.now = 0.0
         self.queue = EventQueue()
         self.max_events = max_events
         self.processed = 0
+        #: Observability sink; handler dispatches are traced (with
+        #: virtual timestamps) when a live observer is installed.
+        self.obs = (
+            observer if observer is not None else obs_module.get_observer()
+        )
 
     def at(self, time: float, handler: Handler) -> None:
         """Schedule ``handler`` at absolute virtual time ``time``."""
@@ -85,6 +93,13 @@ class Simulator:
                 return self.now
             time, handler = self.queue.pop()
             self.now = time
+            if self.obs.enabled:
+                self.obs.sim_event(
+                    time,
+                    "sim.handler",
+                    fn=getattr(handler, "__qualname__", repr(handler)),
+                    pending=len(self.queue),
+                )
             handler(self)
             self.processed += 1
             if self.processed > self.max_events:

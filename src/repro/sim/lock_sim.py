@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Literal, Sequence
 
+import repro.obs as obs_module
 from repro.errors import SimulationError
 from repro.locks.rc_scheme import RcScheme
 from repro.locks.two_phase import ConservativeTwoPhaseScheme, TwoPhaseScheme
@@ -181,6 +182,7 @@ def simulate_lock_scheme(
     scheme: SchemeName = "2pl",
     restart_aborted: bool = False,
     max_steps: int = 200_000,
+    observer=None,
 ) -> LockSimResult:
     """Execute ``firings`` under the chosen scheme on ``processors``.
 
@@ -189,16 +191,24 @@ def simulate_lock_scheme(
     delete-set semantics); with ``True`` it re-matches and retries (the
     case where the update did *not* falsify it), which is the setting
     the revalidation ablation compares against.
+
+    With a live observer the simulation emits virtual-time trace
+    events (``sim.phase``/``sim.commit``/``sim.abort``/``sim.deadlock``)
+    and blocked-time histograms alongside the lock manager's own
+    events.
     """
+    obs = observer if observer is not None else obs_module.get_observer()
     history = History()
     if scheme == "2pl":
         discipline: TwoPhaseScheme | RcScheme = TwoPhaseScheme(
-            history=history
+            history=history, observer=obs
         )
     elif scheme == "c2pl":
-        discipline = ConservativeTwoPhaseScheme(history=history)
+        discipline = ConservativeTwoPhaseScheme(
+            history=history, observer=obs
+        )
     elif scheme == "rc":
-        discipline = RcScheme(history=history)
+        discipline = RcScheme(history=history, observer=obs)
     else:
         raise SimulationError(f"unknown scheme {scheme!r}")
     preclaims = getattr(discipline, "preclaims", False)
@@ -257,6 +267,12 @@ def simulate_lock_scheme(
         firing.phase = phase
         firing.phase_start = now
         firing.phase_end = now + duration
+        if obs.enabled:
+            obs.sim_observe("sim.blocked_vtime", now - firing.wait_since)
+            obs.sim_event(
+                now, "sim.phase", pid=firing.spec.pid, phase=phase,
+                processor=firing.processor, until=firing.phase_end,
+            )
 
     def dispatch() -> None:
         """Grant locks and processors to every waiter that can proceed.
@@ -334,6 +350,11 @@ def simulate_lock_scheme(
             wasted_time += firing.spec.match_time
         discipline.abort(firing.txn, reason)
         by_txn.pop(firing.txn.txn_id, None)
+        if obs.enabled:
+            obs.sim_event(
+                now, "sim.abort", pid=firing.spec.pid, reason=reason,
+                restart=restart,
+            )
         if restart:
             firing.restart(now)
         else:
@@ -370,6 +391,10 @@ def simulate_lock_scheme(
             # firing waits on some lock-holding wait_act firing, and
             # the graph is finite.)
             victim = _deadlock_victim(states, manager, discipline)
+            if obs.enabled and victim is not None:
+                obs.sim_event(
+                    now, "sim.deadlock", victim=victim.spec.pid
+                )
             if victim is None:
                 # Defensive: no cycle found — abort the youngest
                 # lock-holder so the simulation cannot wedge.
@@ -412,6 +437,11 @@ def simulate_lock_scheme(
             outcome = discipline.commit(firing.txn)
             by_txn.pop(firing.txn.txn_id, None)
             committed.append(firing.spec.pid)
+            if obs.enabled:
+                obs.sim_event(
+                    now, "sim.commit", pid=firing.spec.pid,
+                    attempts=firing.attempts,
+                )
             # A commit changes the database: parked victims re-match.
             for parked_firing in states.values():
                 if parked_firing.phase == "parked":

@@ -1,0 +1,117 @@
+"""Regression tests for engine accounting and rollback bugs.
+
+* ``ParallelEngine._fire_single`` used to run the RHS with no undo
+  log (an exception left working memory half-mutated) and never
+  counted its firing in ``result.cycles``.
+* ``ThreadedWaveExecutor`` stamped every committed firing with
+  ``cycle=0`` instead of the actual wave number.
+"""
+
+import pytest
+
+from repro.engine import ParallelEngine, ThreadedWaveExecutor
+from repro.lang import RuleBuilder
+from repro.lang.builder import var
+from repro.wm import WorkingMemory
+
+
+def two_step_rules():
+    """make then remove: the RHS mutates WM twice, so a failure after
+    the first action is observable if rollback is broken."""
+    return [
+        RuleBuilder("advance")
+        .when("cell", id=var("i"), state="raw")
+        .make("audit", cell=var("i"))
+        .modify(1, state="done")
+        .build()
+    ]
+
+
+class TestFireSingleRollback:
+    def _engine(self):
+        wm = WorkingMemory()
+        wm.make("cell", id=1, state="raw")
+        return ParallelEngine(two_step_rules(), wm, scheme="rc"), wm
+
+    def test_rhs_exception_restores_working_memory(self):
+        engine, wm = self._engine()
+        before = wm.value_identity_set()
+
+        real_execute = engine.executor.execute
+
+        def explode(instantiation):
+            real_execute(instantiation)  # mutate WM first...
+            raise RuntimeError("boom")  # ...then die mid-firing
+
+        engine.executor.execute = explode
+        with pytest.raises(RuntimeError):
+            engine._fire_single()
+        assert wm.value_identity_set() == before
+
+    def test_rhs_exception_leaves_no_firing_record(self):
+        engine, _ = self._engine()
+        engine.executor.execute = lambda inst: (_ for _ in ()).throw(
+            RuntimeError("boom")
+        )
+        with pytest.raises(RuntimeError):
+            engine._fire_single()
+        assert engine.result.firings == []
+        assert engine.result.cycles == 0
+
+    def test_successful_firing_counts_a_cycle(self):
+        engine, wm = self._engine()
+        engine._fire_single()
+        assert engine.result.cycles == 1
+        assert len(engine.result.firings) == 1
+        states = {
+            w.get("state") for w in wm if w.relation == "cell"
+        }
+        assert states == {"done"}
+
+    def test_fire_single_commits_in_history(self):
+        engine, _ = self._engine()
+        engine._fire_single()
+        assert len(engine.history.committed()) == 1
+
+
+class TestThreadedCycleNumbers:
+    def test_committed_records_carry_their_wave_number(self):
+        # Two dependent rules force two waves: cook fires in wave 1,
+        # plate (enabled by cook's write) in wave 2.
+        wm = WorkingMemory(thread_safe=True)
+        wm.make("dish", id=1, state="raw")
+        cook = (
+            RuleBuilder("cook")
+            .when("dish", id=var("d"), state="raw")
+            .modify(1, state="cooked")
+            .build()
+        )
+        plate = (
+            RuleBuilder("plate")
+            .when("dish", id=var("d"), state="cooked")
+            .modify(1, state="done")
+            .build()
+        )
+        executor = ThreadedWaveExecutor([cook, plate], wm, scheme="rc")
+        first = executor.run_wave()
+        second = executor.run_wave()
+        assert first.commit_order() == ("cook",)
+        assert second.commit_order() == ("plate",)
+        assert [r.cycle for r in first.committed] == [1]
+        assert [r.cycle for r in second.committed] == [2]
+
+    def test_waves_run_counter_tracks_calls(self):
+        wm = WorkingMemory(thread_safe=True)
+        wm.make("dish", id=1, state="raw")
+        rule = (
+            RuleBuilder("cook")
+            .when("dish", id=var("d"), state="raw")
+            .modify(1, state="done")
+            .build()
+        )
+        executor = ThreadedWaveExecutor([rule], wm, scheme="rc")
+        assert executor.waves_run == 0
+        executor.run_wave()
+        assert executor.waves_run == 1
+        executor.run_wave()  # empty wave still counts as a call
+        assert executor.waves_run == 2

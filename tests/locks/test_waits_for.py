@@ -1,0 +1,150 @@
+"""Tests for the waits-for graph and blocking-timeout accounting.
+
+Covers the two edge families of :meth:`LockManager.waits_for_edges`
+(waiter -> incompatible holder, waiter -> incompatible waiter queued
+ahead under FIFO), the deadlock detector walking a cycle that includes
+a queued-ahead edge, and the regression for blocking ``acquire``
+timeouts that previously cancelled the request without counting a
+denial.
+"""
+
+from repro.locks import LockManager, LockMode, RequestStatus
+from repro.locks.deadlock import DeadlockDetector
+from repro.txn import Transaction
+
+
+def txn(name=""):
+    return Transaction(rule_name=name)
+
+
+def edges(manager):
+    return {
+        (waiter.txn_id, holder.txn_id)
+        for waiter, holder in manager.waits_for_edges()
+    }
+
+
+class TestWaitsForEdges:
+    def test_no_edges_without_waiters(self):
+        manager = LockManager()
+        manager.acquire(txn(), "q", LockMode.W)
+        assert edges(manager) == set()
+
+    def test_waiter_points_at_incompatible_holder(self):
+        manager = LockManager()
+        t1, t2 = txn("t1"), txn("t2")
+        manager.acquire(t1, "q", LockMode.W)
+        manager.acquire(t2, "q", LockMode.R)
+        assert edges(manager) == {(t2.txn_id, t1.txn_id)}
+
+    def test_waiter_points_at_every_incompatible_holder(self):
+        manager = LockManager()
+        r1, r2, writer = txn("r1"), txn("r2"), txn("w")
+        manager.acquire(r1, "q", LockMode.R)
+        manager.acquire(r2, "q", LockMode.R)
+        manager.acquire(writer, "q", LockMode.W)
+        assert edges(manager) == {
+            (writer.txn_id, r1.txn_id),
+            (writer.txn_id, r2.txn_id),
+        }
+
+    def test_compatible_holder_produces_no_edge(self):
+        # The Rc-Wa bypass (Table 4.1): a Wa waiter blocked by an Ra
+        # holder has no edge to a concurrent Rc holder.
+        manager = LockManager()
+        rc_holder, ra_holder, waiter = txn("rc"), txn("ra"), txn("wa")
+        manager.acquire(rc_holder, "q", LockMode.RC)
+        manager.acquire(ra_holder, "q", LockMode.RA)
+        manager.acquire(waiter, "q", LockMode.WA)  # waits on Ra only
+        got = edges(manager)
+        assert (waiter.txn_id, ra_holder.txn_id) in got
+        assert (waiter.txn_id, rc_holder.txn_id) not in got
+
+    def test_queued_ahead_incompatible_waiter_is_an_edge(self):
+        # FIFO, no barging: t3's R must wait for t2's queued W even
+        # though t3 is compatible with the current holder t1.
+        manager = LockManager()
+        t1, t2, t3 = txn("t1"), txn("t2"), txn("t3")
+        manager.acquire(t1, "q", LockMode.R)
+        manager.acquire(t2, "q", LockMode.W)  # queued behind t1
+        manager.acquire(t3, "q", LockMode.R)  # queued behind t2
+        got = edges(manager)
+        assert (t2.txn_id, t1.txn_id) in got
+        assert (t3.txn_id, t2.txn_id) in got
+        # t3 is compatible with the holder: no direct edge to t1.
+        assert (t3.txn_id, t1.txn_id) not in got
+
+    def test_compatible_waiter_ahead_is_not_an_edge(self):
+        manager = LockManager()
+        t1, t2, t3, t4 = txn("t1"), txn("t2"), txn("t3"), txn("t4")
+        manager.acquire(t1, "q", LockMode.W)
+        manager.acquire(t2, "q", LockMode.R)  # queued
+        manager.acquire(t3, "q", LockMode.R)  # queued, compatible w/ t2
+        manager.acquire(t4, "q", LockMode.W)  # queued, incompatible
+        got = edges(manager)
+        assert (t3.txn_id, t2.txn_id) not in got
+        assert (t4.txn_id, t2.txn_id) in got
+        assert (t4.txn_id, t3.txn_id) in got
+
+
+class TestDeadlockThroughQueuedEdge:
+    def test_cycle_spanning_holder_and_queue_edges(self):
+        # On q: t1 holds R, t2 queues W (t2 -> t1), t3 queues R
+        # behind the writer (t3 -> t2, the FIFO edge).  On r: t3
+        # holds W and t2 requests R (t2 -> t3).  The resulting cycle
+        # {t2, t3} exists only because of the queued-ahead edge.
+        manager = LockManager()
+        t1, t2, t3 = txn("t1"), txn("t2"), txn("t3")
+        manager.acquire(t1, "q", LockMode.R)
+        manager.acquire(t3, "r", LockMode.W)
+        manager.acquire(t2, "q", LockMode.W)
+        manager.acquire(t3, "q", LockMode.R)
+        manager.acquire(t2, "r", LockMode.R)
+        cycle = DeadlockDetector(manager).find_cycle()
+        assert cycle is not None
+        assert {t.txn_id for t in cycle} == {t2.txn_id, t3.txn_id}
+
+    def test_victim_release_breaks_queued_edge_cycle(self):
+        manager = LockManager()
+        t1, t2, t3 = txn("t1"), txn("t2"), txn("t3")
+        manager.acquire(t1, "q", LockMode.R)
+        manager.acquire(t3, "r", LockMode.W)
+        manager.acquire(t2, "q", LockMode.W)
+        manager.acquire(t3, "q", LockMode.R)
+        manager.acquire(t2, "r", LockMode.R)
+        detector = DeadlockDetector(manager)
+        victim = detector.choose_victim()
+        assert victim is not None
+        manager.release_all(victim)
+        assert detector.find_cycle() is None
+
+
+class TestBlockingTimeoutAccounting:
+    def test_timeout_counts_as_denial(self):
+        # Regression: a blocking acquire that timed out cancelled the
+        # request but never bumped stats["denials"].
+        manager = LockManager()
+        t1, t2 = txn("t1"), txn("t2")
+        manager.acquire(t1, "q", LockMode.W)
+        request = manager.acquire(
+            t2, "q", LockMode.R, blocking=True, timeout=0.01
+        )
+        assert request.status is RequestStatus.CANCELLED
+        assert manager.stats["denials"] == 1
+
+    def test_granted_blocking_acquire_is_not_a_denial(self):
+        manager = LockManager()
+        t1 = txn("t1")
+        manager.acquire(t1, "q", LockMode.W, blocking=True, timeout=0.01)
+        assert manager.stats["denials"] == 0
+
+    def test_each_timeout_counts_once(self):
+        manager = LockManager()
+        t1 = txn("t1")
+        manager.acquire(t1, "q", LockMode.W)
+        for _ in range(3):
+            waiter = txn()
+            manager.acquire(
+                waiter, "q", LockMode.R, blocking=True, timeout=0.01
+            )
+        assert manager.stats["denials"] == 3

@@ -1,0 +1,96 @@
+"""Tests for counters, gauges, histograms and the registry."""
+
+import json
+
+import pytest
+
+from repro.obs import COUNT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_inc_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_tracks_high_watermark(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(3)
+        gauge.set(7)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.max == 7
+
+
+class TestHistogram:
+    def test_observations_land_in_correct_buckets(self):
+        hist = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 50.0, 1000.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        # <=1.0 : 0.5 and 1.0; <=10: 5.0; <=100: 50; +inf: 1000.
+        assert snap["buckets"] == {
+            "1": 2, "10": 1, "100": 1, "+inf": 1,
+        }
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(1056.5)
+        assert snap["min"] == 0.5
+        assert snap["max"] == 1000.0
+
+    def test_mean_of_empty_histogram_is_zero(self):
+        hist = Histogram("h", buckets=(1.0,))
+        assert hist.mean == 0.0
+        assert hist.snapshot()["min"] is None
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h", COUNT_BUCKETS) is registry.histogram(
+            "h"
+        )
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_covers_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(2)
+        registry.histogram("c", (1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert set(snap) == {"a", "b", "c"}
+        assert snap["a"] == {"type": "counter", "value": 1}
+        assert snap["b"]["type"] == "gauge"
+        assert snap["c"]["type"] == "histogram"
+
+    def test_to_json_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        payload = json.loads(registry.to_json())
+        assert payload["a"]["value"] == 3
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert registry.names() == ["a", "b"]

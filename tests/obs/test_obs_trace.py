@@ -1,0 +1,132 @@
+"""Tests for the trace layer: events, ring buffer, spans, JSON."""
+
+import json
+
+import pytest
+
+from repro.obs import TraceCollector
+
+
+class TestEmission:
+    def test_emit_records_kind_and_fields(self):
+        trace = TraceCollector()
+        event = trace.emit("lock.grant", txn="t1", waited=0.5)
+        assert event.kind == "lock.grant"
+        assert event.get("txn") == "t1"
+        assert event.get("waited") == 0.5
+        assert event.get("missing", "dflt") == "dflt"
+        assert trace.events() == [event]
+
+    def test_sequence_numbers_are_monotonic(self):
+        trace = TraceCollector()
+        events = [trace.emit("e") for _ in range(5)]
+        assert [e.seq for e in events] == [1, 2, 3, 4, 5]
+
+    def test_timestamps_use_the_clock(self):
+        ticks = iter([1.0, 2.0, 3.0])
+        trace = TraceCollector(clock=lambda: next(ticks))
+        assert trace.emit("a").ts == 1.0
+        assert trace.emit("b").ts == 2.0
+
+    def test_emit_at_takes_virtual_time(self):
+        trace = TraceCollector()
+        event = trace.emit_at(42.5, "sim.commit", pid="P1")
+        assert event.ts == 42.5
+
+
+class TestRingBuffer:
+    def test_overflow_drops_oldest_and_counts(self):
+        trace = TraceCollector(capacity=3)
+        for i in range(5):
+            trace.emit("e", i=i)
+        assert len(trace) == 3
+        assert trace.dropped == 2
+        assert [e.get("i") for e in trace.events()] == [2, 3, 4]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceCollector(capacity=0)
+
+    def test_clear_resets_buffer_and_dropped(self):
+        trace = TraceCollector(capacity=2)
+        for _ in range(4):
+            trace.emit("e")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped == 0
+
+
+class TestFiltering:
+    def test_events_by_exact_kind(self):
+        trace = TraceCollector()
+        trace.emit("lock.grant")
+        trace.emit("lock.deny")
+        trace.emit("wave.start")
+        assert len(trace.events("lock.grant")) == 1
+        assert len(trace.events("wave.start")) == 1
+
+    def test_events_by_prefix_family(self):
+        trace = TraceCollector()
+        trace.emit("lock.grant")
+        trace.emit("lock.deny")
+        trace.emit("wave.start")
+        assert len(trace.events("lock.")) == 2
+
+    def test_kinds_counts(self):
+        trace = TraceCollector()
+        trace.emit("a")
+        trace.emit("a")
+        trace.emit("b")
+        assert trace.kinds() == {"a": 2, "b": 1}
+
+
+class TestSpan:
+    def test_span_emits_start_and_end_with_duration(self):
+        ticks = iter([10.0, 13.5])
+        trace = TraceCollector(clock=lambda: next(ticks))
+        with trace.span("wave", wave=1):
+            pass
+        start, end = trace.events()
+        assert start.kind == "wave.start"
+        assert end.kind == "wave.end"
+        assert end.get("duration") == pytest.approx(3.5)
+        assert end.get("wave") == 1
+
+    def test_span_emits_end_on_exception(self):
+        trace = TraceCollector()
+        with pytest.raises(RuntimeError):
+            with trace.span("wave"):
+                raise RuntimeError("boom")
+        assert [e.kind for e in trace.events()] == [
+            "wave.start", "wave.end",
+        ]
+
+
+class TestJson:
+    def test_json_lines_round_trip(self):
+        trace = TraceCollector()
+        trace.emit("lock.grant", txn="t1", obj=("order", 1), waited=0.0)
+        trace.emit("wave.end", committed=2)
+        lines = trace.to_json_lines().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "lock.grant"
+        assert first["txn"] == "t1"
+        assert first["obj"] == ["order", 1]
+
+    def test_json_lines_respects_kind_filter(self):
+        trace = TraceCollector()
+        trace.emit("a")
+        trace.emit("b")
+        lines = trace.to_json_lines("a").splitlines()
+        assert len(lines) == 1
+
+    def test_non_jsonable_fields_fall_back_to_repr(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        trace = TraceCollector()
+        trace.emit("e", thing=Weird())
+        payload = json.loads(trace.to_json_lines())
+        assert payload["thing"] == "<weird>"

@@ -129,3 +129,57 @@ class TestLint:
         out = capsys.readouterr().out
         assert out.startswith("digraph execution_graph {")
         assert "doublecircle" in out
+
+
+class TestTrace:
+    def test_trace_emits_json_lines(self, rule_file, facts_file, capsys):
+        code = main(
+            ["trace", str(rule_file), "--facts", str(facts_file)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        events = [json.loads(line) for line in captured.out.splitlines()]
+        kinds = {event["kind"] for event in events}
+        assert "wave.start" in kinds
+        assert "lock.grant" in kinds
+        assert "txn.commit" in kinds
+        assert "stop=quiescent" in captured.err
+
+    def test_kind_filter_prefix(self, rule_file, facts_file, capsys):
+        code = main(
+            ["trace", str(rule_file), "--facts", str(facts_file),
+             "--kind", "lock."]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        for line in out.splitlines():
+            assert json.loads(line)["kind"].startswith("lock.")
+
+    def test_out_writes_file(self, rule_file, facts_file, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        code = main(
+            ["trace", str(rule_file), "--facts", str(facts_file),
+             "--out", str(target)]
+        )
+        assert code == 0
+        assert target.exists()
+        json.loads(target.read_text().splitlines()[0])
+
+
+class TestMetrics:
+    def test_metrics_emits_snapshot(self, rule_file, facts_file, capsys):
+        code = main(
+            ["metrics", str(rule_file), "--facts", str(facts_file)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        snap = json.loads(out)
+        assert snap["lock.wait_seconds"]["type"] == "histogram"
+        assert snap["txn.commits"]["value"] == 2
+        assert snap["firing.committed"]["value"] == 2
+
+    def test_empty_rule_file_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.ops"
+        empty.write_text("; nothing here\n")
+        assert main(["metrics", str(empty)]) == 2
+        assert "error" in capsys.readouterr().err
