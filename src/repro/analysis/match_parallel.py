@@ -44,6 +44,35 @@ def lpt_makespan(costs: Sequence[float], processors: int) -> float:
     return max(heap) if heap else 0.0
 
 
+def lpt_assignment(costs: Sequence[float], processors: int) -> list[int]:
+    """Shard index per cost position under LPT list scheduling.
+
+    Mirrors :func:`lpt_makespan`'s greedy exactly (ties broken toward
+    the lowest shard id), so ``max`` over the induced shard loads
+    equals ``lpt_makespan(costs, processors)``.  This is the schedule
+    :class:`repro.match.partitioned.PartitionedMatcher` realizes with
+    ``assign="lpt"`` — the executable counterpart of this model.
+    """
+    if processors < 1:
+        raise SimulationError(f"need >= 1 processor, got {processors}")
+    if any(c < 0 for c in costs):
+        raise SimulationError("match costs must be non-negative")
+    n_shards = min(processors, max(1, len(costs)))
+    heap: list[tuple[float, int]] = [
+        (0.0, shard) for shard in range(n_shards)
+    ]
+    heapq.heapify(heap)
+    assignment = [0] * len(costs)
+    order = sorted(
+        range(len(costs)), key=lambda i: -costs[i]
+    )
+    for index in order:
+        load, shard = heapq.heappop(heap)
+        assignment[index] = shard
+        heapq.heappush(heap, (load + costs[index], shard))
+    return assignment
+
+
 def match_speedup(costs: Sequence[float], processors: int) -> float:
     """Sequential match time over LPT-parallel match time."""
     total = sum(costs)

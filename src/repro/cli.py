@@ -235,8 +235,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--facts", help="JSON-lines facts file")
     run.add_argument(
         "--matcher",
-        choices=["rete", "treat", "naive", "cond"],
         default="rete",
+        metavar="SPEC",
+        help="rete | treat | naive | cond | "
+        "partitioned[:inner[:shards[:backend]]] "
+        "(e.g. partitioned:rete:4)",
     )
     run.add_argument(
         "--strategy",
@@ -284,8 +287,10 @@ def build_parser() -> argparse.ArgumentParser:
         )
         parser.add_argument(
             "--matcher",
-            choices=["rete", "treat", "naive", "cond"],
             default="rete",
+            metavar="SPEC",
+            help="rete | treat | naive | cond | "
+            "partitioned[:inner[:shards[:backend]]]",
         )
         parser.add_argument(
             "--strategy",

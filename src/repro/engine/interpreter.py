@@ -13,7 +13,7 @@ forever.
 
 from __future__ import annotations
 
-from typing import Iterable, Literal
+from typing import Iterable
 
 from repro.engine.actions import ActionExecutor
 from repro.engine.result import FiringRecord, RunResult
@@ -29,7 +29,9 @@ from repro.match.treat import TreatMatcher
 from repro.wm.memory import WorkingMemory
 from repro.wm.snapshot import WMSnapshot
 
-MatcherName = Literal["naive", "rete", "treat", "cond"]
+#: A matcher name (``"naive"``/``"rete"``/``"treat"``/``"cond"``) or a
+#: partitioned spec ``"partitioned[:inner[:shards[:backend]]]"``.
+MatcherName = str
 
 _MATCHERS: dict[str, type[BaseMatcher]] = {
     "naive": NaiveMatcher,
@@ -39,13 +41,39 @@ _MATCHERS: dict[str, type[BaseMatcher]] = {
 }
 
 
-def build_matcher(name: MatcherName, memory: WorkingMemory) -> BaseMatcher:
-    """Instantiate a matcher by name."""
+def build_matcher(
+    name: MatcherName, memory: WorkingMemory, observer=None
+) -> BaseMatcher:
+    """Instantiate a matcher by name or partitioned spec.
+
+    Plain names resolve via the registry; anything starting with
+    ``"partitioned"`` is parsed as ``partitioned[:inner[:shards
+    [:backend]]]`` (e.g. ``"partitioned:rete:4"``) and builds a
+    :class:`~repro.match.partitioned.PartitionedMatcher`.  ``observer``
+    is forwarded to matchers that are observability-instrumented
+    (currently the partitioned one); engines pass their own observer
+    so shard/batch telemetry lands in the same trace as wave spans.
+    """
+    if name.startswith("partitioned"):
+        from repro.match.partitioned import (
+            PartitionedMatcher,
+            parse_partitioned_spec,
+        )
+
+        inner, shards, backend = parse_partitioned_spec(name)
+        return PartitionedMatcher(
+            memory,
+            shards=shards,
+            inner=inner,
+            backend=backend,
+            observer=observer,
+        )
     try:
         cls = _MATCHERS[name]
     except KeyError:
         raise EngineError(
-            f"unknown matcher {name!r}; expected one of {sorted(_MATCHERS)}"
+            f"unknown matcher {name!r}; expected one of "
+            f"{sorted(_MATCHERS) + ['partitioned[:inner[:K[:backend]]]']}"
         ) from None
     return cls(memory)
 
@@ -60,8 +88,9 @@ class Interpreter:
     memory:
         The working memory (a fresh one is created when omitted).
     matcher:
-        ``"rete"`` (default), ``"treat"`` or ``"naive"`` — or a
-        pre-built matcher instance.
+        ``"rete"`` (default), ``"treat"``, ``"naive"``, ``"cond"``, a
+        partitioned spec (``"partitioned:rete:4"``) — or a pre-built
+        matcher instance.
     strategy:
         Conflict-resolution strategy name (``"lex"`` default) or a
         :class:`~repro.match.strategies.Strategy` instance.

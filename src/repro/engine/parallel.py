@@ -109,7 +109,9 @@ class ParallelEngine:
         )
         self.memory = memory if memory is not None else WorkingMemory()
         if isinstance(matcher, str):
-            self.matcher = build_matcher(matcher, self.memory)
+            self.matcher = build_matcher(
+                matcher, self.memory, observer=self.obs
+            )
         else:
             self.matcher = matcher
         self.matcher.add_productions(productions)

@@ -80,7 +80,7 @@ class ThreadedWaveExecutor:
             observer if observer is not None else obs_module.get_observer()
         )
         self.memory = memory
-        self.matcher = build_matcher(matcher, memory)
+        self.matcher = build_matcher(matcher, memory, observer=self.obs)
         self.matcher.add_productions(productions)
         self.matcher.attach()
         self.history = History()

@@ -14,8 +14,13 @@ set)" (Section 2).  Three matchers are provided:
 * :class:`~repro.match.cond.CondRelationMatcher` — cond relations
   [SELL88]/[RASC88]: match state as materialized database relations,
   recomputed set-at-a-time per dirty production.
+* :class:`~repro.match.partitioned.PartitionedMatcher` — Section 2's
+  intra-phase parallelism: productions sharded across K passive inner
+  matchers (any of the above), batched WM deltas behind a barrier,
+  deterministic conflict-set merge; thread, serial and virtual-time
+  (DES) substrates.
 
-All four expose the same protocol (:class:`~repro.match.base.Matcher`)
+All five expose the same protocol (:class:`~repro.match.base.Matcher`)
 and are interchangeable in the engine.
 """
 
@@ -25,6 +30,10 @@ from repro.match.conflict_set import ConflictSet, ConflictSetDelta
 from repro.match.naive import NaiveMatcher
 from repro.match.treat import TreatMatcher
 from repro.match.cond import CondRelationMatcher
+from repro.match.partitioned import (
+    PartitionedMatcher,
+    parse_partitioned_spec,
+)
 from repro.match.rete.network import ReteMatcher
 from repro.match.strategies import (
     FifoStrategy,
@@ -45,6 +54,8 @@ __all__ = [
     "ReteMatcher",
     "TreatMatcher",
     "CondRelationMatcher",
+    "PartitionedMatcher",
+    "parse_partitioned_spec",
     "Strategy",
     "LexStrategy",
     "MeaStrategy",

@@ -67,9 +67,26 @@ class BaseMatcher:
     def remove_production(self, name: str) -> None:
         raise NotImplementedError
 
+    @property
+    def is_attached(self) -> bool:
+        """Whether the matcher is live (building matches on deltas)."""
+        return self._attached
+
     def attach(self) -> None:
         if not self._attached:
             self.memory.subscribe(self._on_delta)
+            self._attached = True
+            self.rebuild()
+
+    def attach_passive(self) -> None:
+        """Build matches and go live WITHOUT subscribing to the store.
+
+        Used by driving matchers (:class:`repro.match.partitioned.
+        PartitionedMatcher`) that subscribe once themselves and feed
+        deltas to passive inner matchers via :meth:`feed` — e.g. as
+        batched replays behind a barrier.
+        """
+        if not self._attached:
             self._attached = True
             self.rebuild()
 
@@ -77,6 +94,10 @@ class BaseMatcher:
         if self._attached:
             self.memory.unsubscribe(self._on_delta)
             self._attached = False
+
+    def feed(self, delta) -> None:
+        """Process one WM delta on behalf of a driving matcher."""
+        self._on_delta(delta)
 
     def rebuild(self) -> None:
         """Recompute all matches from the current store contents."""

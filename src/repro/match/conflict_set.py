@@ -7,16 +7,37 @@ paper's add sets :math:`A_i^a` and delete sets :math:`A_i^d`
 (Section 3.3): "the commit of P_i adds (subtracts) the set A_i^a
 (A_i^d) to (from) the conflict set PA".
 
-Refraction (OPS5: an instantiation that has fired must not fire again)
-is supported via :meth:`ConflictSet.mark_fired`.
+Two secondary indexes are maintained alongside the membership map, kept
+in sync by :meth:`ConflictSet.add`/:meth:`ConflictSet.remove`:
+
+* rule name → instantiations, backing :meth:`for_rule` and
+  :meth:`rule_names` (called on per-delta paths by the TREAT matcher's
+  negation handling and by ``remove_production``);
+* WME timetag → instantiations that mention it, backing
+  :meth:`mentioning` (the TREAT ``remove(w)`` retraction path), so a
+  WME removal never scans the whole set.
+
+Refraction semantics (pinned here deliberately — OPS5): *an
+instantiation that has fired never fires again*.  Refraction is keyed
+on instantiation **identity** (rule name + matched timetags), and the
+fired mark **survives retraction**: an instantiation retracted and
+re-derived with the *same* timetags within one wave (matcher churn,
+negation flicker, transactional rollback) does not regain eligibility
+and cannot fire twice.  Genuine re-derivations are unaffected, because
+working-memory ``modify``/``make`` assign fresh timetags, producing a
+*distinct* instantiation that has never fired.  The fired memory is
+bounded by the number of firings in a run and is dropped only by
+:meth:`forget_fired` (used by tests) — never implicitly by
+:meth:`remove` or :meth:`clear`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.match.instantiation import Instantiation
+from repro.wm.element import Timetag, WME
 
 
 @dataclass(frozen=True)
@@ -38,6 +59,10 @@ class ConflictSet:
         self._fired: set[Instantiation] = set()
         self._added: set[Instantiation] = set()
         self._removed: set[Instantiation] = set()
+        # Secondary indexes (insertion-ordered via dict-as-set so the
+        # derived views are deterministic).
+        self._by_rule: dict[str, dict[Instantiation, None]] = {}
+        self._by_wme: dict[Timetag, dict[Instantiation, None]] = {}
 
     # -- mutation (called by matchers) ---------------------------------------------
 
@@ -46,6 +71,11 @@ class ConflictSet:
         if instantiation in self._members:
             return False
         self._members[instantiation] = instantiation
+        self._by_rule.setdefault(instantiation.production.name, {})[
+            instantiation
+        ] = None
+        for wme in instantiation.wmes:
+            self._by_wme.setdefault(wme.timetag, {})[instantiation] = None
         if instantiation in self._removed:
             self._removed.discard(instantiation)
         else:
@@ -53,11 +83,26 @@ class ConflictSet:
         return True
 
     def remove(self, instantiation: Instantiation) -> bool:
-        """Delete; returns False when absent.  Clears refraction state."""
+        """Delete; returns False when absent.
+
+        Refraction state is *preserved* (see the module docstring): a
+        subsequent re-add of the identical instantiation remains
+        ineligible.
+        """
         if instantiation not in self._members:
             return False
         del self._members[instantiation]
-        self._fired.discard(instantiation)
+        rule_bucket = self._by_rule.get(instantiation.production.name)
+        if rule_bucket is not None:
+            rule_bucket.pop(instantiation, None)
+            if not rule_bucket:
+                del self._by_rule[instantiation.production.name]
+        for wme in instantiation.wmes:
+            wme_bucket = self._by_wme.get(wme.timetag)
+            if wme_bucket is not None:
+                wme_bucket.pop(instantiation, None)
+                if not wme_bucket:
+                    del self._by_wme[wme.timetag]
         if instantiation in self._added:
             self._added.discard(instantiation)
         else:
@@ -65,7 +110,10 @@ class ConflictSet:
         return True
 
     def clear(self) -> None:
-        """Remove everything (used when a matcher rebuilds from scratch)."""
+        """Remove everything (used when a matcher rebuilds from scratch).
+
+        Fired marks survive, so a rebuild cannot resurrect eligibility.
+        """
         for instantiation in list(self._members):
             self.remove(instantiation)
 
@@ -76,8 +124,17 @@ class ConflictSet:
         self._fired.add(instantiation)
 
     def has_fired(self, instantiation: Instantiation) -> bool:
-        """True when the instantiation fired and still lingers in the set."""
+        """True when the instantiation has ever fired.
+
+        Persists across retraction: a fired instantiation that leaves
+        and re-enters the set (same rule, same timetags) still reports
+        True and stays ineligible.
+        """
         return instantiation in self._fired
+
+    def forget_fired(self, instantiation: Instantiation) -> None:
+        """Drop the fired mark, restoring eligibility (test hook)."""
+        self._fired.discard(instantiation)
 
     def eligible(self) -> list[Instantiation]:
         """Members that have not fired — the candidates for *select*."""
@@ -123,13 +180,27 @@ class ConflictSet:
         """Names of productions with at least one active instantiation.
 
         This is the paper's production-level view of ``PA`` (its
-        examples track rule names, not instantiations).
+        examples track rule names, not instantiations).  Index-backed:
+        O(active rules), not O(|CS|).
         """
-        return frozenset(m.production.name for m in self._members)
+        return frozenset(self._by_rule)
 
     def for_rule(self, name: str) -> list[Instantiation]:
-        """All active instantiations of the production called ``name``."""
-        return [m for m in self._members if m.production.name == name]
+        """All active instantiations of the production called ``name``.
+
+        Index-backed: O(instantiations of that rule), not O(|CS|).
+        """
+        return list(self._by_rule.get(name, ()))
+
+    def mentioning(self, wme: WME | Timetag) -> list[Instantiation]:
+        """All active instantiations whose match used ``wme``.
+
+        Index-backed: O(instantiations mentioning the WME), not
+        O(|CS|) — this is what keeps TREAT's ``remove(w)`` retraction
+        a filter instead of a full conflict-set scan.
+        """
+        timetag = wme.timetag if isinstance(wme, WME) else wme
+        return list(self._by_wme.get(timetag, ()))
 
     def is_empty(self) -> bool:
         """Empty conflict set — the termination condition of Section 2."""

@@ -1,0 +1,454 @@
+"""Partitioned parallel match — Section 2's intra-phase parallelism,
+executable.
+
+"Execution of each phase in a parallel manner" with match as the
+bottleneck [FORG82]: the standard software realization shards
+*productions* across ``K`` matcher instances, each matching its share
+of the rules against the same working-memory delta stream.  This
+module turns the repo's analytic model of that design
+(:mod:`repro.analysis.match_parallel`, LPT makespans over
+per-production costs) into a working matcher.
+
+:class:`PartitionedMatcher` implements the :class:`~repro.match.base.
+Matcher` protocol and is interchangeable with the monolithic matchers
+(``build_matcher("partitioned:rete:4", wm)``, CLI ``--matcher
+partitioned:rete:4``).  Architecture:
+
+* **Sharding** — every registered production is assigned to one of
+  ``K`` inner matchers (any of naive/Rete/TREAT/cond), by round-robin,
+  stable hash, or LPT over a per-production cost model.  Inner
+  matchers run *passively*: only the partitioned matcher subscribes to
+  the store; shards receive deltas via :meth:`~repro.match.base.
+  BaseMatcher.feed`.
+* **Delta batching** — by default every WM delta is flushed to all
+  shards immediately (batch size 1), keeping the shared conflict set
+  consistent after each mutation, which the engines rely on
+  mid-wave.  The :meth:`batch` context manager defers matching to one
+  barrier: deltas published inside the block are buffered and replayed
+  together, amortizing the fan-out/merge cost.  Working memory is
+  read-only during match, so shards need no locking beyond the batch
+  barrier.
+* **Deterministic merge** — after the barrier, each shard's private
+  conflict-set delta is folded into the shared :class:`~repro.match.
+  conflict_set.ConflictSet` in shard-id order, removals before adds,
+  each sorted by recency (then rule name).  Shards own disjoint rule
+  sets, so merges never conflict and the shared set equals the
+  monolithic matcher's set exactly — ``ES_M ⊆ ES_single`` is
+  preserved because the engine sees the same conflict set it would
+  have seen single-threaded (``tests/match/test_partitioned_matcher
+  .py`` asserts equality property-style).
+* **Substrates** — ``backend="thread"`` matches shards concurrently on
+  a :class:`~concurrent.futures.ThreadPoolExecutor` (correctness under
+  real concurrency; CPython's GIL means wall-clock speedup is not the
+  point).  ``backend="des"`` charges each shard its per-production
+  match cost on the discrete-event simulator's virtual clock, so
+  ``benchmarks/bench_intraphase_match.py`` can validate the analytic
+  ``lpt_makespan``/``speedup_ceiling`` curves against this executable
+  system.  ``backend="serial"`` is the in-process reference.
+
+Observability (the PR-1 ``obs`` layer): per-shard match latency
+histogram (``match.shard_seconds``), batch size (``match.batch_size``)
+and merge time (``match.merge_seconds``), plus ``match.shard`` /
+``match.batch`` trace events — all guarded by ``obs.enabled``.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+import repro.obs as obs_module
+from repro.errors import MatchError
+from repro.lang.production import Production
+from repro.match.base import BaseMatcher
+from repro.match.cond import CondRelationMatcher
+from repro.match.instantiation import Instantiation
+from repro.match.naive import NaiveMatcher
+from repro.match.rete.network import ReteMatcher
+from repro.match.treat import TreatMatcher
+from repro.sim.engine import Simulator
+from repro.wm.memory import WMDelta, WorkingMemory
+
+#: Inner matcher registry (mirrors the engine's name → class map
+#: without importing the engine layer).
+INNER_MATCHERS: dict[str, type[BaseMatcher]] = {
+    "naive": NaiveMatcher,
+    "rete": ReteMatcher,
+    "treat": TreatMatcher,
+    "cond": CondRelationMatcher,
+}
+
+BACKENDS = ("thread", "serial", "des")
+ASSIGNMENTS = ("round-robin", "hash", "lpt")
+DEFAULT_SHARDS = 4
+
+#: Per-production match cost: a callable or a name → cost mapping.
+CostModel = Callable[[Production], float] | Mapping[str, float]
+
+
+def parse_partitioned_spec(spec: str) -> tuple[str, int, str]:
+    """Parse ``partitioned[:inner[:shards[:backend]]]``.
+
+    >>> parse_partitioned_spec("partitioned:rete:4")
+    ('rete', 4, 'thread')
+    """
+    parts = spec.split(":")
+    if parts[0] != "partitioned" or len(parts) > 4:
+        raise MatchError(
+            f"bad partitioned matcher spec {spec!r}; expected "
+            "partitioned[:inner[:shards[:backend]]]"
+        )
+    inner = parts[1] if len(parts) > 1 and parts[1] else "rete"
+    if inner not in INNER_MATCHERS:
+        raise MatchError(
+            f"unknown inner matcher {inner!r} in {spec!r}; expected one "
+            f"of {sorted(INNER_MATCHERS)}"
+        )
+    shards = DEFAULT_SHARDS
+    if len(parts) > 2 and parts[2]:
+        try:
+            shards = int(parts[2])
+        except ValueError:
+            raise MatchError(
+                f"bad shard count {parts[2]!r} in {spec!r}"
+            ) from None
+    if shards < 1:
+        raise MatchError(f"need >= 1 shard, got {shards}")
+    backend = parts[3] if len(parts) > 3 and parts[3] else "thread"
+    if backend not in BACKENDS:
+        raise MatchError(
+            f"unknown backend {backend!r} in {spec!r}; expected one of "
+            f"{BACKENDS}"
+        )
+    return inner, shards, backend
+
+
+@dataclass
+class _Shard:
+    """One partition: a passive inner matcher plus its LPT load."""
+
+    index: int
+    matcher: BaseMatcher
+    load: float = 0.0
+
+    def rule_names(self) -> list[str]:
+        return sorted(self.matcher.productions)
+
+
+def _merge_key(instantiation: Instantiation) -> tuple:
+    """Recency order (most recent first), rule name as tiebreak."""
+    return (
+        tuple(-t for t in instantiation.recency_key()),
+        instantiation.rule_name,
+    )
+
+
+class PartitionedMatcher(BaseMatcher):
+    """Rule-sharded parallel matcher implementing :class:`Matcher`.
+
+    Parameters
+    ----------
+    memory:
+        The shared working memory (read-only during match).
+    shards:
+        Number of partitions ``K`` (the paper's ``Np`` for the match
+        phase).
+    inner:
+        Inner matcher: a name from :data:`INNER_MATCHERS` or a
+        ``WorkingMemory -> BaseMatcher`` factory.
+    backend:
+        ``"thread"`` (default; ThreadPoolExecutor barrier),
+        ``"serial"`` (in-process reference) or ``"des"``
+        (virtual-time, cost-charged).
+    assign:
+        Production→shard policy: ``"round-robin"`` (default),
+        ``"hash"`` (stable on rule name) or ``"lpt"`` (greedy
+        least-loaded under ``cost_model`` — with a full
+        :meth:`add_productions` this is exactly LPT scheduling and
+        realizes :func:`repro.analysis.match_parallel.lpt_makespan`).
+    cost_model:
+        Per-production match cost (callable or name→cost mapping);
+        used by ``assign="lpt"`` and charged by the DES backend.
+        Defaults to uniform 1.0.
+    observer:
+        Observability sink; defaults to the module-level observer.
+    simulator:
+        Virtual clock for the DES backend (a fresh
+        :class:`~repro.sim.engine.Simulator` when omitted).
+    """
+
+    def __init__(
+        self,
+        memory: WorkingMemory,
+        shards: int = DEFAULT_SHARDS,
+        inner: str | Callable[[WorkingMemory], BaseMatcher] = "rete",
+        backend: str = "thread",
+        assign: str = "round-robin",
+        cost_model: CostModel | None = None,
+        observer=None,
+        simulator: Simulator | None = None,
+    ) -> None:
+        super().__init__(memory)
+        if shards < 1:
+            raise MatchError(f"need >= 1 shard, got {shards}")
+        if backend not in BACKENDS:
+            raise MatchError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if assign not in ASSIGNMENTS:
+            raise MatchError(
+                f"unknown assignment {assign!r}; expected one of "
+                f"{ASSIGNMENTS}"
+            )
+        if isinstance(inner, str):
+            if inner not in INNER_MATCHERS:
+                raise MatchError(
+                    f"unknown inner matcher {inner!r}; expected one of "
+                    f"{sorted(INNER_MATCHERS)}"
+                )
+            factory = INNER_MATCHERS[inner]
+            self.inner_name = inner
+        else:
+            factory = inner
+            self.inner_name = getattr(inner, "__name__", "custom")
+        self.backend = backend
+        self.assign = assign
+        self.obs = (
+            observer if observer is not None else obs_module.get_observer()
+        )
+        self._cost_model = cost_model
+        self._shards = [_Shard(i, factory(memory)) for i in range(shards)]
+        self._rule_shard: dict[str, int] = {}
+        self._registered = 0
+        self._batch_depth = 0
+        self._buffer: list[WMDelta] = []
+        self._pool: ThreadPoolExecutor | None = None
+        if backend == "des":
+            self.simulator = (
+                simulator if simulator is not None else Simulator()
+            )
+        else:
+            self.simulator = simulator
+        #: Virtual busy time summed over shards (DES backend) — the
+        #: sequential match time the parallel makespan is compared to.
+        self.virtual_busy = 0.0
+        #: Completed flushes and total deltas fed through them.
+        self.flush_count = 0
+        self.delta_count = 0
+
+    # -- partitioning --------------------------------------------------------------------
+
+    def _cost(self, production: Production) -> float:
+        model = self._cost_model
+        if model is None:
+            return 1.0
+        if callable(model):
+            return float(model(production))
+        return float(model.get(production.name, 1.0))
+
+    def _pick_shard(self, production: Production) -> _Shard:
+        if self.assign == "hash":
+            digest = zlib.crc32(production.name.encode("utf-8"))
+            return self._shards[digest % len(self._shards)]
+        if self.assign == "lpt":
+            return min(self._shards, key=lambda s: (s.load, s.index))
+        return self._shards[self._registered % len(self._shards)]
+
+    def add_productions(self, productions: Iterable[Production]) -> None:
+        productions = list(productions)
+        if self.assign == "lpt":
+            # Sorting by descending cost makes the greedy least-loaded
+            # placement exactly LPT list scheduling.
+            productions.sort(key=lambda p: (-self._cost(p), p.name))
+        for production in productions:
+            self.add_production(production)
+
+    def add_production(self, production: Production) -> None:
+        if production.name in self._rule_shard:
+            self.remove_production(production.name)
+        shard = self._pick_shard(production)
+        self._productions[production.name] = production
+        self._rule_shard[production.name] = shard.index
+        shard.load += self._cost(production)
+        self._registered += 1
+        shard.matcher.add_production(production)
+        self._merge()
+
+    def remove_production(self, name: str) -> None:
+        index = self._rule_shard.pop(name, None)
+        production = self._productions.pop(name, None)
+        if index is None:
+            return
+        shard = self._shards[index]
+        if production is not None:
+            shard.load -= self._cost(production)
+        shard.matcher.remove_production(name)
+        self._merge()
+
+    def shard_of(self, name: str) -> int | None:
+        """The shard index owning production ``name`` (None if absent)."""
+        return self._rule_shard.get(name)
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def rebuild(self) -> None:
+        for shard in self._shards:
+            if shard.matcher.is_attached:
+                shard.matcher.rebuild()
+            else:
+                shard.matcher.attach_passive()
+        self._merge()
+
+    def detach(self) -> None:
+        super().detach()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- delta batching ------------------------------------------------------------------
+
+    def _on_delta(self, delta: WMDelta) -> None:
+        if self._batch_depth > 0:
+            self._buffer.append(delta)
+        else:
+            self._flush([delta])
+
+    @contextmanager
+    def batch(self) -> Iterator["PartitionedMatcher"]:
+        """Defer matching to one barrier.
+
+        Deltas published inside the block are buffered and replayed to
+        every shard together on exit.  The shared conflict set is
+        stale *inside* the block — use only where nothing consults it
+        mid-batch (bulk loads, benchmarks).
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                buffered, self._buffer = self._buffer, []
+                self._flush(buffered)
+
+    def _flush(self, deltas: Sequence[WMDelta]) -> None:
+        if not deltas:
+            return
+        obs = self.obs
+        shards = self._shards
+        if self.backend == "thread" and len(shards) > 1:
+            pool = self._ensure_pool()
+            durations = list(
+                pool.map(lambda s: self._replay(s, deltas), shards)
+            )
+        elif self.backend == "des":
+            durations = self._des_replay(deltas)
+        else:
+            durations = [self._replay(shard, deltas) for shard in shards]
+        merge_start = time.perf_counter()
+        self._merge()
+        merge_seconds = time.perf_counter() - merge_start
+        self.flush_count += 1
+        self.delta_count += len(deltas)
+        if obs.enabled:
+            for shard, seconds in zip(shards, durations):
+                obs.shard_match(shard.index, seconds, len(deltas))
+            obs.match_batch(len(deltas), len(shards), merge_seconds)
+
+    def _replay(self, shard: _Shard, deltas: Sequence[WMDelta]) -> float:
+        start = time.perf_counter()
+        feed = shard.matcher.feed
+        for delta in deltas:
+            feed(delta)
+        return time.perf_counter() - start
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=len(self._shards),
+                thread_name_prefix="match-shard",
+            )
+        return self._pool
+
+    # -- DES substrate -------------------------------------------------------------------
+
+    def _des_replay(self, deltas: Sequence[WMDelta]) -> list[float]:
+        """Replay on the virtual clock, charging per-production costs.
+
+        Each shard's batch charge is ``|batch| × Σ cost(p)`` over its
+        productions; all shards start at the barrier and the simulator
+        advances to the latest completion, so ``simulator.now``
+        accumulates the parallel match makespan — the executable
+        counterpart of :func:`repro.analysis.match_parallel.
+        lpt_makespan`.
+        """
+        sim = self.simulator
+        start = sim.now
+        charges: list[float] = []
+        for shard in self._shards:
+            charge = len(deltas) * sum(
+                self._cost(p) for p in shard.matcher.productions.values()
+            )
+            charges.append(charge)
+
+            def complete(_sim: Simulator, shard: _Shard = shard) -> None:
+                self._replay(shard, deltas)
+
+            sim.at(start + charge, complete)
+        sim.run()
+        self.virtual_busy += sum(charges)
+        return charges
+
+    @property
+    def virtual_makespan(self) -> float:
+        """Virtual parallel match time accumulated by the DES backend."""
+        return self.simulator.now if self.simulator is not None else 0.0
+
+    def virtual_speedup(self) -> float:
+        """Sequential over parallel virtual match time (DES backend)."""
+        makespan = self.virtual_makespan
+        if makespan == 0:
+            return 1.0
+        return self.virtual_busy / makespan
+
+    # -- merge ---------------------------------------------------------------------------
+
+    def _merge(self) -> None:
+        """Fold per-shard conflict-set deltas into the shared set.
+
+        Deterministic: shard-id order, removals before adds, each in
+        recency order.  Shards own disjoint rule sets, so the merged
+        membership equals the union of shard memberships and matches
+        the monolithic matcher exactly.
+        """
+        for shard in self._shards:
+            delta = shard.matcher.conflict_set.take_delta()
+            if delta.is_empty():
+                continue
+            for instantiation in sorted(delta.removed, key=_merge_key):
+                self.conflict_set.remove(instantiation)
+            for instantiation in sorted(delta.added, key=_merge_key):
+                self.conflict_set.add(instantiation)
+
+    # -- introspection -------------------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Shard layout and flush statistics (benchmarks, debugging)."""
+        return {
+            "shards": len(self._shards),
+            "inner": self.inner_name,
+            "backend": self.backend,
+            "assign": self.assign,
+            "layout": {
+                shard.index: shard.rule_names() for shard in self._shards
+            },
+            "loads": [shard.load for shard in self._shards],
+            "flushes": self.flush_count,
+            "deltas": self.delta_count,
+            "virtual_busy": self.virtual_busy,
+            "virtual_makespan": self.virtual_makespan,
+        }

@@ -140,9 +140,10 @@ class TreatMatcher(BaseMatcher):
 
     def _on_remove(self, wme: WME) -> None:
         # Conflict-set retention: drop instantiations that used the WME.
-        for instantiation in list(self.conflict_set):
-            if instantiation.mentions(wme):
-                self.conflict_set.remove(instantiation)
+        # The conflict set's WME→instantiations mentions index makes
+        # this O(affected), not a scan of every member per removal.
+        for instantiation in self.conflict_set.mentioning(wme):
+            self.conflict_set.remove(instantiation)
         # Removing a blocker of a negated element can create matches;
         # recompute the affected rules (TREAT's conservative case).
         for production in self._productions.values():

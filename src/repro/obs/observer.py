@@ -63,6 +63,11 @@ class Observer:
         self._match_latency = m.histogram(
             "engine.match_seconds", TIME_BUCKETS
         )
+        self._shard_match = m.histogram(
+            "match.shard_seconds", TIME_BUCKETS
+        )
+        self._batch_size = m.histogram("match.batch_size", COUNT_BUCKETS)
+        self._merge_time = m.histogram("match.merge_seconds", TIME_BUCKETS)
 
     def clock(self) -> float:
         return self.trace.clock()
@@ -175,6 +180,29 @@ class Observer:
     def match_latency(self, seconds: float) -> None:
         with self._mutex:
             self._match_latency.observe(seconds)
+
+    # -- partitioned match -----------------------------------------------------------------
+
+    def shard_match(self, shard: int, seconds: float, deltas: int) -> None:
+        """One shard finished matching a delta batch."""
+        with self._mutex:
+            self._shard_match.observe(seconds)
+        self.trace.emit(
+            "match.shard", shard=shard, seconds=seconds, deltas=deltas
+        )
+
+    def match_batch(
+        self, size: int, shards: int, merge_seconds: float
+    ) -> None:
+        """A partitioned delta batch was matched and merged."""
+        with self._mutex:
+            self.metrics.counter("match.batches").inc()
+            self._batch_size.observe(size)
+            self._merge_time.observe(merge_seconds)
+        self.trace.emit(
+            "match.batch", size=size, shards=shards,
+            merge_seconds=merge_seconds,
+        )
 
     # -- simulators ------------------------------------------------------------------------
 

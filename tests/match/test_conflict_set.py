@@ -52,6 +52,44 @@ class TestMembership:
         assert cs.is_empty()
 
 
+class TestIndexes:
+    def test_mentioning_tracks_adds_and_removes(self):
+        cs = ConflictSet()
+        a, b = _inst("a", 1), _inst("b", 1)
+        other = _inst("c", 2)
+        for inst in (a, b, other):
+            cs.add(inst)
+        assert set(cs.mentioning(1)) == {a, b}
+        assert cs.mentioning(a.wmes[0]) == cs.mentioning(1)
+        cs.remove(a)
+        assert cs.mentioning(1) == [b]
+        cs.remove(b)
+        assert cs.mentioning(1) == []
+        assert cs.mentioning(99) == []
+
+    def test_rule_index_drops_empty_rules(self):
+        cs = ConflictSet()
+        a1, a2 = _inst("a", 1), _inst("a", 2)
+        cs.add(a1)
+        cs.add(a2)
+        cs.add(_inst("b", 3))
+        cs.remove(a1)
+        assert cs.rule_names() == {"a", "b"}
+        assert cs.for_rule("a") == [a2]
+        cs.remove(a2)
+        assert cs.rule_names() == {"b"}
+        assert cs.for_rule("a") == []
+
+    def test_indexes_consistent_after_readd(self):
+        cs = ConflictSet()
+        a = _inst("a", 1)
+        cs.add(a)
+        cs.remove(a)
+        cs.add(a)
+        assert cs.for_rule("a") == [a]
+        assert cs.mentioning(1) == [a]
+
+
 class TestRefraction:
     def test_fired_excluded_from_eligible(self):
         cs = ConflictSet()
@@ -62,16 +100,48 @@ class TestRefraction:
         assert cs.eligible() == [b]
         assert cs.has_fired(a)
 
-    def test_remove_clears_fired_state(self):
+    def test_remove_preserves_fired_state(self):
+        """Regression: refraction is per instantiation *identity*.
+
+        A fired instantiation retracted and re-derived with the same
+        timetags within one wave (matcher churn, rollback) must NOT
+        regain eligibility — it would fire twice otherwise.  Genuine
+        re-derivations get fresh timetags, hence a new identity.
+        """
         cs = ConflictSet()
         a = _inst("a", 1)
         cs.add(a)
         cs.mark_fired(a)
         cs.remove(a)
-        # Re-adding the same instantiation makes it eligible again:
-        # OPS5 refraction is per conflict-set residency.
         cs.add(a)
+        assert cs.eligible() == []
+        assert cs.has_fired(a)
+
+    def test_fresh_timetags_make_a_new_eligible_instantiation(self):
+        cs = ConflictSet()
+        old, new = _inst("a", 1), _inst("a", 2)
+        cs.add(old)
+        cs.mark_fired(old)
+        cs.remove(old)
+        cs.add(new)
+        assert cs.eligible() == [new]
+
+    def test_forget_fired_restores_eligibility(self):
+        cs = ConflictSet()
+        a = _inst("a", 1)
+        cs.add(a)
+        cs.mark_fired(a)
+        cs.forget_fired(a)
         assert cs.eligible() == [a]
+
+    def test_clear_preserves_fired_state(self):
+        cs = ConflictSet()
+        a = _inst("a", 1)
+        cs.add(a)
+        cs.mark_fired(a)
+        cs.clear()
+        cs.add(a)
+        assert cs.eligible() == []
 
 
 class TestDeltas:

@@ -1,0 +1,116 @@
+"""Regression tests for TREAT's index-backed removal path.
+
+``TreatMatcher._on_remove`` used to scan the entire conflict set per
+removed WME (``instantiation.mentions(wme)`` over all members).  It now
+uses the conflict set's WME→instantiations mentions index.  These tests
+pin both halves of the fix: retractions are *identical* to the naive
+oracle, and the removal path performs *no full-set scan* and *no
+per-member mentions() probing* (asserted via counting shims).
+"""
+
+from __future__ import annotations
+
+from repro.lang import RuleBuilder
+from repro.lang.builder import var
+from repro.match.conflict_set import ConflictSet
+from repro.match.instantiation import Instantiation
+from repro.match.naive import NaiveMatcher
+from repro.match.treat import TreatMatcher
+from repro.wm import WorkingMemory
+
+
+def _join_program():
+    # Joins only (no negation), so TREAT's remove path is pure
+    # conflict-set retention — the path the index serves.
+    return [
+        RuleBuilder("pair")
+        .when("a", k=var("x"))
+        .when("b", k=var("x"))
+        .remove(1)
+        .build(),
+        RuleBuilder("any-a")
+        .when("a", v=var("v"))
+        .remove(1)
+        .build(),
+    ]
+
+
+class CountingConflictSet(ConflictSet):
+    """Shim that counts full-membership enumerations."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.full_scans = 0
+
+    def __iter__(self):
+        self.full_scans += 1
+        return super().__iter__()
+
+    def members(self):
+        self.full_scans += 1
+        return super().members()
+
+
+def _populate(memory: WorkingMemory, n: int = 12) -> None:
+    for k in range(n):
+        memory.make("a", k=k, v=k * 2)
+        memory.make("b", k=k)
+
+
+def test_removal_does_not_scan_conflict_set(monkeypatch):
+    memory = WorkingMemory()
+    matcher = TreatMatcher(memory)
+    counting = CountingConflictSet()
+    matcher.conflict_set = counting
+    matcher.add_productions(_join_program())
+    matcher.attach()
+    _populate(memory)
+    assert len(counting) > 0
+
+    mention_calls = {"n": 0}
+    real_mentions = Instantiation.mentions
+
+    def counted_mentions(self, wme):
+        mention_calls["n"] += 1
+        return real_mentions(self, wme)
+
+    monkeypatch.setattr(Instantiation, "mentions", counted_mentions)
+    counting.full_scans = 0
+
+    for wme in list(memory.elements("a"))[:4]:
+        memory.remove(wme)
+
+    assert counting.full_scans == 0, (
+        "TREAT removal enumerated the whole conflict set"
+    )
+    assert mention_calls["n"] == 0, (
+        "TREAT removal probed mentions() per member instead of using "
+        "the index"
+    )
+
+
+def test_retractions_identical_to_naive_oracle():
+    treat_memory, naive_memory = WorkingMemory(), WorkingMemory()
+    treat = TreatMatcher(treat_memory)
+    naive = NaiveMatcher(naive_memory)
+    for matcher, memory in ((treat, treat_memory), (naive, naive_memory)):
+        matcher.add_productions(_join_program())
+        matcher.attach()
+        _populate(memory)
+
+    def signatures(matcher):
+        return {
+            (i.production.name, tuple(w.identity() for w in i.wmes))
+            for i in matcher.conflict_set
+        }
+
+    assert signatures(treat) == signatures(naive)
+    # Interleave removals of joined and lone elements; the conflict
+    # sets must track each other exactly, step by step.
+    for index in (0, 3, 1):
+        for memory in (treat_memory, naive_memory):
+            live = sorted(memory.elements("a"), key=lambda w: w.timetag)
+            memory.remove(live[index % len(live)])
+            live_b = sorted(memory.elements("b"), key=lambda w: w.timetag)
+            memory.remove(live_b[index % len(live_b)])
+        assert signatures(treat) == signatures(naive)

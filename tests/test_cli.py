@@ -67,12 +67,50 @@ class TestRun:
         assert "thing" in out
 
     def test_matcher_option(self, rule_file, facts_file, capsys):
-        for matcher in ("naive", "rete", "treat", "cond"):
+        for matcher in (
+            "naive", "rete", "treat", "cond",
+            "partitioned", "partitioned:rete:2", "partitioned:treat:3",
+            "partitioned:naive:2:serial",
+        ):
             code = main(
                 ["run", str(rule_file), "--facts", str(facts_file),
                  "--matcher", matcher]
             )
             assert code == 0
+
+    def test_partitioned_matcher_with_parallel_engine(
+        self, rule_file, facts_file, capsys
+    ):
+        code = main(
+            ["run", str(rule_file), "--facts", str(facts_file),
+             "--parallel", "rc", "--matcher", "partitioned:rete:4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "consistent" in out
+        assert "INCONSISTENT" not in out
+
+    def test_bad_matcher_spec_reports_error(
+        self, rule_file, facts_file, capsys
+    ):
+        code = main(
+            ["run", str(rule_file), "--facts", str(facts_file),
+             "--matcher", "partitioned:bogus:2"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "bogus" in err
+
+    def test_unknown_matcher_name_reports_error(
+        self, rule_file, facts_file, capsys
+    ):
+        code = main(
+            ["run", str(rule_file), "--facts", str(facts_file),
+             "--matcher", "retee"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown matcher" in err
 
     def test_empty_rule_file_fails(self, tmp_path, capsys):
         empty = tmp_path / "empty.ops"
@@ -144,6 +182,24 @@ class TestTrace:
         assert "lock.grant" in kinds
         assert "txn.commit" in kinds
         assert "stop=quiescent" in captured.err
+
+    def test_trace_includes_partitioned_match_events(
+        self, rule_file, facts_file, capsys
+    ):
+        code = main(
+            ["trace", str(rule_file), "--facts", str(facts_file),
+             "--matcher", "partitioned:rete:2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        events = [json.loads(line) for line in captured.out.splitlines()]
+        kinds = {event["kind"] for event in events}
+        assert "match.shard" in kinds
+        assert "match.batch" in kinds
+        shard_ids = {
+            e["shard"] for e in events if e["kind"] == "match.shard"
+        }
+        assert shard_ids == {0, 1}
 
     def test_kind_filter_prefix(self, rule_file, facts_file, capsys):
         code = main(
