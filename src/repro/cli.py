@@ -21,6 +21,13 @@ Subcommands
 ``repro metrics RULES [--scheme rc] ...``
     Same run, but emit the metrics registry snapshot (lock-wait
     histogram, abort/commit counters, wave widths) as one JSON object.
+``repro chaos RULES [--seeds 10] [--fault-rate 0.2] ...``
+    Run the program repeatedly under seeded fault injection (denied
+    locks, forced aborts, pre-commit crashes) with bounded retries,
+    validating after every run that the committed firing sequence
+    still replays single-threaded.  Exits non-zero on any
+    inconsistency — the semantic-consistency claim, demonstrated
+    under adversity.
 
 Installed as the ``repro`` console script.
 """
@@ -37,6 +44,7 @@ from repro.core import ExecutionGraph, section_3_3_example
 from repro.engine import Interpreter, ParallelEngine, replay_commit_sequence
 from repro.errors import ReproError
 from repro.analysis.speedup import section_5_cases
+from repro.fault import FAULT_KINDS, FaultPlan, RetryPolicy, VirtualSleeper
 from repro.lang import parse_program
 from repro.wm import WMSnapshot, WorkingMemory
 
@@ -61,11 +69,41 @@ def _load_facts(memory: WorkingMemory, path: Path) -> int:
     return count
 
 
+def _parse_fault_kinds(text: str | None) -> tuple[str, ...]:
+    """Comma-separated fault kinds, validated against FAULT_KINDS."""
+    if not text:
+        return ("lock_deny", "abort_rhs", "crash_commit")
+    kinds = tuple(k.strip() for k in text.split(",") if k.strip())
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise ReproError(
+                f"unknown fault kind {kind!r}; "
+                f"expected one of {', '.join(FAULT_KINDS)}"
+            )
+    return kinds
+
+
+def _make_chaos_injector(
+    seed: int, rate: float, kinds: tuple[str, ...]
+) -> "FaultInjector | None":
+    """A seeded injector with a virtual clock, or None at rate 0."""
+    if rate <= 0:
+        return None
+    plan = FaultPlan.chaos(seed, rate, kinds=kinds)
+    return plan.injector(sleeper=VirtualSleeper())
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     rules = parse_program(Path(args.rules).read_text(encoding="utf-8"))
     if not rules:
         print("no productions found", file=sys.stderr)
         return 1
+    fault_options = args.fault_rate > 0 or args.retries > 1
+    if fault_options and not args.parallel:
+        raise ReproError(
+            "--fault-rate/--retries require --parallel "
+            "(the single-thread interpreter has no fault sites)"
+        )
     memory = WorkingMemory()
     if args.facts:
         loaded = _load_facts(memory, Path(args.facts))
@@ -73,6 +111,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     snapshot = WMSnapshot.capture(memory)
 
     if args.parallel:
+        retry_policy = None
+        if args.retries > 1:
+            retry_policy = RetryPolicy(
+                max_attempts=args.retries, seed=args.fault_seed
+            )
+        injector = _make_chaos_injector(
+            args.fault_seed,
+            args.fault_rate,
+            _parse_fault_kinds(args.fault_kinds),
+        )
         engine = ParallelEngine(
             rules,
             memory,
@@ -81,10 +129,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
             strategy=args.strategy,
             processors=args.processors,
             seed=args.seed,
+            retry_policy=retry_policy,
+            fault_injector=injector,
         )
         result = engine.run(max_waves=args.max_cycles)
         replay = replay_commit_sequence(snapshot, rules, result.firings)
         validity = "consistent" if replay.consistent else "INCONSISTENT"
+        if injector is not None and injector.total_injected:
+            counts = ", ".join(
+                f"{kind}={count}"
+                for kind, count in injector.summary().items()
+            )
+            print(f"injected faults: {counts}")
+        if engine.retry_count or engine.gave_up:
+            print(
+                f"retries: {engine.retry_count} "
+                f"(gave up: {len(engine.gave_up)})"
+            )
     else:
         interpreter = Interpreter(
             rules,
@@ -167,6 +228,64 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     observer, result = _run_observed(args)
     _write_or_print(observer.metrics.to_json(), args.out)
     print(f"# stop={result.stop_reason}", file=sys.stderr)
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    rules_text = Path(args.rules).read_text(encoding="utf-8")
+    rules = parse_program(rules_text)
+    if not rules:
+        print("no productions found", file=sys.stderr)
+        return 1
+    kinds = _parse_fault_kinds(args.fault_kinds)
+    if args.fault_rate <= 0:
+        raise ReproError("chaos needs --fault-rate > 0")
+    print(
+        f"chaos: {args.seeds} seeds, scheme={args.scheme}, "
+        f"rate={args.fault_rate}, kinds={','.join(kinds)}, "
+        f"retries={args.retries}"
+    )
+    print(
+        f"{'seed':>4} {'firings':>7} {'faults':>6} {'retries':>7} "
+        f"{'gave-up':>7} {'stop':<18} replay"
+    )
+    failures = 0
+    for seed in range(args.seeds):
+        memory = WorkingMemory()
+        if args.facts:
+            _load_facts(memory, Path(args.facts))
+        snapshot = WMSnapshot.capture(memory)
+        injector = _make_chaos_injector(seed, args.fault_rate, kinds)
+        engine = ParallelEngine(
+            rules,
+            memory,
+            scheme=args.scheme,
+            matcher=args.matcher,
+            strategy=args.strategy,
+            processors=args.processors,
+            seed=args.seed,
+            retry_policy=RetryPolicy(max_attempts=args.retries, seed=seed),
+            fault_injector=injector,
+        )
+        result = engine.run(max_waves=args.max_cycles)
+        replay = replay_commit_sequence(snapshot, rules, result.firings)
+        if not replay.consistent:
+            failures += 1
+        print(
+            f"{seed:>4} {len(result.firings):>7} "
+            f"{injector.total_injected if injector else 0:>6} "
+            f"{engine.retry_count:>7} {len(engine.gave_up):>7} "
+            f"{result.stop_reason:<18} "
+            f"{'consistent' if replay.consistent else 'INCONSISTENT'}"
+        )
+    if failures:
+        print(
+            f"FAILED: {failures}/{args.seeds} seeds produced a commit "
+            "sequence that does not replay single-threaded",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all {args.seeds} seeds replay consistently")
     return 0
 
 
@@ -257,7 +376,74 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--dump", action="store_true", help="print final working memory"
     )
+
+    def add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--retries",
+            type=int,
+            default=1,
+            metavar="N",
+            help="attempts per firing before giving up (default 1 = "
+            "no retry); backoff is exponential with seeded jitter",
+        )
+        parser.add_argument(
+            "--fault-rate",
+            type=float,
+            default=0.0,
+            metavar="P",
+            help="probability each fault site injects (default 0 = off)",
+        )
+        parser.add_argument(
+            "--fault-seed",
+            type=int,
+            default=0,
+            help="seed for the fault-injection RNG",
+        )
+        parser.add_argument(
+            "--fault-kinds",
+            metavar="K1,K2",
+            help="comma-separated kinds from: " + ", ".join(FAULT_KINDS)
+            + " (default lock_deny,abort_rhs,crash_commit)",
+        )
+
+    add_fault_arguments(run)
     run.set_defaults(handler=_cmd_run)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep seeded fault schedules; validate replay consistency",
+    )
+    chaos.add_argument("rules", help="rule file (OPS5-style DSL)")
+    chaos.add_argument("--facts", help="JSON-lines facts file")
+    chaos.add_argument(
+        "--seeds",
+        type=int,
+        default=10,
+        help="number of fault-plan seeds to sweep (default 10)",
+    )
+    chaos.add_argument(
+        "--scheme",
+        choices=["rc", "2pl", "c2pl"],
+        default="rc",
+        help="lock scheme for the wave-parallel engine",
+    )
+    chaos.add_argument(
+        "--matcher",
+        default="rete",
+        metavar="SPEC",
+        help="rete | treat | naive | cond | "
+        "partitioned[:inner[:shards[:backend]]]",
+    )
+    chaos.add_argument(
+        "--strategy",
+        choices=["lex", "mea", "priority", "fifo", "random"],
+        default="lex",
+    )
+    chaos.add_argument("--processors", type=int, default=None)
+    chaos.add_argument("--seed", type=int, default=None)
+    chaos.add_argument("--max-cycles", type=int, default=10_000)
+    add_fault_arguments(chaos)
+    chaos.set_defaults(handler=_cmd_chaos, fault_rate=0.25, retries=4)
 
     graph = sub.add_parser(
         "graph", help="print the Section 3.3 execution graph"

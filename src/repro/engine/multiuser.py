@@ -60,6 +60,9 @@ class MultiUserEngine(ParallelEngine):
         base_strategy: str | Strategy = "lex",
         processors: int | None = None,
         seed: int | None = None,
+        observer=None,
+        retry_policy=None,
+        fault_injector=None,
     ) -> None:
         owners: dict[str, str] = {}
         productions: list[Production] = []
@@ -82,6 +85,9 @@ class MultiUserEngine(ParallelEngine):
             strategy=base_strategy,
             processors=processors,
             seed=seed,
+            observer=observer,
+            retry_policy=retry_policy,
+            fault_injector=fault_injector,
         )
         self.sessions = tuple(sessions)
         self._owners = owners
@@ -92,7 +98,7 @@ class MultiUserEngine(ParallelEngine):
 
     def _ordered_candidates(self) -> list[Instantiation]:
         """Interleave users' candidates, rotating the lead user."""
-        remaining = self.matcher.conflict_set.eligible()
+        remaining = self._eligible_candidates()
         buckets: dict[str, list[Instantiation]] = {}
         for candidate in remaining:
             user = self._owners.get(candidate.production.name, "?")

@@ -38,11 +38,13 @@ import repro.obs as obs_module
 from repro.engine.actions import ActionExecutor
 from repro.engine.interpreter import MatcherName, build_matcher
 from repro.engine.result import FiringRecord, RunResult
-from repro.errors import EngineError
+from repro.errors import EngineError, FiringCrashed
 from repro.core.interference import (
     instantiation_read_objects,
     instantiation_write_objects,
 )
+from repro.fault.injector import FaultInjector
+from repro.fault.retry import RetryPolicy, VirtualSleeper
 from repro.lang.production import Production
 from repro.locks.rc_scheme import RcScheme
 from repro.locks.two_phase import ConservativeTwoPhaseScheme, TwoPhaseScheme
@@ -91,6 +93,19 @@ class ParallelEngine:
         Observability sink (wave spans, firing/rollback events, match
         latency), shared with the lock scheme and manager.  Defaults
         to the module-level observer from :mod:`repro.obs`.
+    retry_policy:
+        When given, deferred/aborted firings are re-driven across
+        waves with a *bounded* budget: each failure charges one
+        attempt (plus the policy's backoff, on a virtual clock), and a
+        firing that exhausts its budget is dropped from candidacy for
+        the rest of the run (recorded in :attr:`gave_up`) instead of
+        being silently re-deferred forever.
+    fault_injector:
+        Optional :class:`~repro.fault.injector.FaultInjector`; its
+        lock faults can deny condition/action locks (the firing
+        defers), its RHS faults force aborts, and its crash faults
+        kill a firing post-RHS (the undo log rolls it back and the
+        wave continues) — the deterministic chaos harness.
     """
 
     def __init__(
@@ -103,6 +118,8 @@ class ParallelEngine:
         processors: int | None = None,
         seed: int | None = None,
         observer=None,
+        retry_policy: RetryPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         self.obs = (
             observer if observer is not None else obs_module.get_observer()
@@ -142,12 +159,65 @@ class ParallelEngine:
         self.waves: list[WaveResult] = []
         #: Rule-(ii) abort count across the run.
         self.abort_count = 0
+        self.retry_policy = retry_policy
+        self.fault = fault_injector
+        #: Failed attempts per still-retryable instantiation.
+        self._attempts: dict[Instantiation, int] = {}
+        #: Instantiations whose retry budget is exhausted.
+        self._gave_up: set[Instantiation] = set()
+        #: Rule names that exhausted their retry budget, in order.
+        self.gave_up: list[str] = []
+        #: Re-drive attempts charged across the run.
+        self.retry_count = 0
+        #: Virtual clock accumulating retry backoff (seconds).
+        self.retry_clock = VirtualSleeper()
 
     # -- wave machinery -----------------------------------------------------------------
 
+    def _eligible_candidates(self) -> list[Instantiation]:
+        """Eligible instantiations minus those out of retry budget."""
+        eligible = self.matcher.conflict_set.eligible()
+        if not self._gave_up:
+            return eligible
+        return [c for c in eligible if c not in self._gave_up]
+
+    def _note_failure(self, instantiation: Instantiation, reason: str) -> None:
+        """Charge one retry attempt for a deferred/aborted firing.
+
+        No-op without a retry policy (the pre-retry behavior: failed
+        candidates simply stay eligible for later waves, forever).
+        """
+        if self.retry_policy is None:
+            return
+        attempts = self._attempts.get(instantiation, 0) + 1
+        self._attempts[instantiation] = attempts
+        rule = instantiation.production.name
+        if self.retry_policy.should_retry(attempts):
+            delay = self.retry_policy.backoff(attempts, key=rule)
+            self.retry_clock(delay)
+            self.retry_count += 1
+            if self.obs.enabled:
+                self.obs.retry_attempt(rule, attempts, delay, reason)
+        else:
+            self._gave_up.add(instantiation)
+            self.gave_up.append(rule)
+            if self.obs.enabled:
+                self.obs.retry_exhausted(rule, attempts, reason)
+
+    def _fault_denies_locks(
+        self, txn: Transaction, objects, mode
+    ) -> bool:
+        """Run lock fault sites; True when any acquisition is denied."""
+        if self.fault is None:
+            return False
+        return any(
+            self.fault.lock_fault(txn, obj, str(mode)) == "deny"
+            for obj in sorted(objects, key=repr)
+        )
+
     def _ordered_candidates(self) -> list[Instantiation]:
         """Eligible instantiations in conflict-resolution order."""
-        remaining = self.matcher.conflict_set.eligible()
+        remaining = self._eligible_candidates()
         ordered: list[Instantiation] = []
         while remaining:
             chosen = self.strategy.select(remaining)
@@ -173,12 +243,15 @@ class ParallelEngine:
         # condition reads AND action writes — is taken atomically here.
         for instantiation in candidates:
             txn = Transaction(rule_name=instantiation.production.name)
-            if self._preclaims:
+            reads = instantiation_read_objects(instantiation)
+            if self._fault_denies_locks(
+                txn, reads, self.scheme.condition_mode
+            ):
+                granted = False
+            elif self._preclaims:
                 granted = self.scheme.try_preclaim(
                     txn,
-                    reads=sorted(
-                        instantiation_read_objects(instantiation), key=repr
-                    ),
+                    reads=sorted(reads, key=repr),
                     writes=sorted(
                         instantiation_write_objects(instantiation),
                         key=repr,
@@ -187,9 +260,7 @@ class ParallelEngine:
             else:
                 granted = all(
                     self.scheme.try_lock_condition(txn, obj)
-                    for obj in sorted(
-                        instantiation_read_objects(instantiation), key=repr
-                    )
+                    for obj in sorted(reads, key=repr)
                 )
             if granted:
                 slots.append((instantiation, txn))
@@ -197,6 +268,7 @@ class ParallelEngine:
                 # Footprint unavailable: defer to a later wave.
                 self.scheme.abort(txn, "condition lock denied")
                 wave.deferred.append(instantiation.production.name)
+                self._note_failure(instantiation, "condition-lock-denied")
 
         # Phase 2: RHS execution in conflict-resolution order.
         for instantiation, txn in slots:
@@ -205,28 +277,59 @@ class ParallelEngine:
                 self.scheme.abort(txn, "rule (ii) victim")
                 wave.aborted.append(instantiation.production.name)
                 self.abort_count += 1
+                self._note_failure(instantiation, "rule-ii-victim")
                 continue
             if instantiation not in self.matcher.conflict_set:
                 # The database changed under it and the matcher
                 # retracted the instantiation: semantically a victim.
+                # (Not retryable: there is nothing left to re-drive.)
                 self.scheme.abort(txn, "instantiation invalidated")
                 wave.aborted.append(instantiation.production.name)
                 self.abort_count += 1
                 continue
             writes = instantiation_write_objects(instantiation)
-            if not self._preclaims and not self.scheme.try_lock_action(
-                txn, writes=sorted(writes, key=repr)
+            if self._fault_denies_locks(
+                txn, writes, self.scheme.action_write_mode
+            ) or (
+                not self._preclaims
+                and not self.scheme.try_lock_action(
+                    txn, writes=sorted(writes, key=repr)
+                )
             ):
                 # 2PL: blocked by another candidate's condition locks —
                 # defer to a later wave.  (Under Rc only Ra/Wa block Wa,
                 # and none are held across candidates here.)
                 self.scheme.abort(txn, "action locks unavailable")
                 wave.deferred.append(instantiation.production.name)
+                self._note_failure(instantiation, "action-lock-denied")
+                continue
+            if self.fault is not None and self.fault.rhs_abort(txn):
+                self.scheme.abort(txn, "injected RHS abort")
+                wave.aborted.append(instantiation.production.name)
+                self.abort_count += 1
+                self._note_failure(instantiation, "injected-abort")
                 continue
             undo = UndoLog(self.memory).attach()
             try:
                 self.matcher.conflict_set.mark_fired(instantiation)
                 outcome = self.executor.execute(instantiation)
+                if self.fault is not None:
+                    self.fault.crash_point(txn)
+            except FiringCrashed:
+                # The firing died after its RHS but before commit: roll
+                # back, clear the fired mark (the restored WMEs revive
+                # the same instantiation identity), and survive — the
+                # wave goes on and the retry budget governs re-driving.
+                undo.detach()
+                undone = undo.rollback()
+                self.matcher.conflict_set.forget_fired(instantiation)
+                if obs.enabled:
+                    obs.rollback(txn.txn_id, undone)
+                self.scheme.abort(txn, "crashed before commit")
+                wave.aborted.append(instantiation.production.name)
+                self.abort_count += 1
+                self._note_failure(instantiation, "crash-before-commit")
+                continue
             except Exception:
                 undo.detach()
                 undone = undo.rollback()
@@ -278,13 +381,20 @@ class ParallelEngine:
             if self.result.halted:
                 self.result.stop_reason = "halt"
                 break
-            candidates = self.matcher.conflict_set.eligible()
+            candidates = self._eligible_candidates()
             if not candidates:
-                self.result.stop_reason = "quiescent"
+                # With a retry policy, work may remain in the conflict
+                # set whose budget is exhausted — that is not
+                # quiescence and is reported honestly.
+                self.result.stop_reason = (
+                    "retries_exhausted"
+                    if self.matcher.conflict_set.eligible()
+                    else "quiescent"
+                )
                 break
             wave = self.run_wave()
             self.result.cycles += 1
-            if not wave.committed and self.matcher.conflict_set.eligible():
+            if not wave.committed and self._eligible_candidates():
                 self._fire_single()
         else:
             self.result.stop_reason = "max_waves"
@@ -298,7 +408,7 @@ class ParallelEngine:
         so an RHS exception leaves working memory exactly as the wave
         machinery would — rolled back, not half-mutated.
         """
-        candidates = self.matcher.conflict_set.eligible()
+        candidates = self._eligible_candidates()
         if not candidates:
             return
         obs = self.obs

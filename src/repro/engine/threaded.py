@@ -12,39 +12,87 @@ the chosen scheme with *blocking* lock acquisition.  Each thread:
 1. acquires condition locks (``Rc``/``R``) on its read objects;
 2. acquires action locks (``Wa``/``W``) on its write objects;
 3. re-checks it has not been rule-(ii) aborted, then executes its RHS
-   inside the working memory's global mutex (paired with its undo
-   log), commits, and triggers victim aborts.
+   inside the working memory's global mutex (paired with an undo log),
+   commits, and triggers victim aborts.
 
-Deadlocks are broken by acquisition timeouts: a timed-out thread
-aborts, rolls back, and ends (its production may refire in a later
-wave).  The executor records the commit order and the lock history for
-the serializability and semantic-consistency checks.
+Deadlocks are *detected*, not timed out: every blocking acquisition
+registers an ``on_block`` hook that runs the waits-for cycle detector
+(:mod:`repro.locks.deadlock`); when a cycle closes, a victim chosen by
+a pluggable policy (youngest / fewest-locks / ...) is aborted and its
+waiting requests cancelled, waking its thread immediately.  Timeouts
+remain only as a backstop for pathological stalls.
+
+A timed-out or aborted firing is re-driven under the executor's
+:class:`~repro.fault.retry.RetryPolicy` (bounded attempts, exponential
+backoff with seeded jitter) as long as its instantiation is still in
+the conflict set; the final classification distinguishes *timeouts*
+(lock never became available) from *aborts* (rule-(ii) victims,
+deadlock victims, injected faults) — ``result.timed_out`` vs
+``result.aborted``.  An attached
+:class:`~repro.fault.injector.FaultInjector` can delay or deny lock
+grants, force mid-RHS aborts, and kill a firing after its RHS but
+before commit (the undo log rolls the crash back).  The executor
+records the commit order and the lock history for the serializability
+and semantic-consistency checks.
 """
 
 from __future__ import annotations
 
+import enum
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, Literal
+from typing import Callable, Iterable, Literal
 
 import repro.obs as obs_module
 from repro.engine.actions import ActionExecutor
 from repro.engine.interpreter import MatcherName, build_matcher
 from repro.engine.result import FiringRecord
-from repro.errors import EngineError
+from repro.errors import EngineError, FiringCrashed
 from repro.core.interference import (
     instantiation_read_objects,
     instantiation_write_objects,
 )
+from repro.fault.injector import FaultInjector
+from repro.fault.retry import RetryPolicy
 from repro.lang.production import Production
+from repro.locks.deadlock import (
+    DeadlockDetector,
+    VictimPolicy,
+    resolve_victim_policy,
+)
+from repro.locks.modes import LockMode
 from repro.locks.rc_scheme import RcScheme
+from repro.locks.request import LockRequest
 from repro.locks.two_phase import TwoPhaseScheme
 from repro.match.instantiation import Instantiation
 from repro.txn.schedule import History
 from repro.txn.transaction import Transaction
 from repro.wm.memory import WorkingMemory
+from repro.wm.undo import UndoLog
 
 SchemeName = Literal["2pl", "rc"]
+
+
+class _Acquire(enum.Enum):
+    """Outcome of a (multi-object) lock acquisition."""
+
+    GRANTED = "granted"
+    #: The lock never became available within ``lock_timeout``.
+    TIMEOUT = "timeout"
+    #: The transaction was aborted while acquiring — rule-(ii) victim,
+    #: deadlock victim, or injected abort.  NOT a timeout.
+    ABORTED = "aborted"
+
+
+class _Fired(enum.Enum):
+    """Outcome of one firing attempt."""
+
+    COMMITTED = "committed"
+    TIMEOUT = "timeout"
+    ABORTED = "aborted"
+    #: The instantiation left the conflict set before commit.
+    INVALIDATED = "invalidated"
 
 
 @dataclass
@@ -52,16 +100,46 @@ class ThreadedWaveResult:
     """Outcome of one threaded wave."""
 
     committed: list[FiringRecord] = field(default_factory=list)
+    #: Rules whose firing was aborted (rule (ii), deadlock victim,
+    #: injected fault, or invalidated instantiation).
     aborted: list[str] = field(default_factory=list)
+    #: Rules whose firing gave up waiting for a lock.
     timed_out: list[str] = field(default_factory=list)
     history: History = field(default_factory=History)
+    #: Transactions aborted by deadlock detection during this wave.
+    deadlock_victims: list[str] = field(default_factory=list)
+    #: Re-drive attempts performed during this wave.
+    retries: int = 0
 
     def commit_order(self) -> tuple[str, ...]:
         return tuple(r.rule_name for r in self.committed)
 
 
 class ThreadedWaveExecutor:
-    """Runs eligible instantiations concurrently on real threads."""
+    """Runs eligible instantiations concurrently on real threads.
+
+    Parameters
+    ----------
+    productions, memory, scheme, matcher, lock_timeout, observer:
+        As before; ``lock_timeout`` is now a stall backstop, not the
+        deadlock breaker.
+    deadlock_detection:
+        When true (default), blocking acquisitions run the waits-for
+        cycle detector and abort a victim instead of waiting for the
+        timeout.
+    victim_policy:
+        ``"youngest"`` (default), ``"oldest"``, ``"fewest-locks"``,
+        ``"most-locks"``, or a callable ``cycle -> Transaction``.
+    retry_policy:
+        When given, timed-out/aborted firings are re-driven (fresh
+        transaction, exponential backoff) while their instantiation
+        remains in the conflict set.
+    fault_injector:
+        Optional :class:`FaultInjector` wired into every lock
+        acquisition, the pre-RHS point, and the pre-commit point.
+    sleeper:
+        Time source for retry backoff (default :func:`time.sleep`).
+    """
 
     def __init__(
         self,
@@ -71,6 +149,11 @@ class ThreadedWaveExecutor:
         matcher: MatcherName = "rete",
         lock_timeout: float = 0.2,
         observer=None,
+        deadlock_detection: bool = True,
+        victim_policy: str | VictimPolicy = "youngest",
+        retry_policy: RetryPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
+        sleeper: Callable[[float], None] = time.sleep,
     ) -> None:
         if memory._mutex is None:  # noqa: SLF001 - deliberate check
             raise EngineError(
@@ -96,7 +179,24 @@ class ThreadedWaveExecutor:
             raise EngineError(f"unknown scheme {scheme!r}")
         self.lock_timeout = lock_timeout
         self.executor = ActionExecutor(memory)
+        self.retry_policy = retry_policy
+        self.fault = fault_injector
+        self._sleep = sleeper
+        self.victim_policy_name = (
+            victim_policy if isinstance(victim_policy, str) else "custom"
+        )
+        self.detector: DeadlockDetector | None = None
+        if deadlock_detection:
+            self.detector = DeadlockDetector(
+                self.scheme.manager,
+                policy=resolve_victim_policy(
+                    victim_policy, self.scheme.manager
+                ),
+            )
+        self._detector_mutex = threading.Lock()
         self._commit_mutex = threading.Lock()
+        #: Deadlock victims across all waves (txn ids).
+        self.deadlock_victims: list[str] = []
         #: Waves run so far; the current wave number is the ``cycle``
         #: label stamped on committed :class:`FiringRecord`\ s.
         self.waves_run = 0
@@ -109,6 +209,7 @@ class ThreadedWaveExecutor:
         cycle = self.waves_run
         obs = self.obs
         wave_start = obs.clock() if obs.enabled else 0.0
+        victims_before = len(self.deadlock_victims)
         candidates = self.matcher.conflict_set.eligible()
         if obs.enabled:
             obs.wave_started(cycle, len(candidates))
@@ -125,6 +226,7 @@ class ThreadedWaveExecutor:
             thread.start()
         for thread in threads:
             thread.join()
+        result.deadlock_victims = self.deadlock_victims[victims_before:]
         if obs.enabled:
             obs.wave_finished(
                 cycle,
@@ -135,20 +237,88 @@ class ThreadedWaveExecutor:
             )
         return result
 
+    def run(self, max_waves: int = 100) -> list[ThreadedWaveResult]:
+        """Run waves until the conflict set drains (or ``max_waves``)."""
+        results: list[ThreadedWaveResult] = []
+        for _ in range(max_waves):
+            if not self.matcher.conflict_set.eligible():
+                break
+            results.append(self.run_wave())
+        return results
+
+    # -- deadlock detection ----------------------------------------------------------------
+
+    def _on_block(self, request: LockRequest) -> None:
+        """Runs once whenever a lock request starts waiting.
+
+        The last edge of any waits-for cycle is created by a request
+        going to wait, so checking here catches every deadlock at the
+        instant it forms.
+        """
+        if self.detector is None:
+            return
+        manager = self.scheme.manager
+        with self._detector_mutex:
+            cycle = self.detector.find_cycle()
+            if cycle is None:
+                return
+            cycle_ids = tuple(t.txn_id for t in cycle)
+            self.detector.detected.append(cycle_ids)
+            victim = self.detector.policy(cycle)
+            if not victim.try_abort("deadlock victim"):
+                return
+            self.deadlock_victims.append(victim.txn_id)
+            if self.obs.enabled:
+                self.obs.deadlock_victim(
+                    victim.txn_id, cycle_ids, self.victim_policy_name
+                )
+            # Wake the victim: cancelling its waiting requests unblocks
+            # its thread immediately (it sees is_aborted, not a grant).
+            for waiting in manager.waiting_requests():
+                if waiting.txn is victim:
+                    manager.cancel(waiting)
+
+    # -- lock acquisition --------------------------------------------------------------------
+
     def _acquire_all(
-        self, txn: Transaction, objects, mode_method
-    ) -> bool:
-        """Blocking acquisition with timeout; False on failure/abort."""
+        self, txn: Transaction, objects, mode: LockMode
+    ) -> _Acquire:
+        """Blocking multi-object acquisition in deterministic order.
+
+        Distinguishes the two failure modes the caller must not
+        conflate: the lock never arriving (``TIMEOUT``) versus the
+        transaction being aborted while it waited (``ABORTED``).
+        """
+        manager = self.scheme.manager
         for obj in sorted(objects, key=repr):
             if txn.is_aborted:
-                return False
-            request = mode_method(txn, obj)
-            deadline = self.lock_timeout
-            status = request.wait(deadline)
-            if not request.is_granted:
-                self.scheme.manager.cancel(request)
-                return False
-        return True
+                return _Acquire.ABORTED
+            if self.fault is not None:
+                if self.fault.lock_fault(txn, obj, str(mode)) == "deny":
+                    return _Acquire.TIMEOUT
+                if txn.is_aborted:
+                    # An injected delay widened the window for a
+                    # concurrent rule-(ii)/deadlock abort to land.
+                    return _Acquire.ABORTED
+            request = manager.acquire(
+                txn,
+                obj,
+                mode,
+                blocking=True,
+                timeout=self.lock_timeout,
+                on_block=self._on_block,
+            )
+            if request.is_granted:
+                # Covers both the immediate grant and the grant that
+                # slipped in during the timeout/cancel race window —
+                # the manager leaves such a request GRANTED (it only
+                # cancels WAITING requests), so the lock is used, not
+                # leaked.
+                continue
+            return _Acquire.ABORTED if txn.is_aborted else _Acquire.TIMEOUT
+        return _Acquire.ABORTED if txn.is_aborted else _Acquire.GRANTED
+
+    # -- firing ------------------------------------------------------------------------------
 
     def _fire(
         self,
@@ -156,38 +326,92 @@ class ThreadedWaveExecutor:
         result: ThreadedWaveResult,
         cycle: int,
     ) -> None:
-        txn = Transaction(rule_name=instantiation.production.name)
+        policy = self.retry_policy
+        rule = instantiation.production.name
+        attempt = 0
+        outcome = _Fired.ABORTED
+        while True:
+            attempt += 1
+            txn = Transaction(rule_name=rule)
+            outcome = self._fire_once(instantiation, txn, result, cycle)
+            if outcome is _Fired.COMMITTED:
+                return
+            if outcome is _Fired.INVALIDATED:
+                break
+            if policy is None or not policy.should_retry(attempt):
+                if policy is not None and self.obs.enabled:
+                    self.obs.retry_exhausted(rule, attempt, outcome.value)
+                break
+            if instantiation not in self.matcher.conflict_set:
+                # Retracted by a concurrent commit: nothing to re-drive.
+                break
+            delay = policy.backoff(attempt, key=rule)
+            with self._commit_mutex:
+                result.retries += 1
+            if self.obs.enabled:
+                self.obs.retry_attempt(rule, attempt, delay, outcome.value)
+            if delay > 0:
+                self._sleep(delay)
+        with self._commit_mutex:
+            if outcome is _Fired.TIMEOUT:
+                result.timed_out.append(rule)
+            else:
+                result.aborted.append(rule)
+
+    def _fire_once(
+        self,
+        instantiation: Instantiation,
+        txn: Transaction,
+        result: ThreadedWaveResult,
+        cycle: int,
+    ) -> _Fired:
+        """One attempt: acquire, execute, commit.  Never raises for
+        survivable failures; the caller decides whether to re-drive."""
         reads = instantiation_read_objects(instantiation)
         writes = instantiation_write_objects(instantiation)
-        lock_condition = (
-            lambda t, obj: self.scheme.lock_condition(t, obj, blocking=False)
+        acquired = self._acquire_all(txn, reads, self.scheme.condition_mode)
+        if acquired is not _Acquire.GRANTED:
+            if acquired is _Acquire.TIMEOUT:
+                self.scheme.abort(txn, "condition lock timeout")
+                return _Fired.TIMEOUT
+            self.scheme.abort(txn)
+            return _Fired.ABORTED
+        acquired = self._acquire_all(
+            txn, writes, self.scheme.action_write_mode
         )
-        lock_write = lambda t, obj: self.scheme.manager.acquire(
-            t, obj, self.scheme.action_write_mode, blocking=False
-        )
-        if not self._acquire_all(txn, reads, lock_condition):
-            self.scheme.abort(txn, "condition lock timeout")
-            with self._commit_mutex:
-                result.timed_out.append(instantiation.production.name)
-            return
-        if not self._acquire_all(txn, writes, lock_write):
-            self.scheme.abort(txn, "action lock timeout")
-            with self._commit_mutex:
-                result.timed_out.append(instantiation.production.name)
-            return
+        if acquired is not _Acquire.GRANTED:
+            if acquired is _Acquire.TIMEOUT:
+                self.scheme.abort(txn, "action lock timeout")
+                return _Fired.TIMEOUT
+            self.scheme.abort(txn)
+            return _Fired.ABORTED
+        if self.fault is not None and self.fault.rhs_abort(txn):
+            txn.try_abort("injected RHS abort")
         # Serialize the actual database update + commit decision.
         with self._commit_mutex:
             if txn.is_aborted:
                 self.scheme.abort(txn)
-                result.aborted.append(instantiation.production.name)
-                return
+                return _Fired.ABORTED
             if instantiation not in self.matcher.conflict_set:
                 self.scheme.abort(txn, "instantiation invalidated")
-                result.aborted.append(instantiation.production.name)
-                return
-            self.matcher.conflict_set.mark_fired(instantiation)
-            self.executor.execute(instantiation)
+                return _Fired.INVALIDATED
+            undo = UndoLog(self.memory).attach()
+            try:
+                self.matcher.conflict_set.mark_fired(instantiation)
+                self.executor.execute(instantiation)
+                if self.fault is not None:
+                    self.fault.crash_point(txn)
+            except FiringCrashed:
+                self._rollback(undo, txn, instantiation)
+                self.scheme.abort(txn, "crashed before commit")
+                return _Fired.ABORTED
+            except Exception:
+                self._rollback(undo, txn, instantiation)
+                self.scheme.abort(txn, "RHS execution failed")
+                raise
+            undo.detach()
             self.scheme.commit(txn)
+            undo.commit()
             result.committed.append(
                 FiringRecord.from_instantiation(instantiation, cycle=cycle)
             )
@@ -195,3 +419,17 @@ class ThreadedWaveExecutor:
                 self.obs.firing_committed(
                     instantiation.production.name, cycle
                 )
+        return _Fired.COMMITTED
+
+    def _rollback(
+        self, undo: UndoLog, txn: Transaction, instantiation: Instantiation
+    ) -> None:
+        """Undo a partially executed RHS; caller holds the commit mutex."""
+        undo.detach()
+        undone = undo.rollback()
+        # The rollback restored the matched WMEs under their original
+        # timetags, so the instantiation identity is back — clear its
+        # fired mark or the retry could never refire it.
+        self.matcher.conflict_set.forget_fired(instantiation)
+        if self.obs.enabled:
+            self.obs.rollback(txn.txn_id, undone)

@@ -30,6 +30,10 @@ class UnknownElementError(WorkingMemoryError):
     """An operation referenced a WME timetag not present in memory."""
 
 
+class StorageFailure(WorkingMemoryError):
+    """A durable-store write failed (real I/O error or injected fault)."""
+
+
 class DuplicateSchemaError(SchemaError):
     """A relation schema was declared twice with conflicting attributes."""
 
@@ -121,6 +125,31 @@ class DeadlockDetected(LockError):
 
 class LockUpgradeError(LockError):
     """An unsupported lock-mode transition was requested."""
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+class InjectedFault(ReproError):
+    """Base class for failures raised on purpose by the fault layer.
+
+    Engines treat these as *survivable*: the firing is rolled back and
+    re-driven (or abandoned) by the retry policy, never propagated as a
+    crash of the run itself.
+    """
+
+
+class FiringCrashed(InjectedFault):
+    """A firing thread was killed after executing its RHS but before
+    its commit was recorded — the mid-flight crash scenario."""
+
+    def __init__(self, txn_id: str, rule_name: str = "") -> None:
+        rule = f" ({rule_name})" if rule_name else ""
+        super().__init__(f"firing {txn_id}{rule} crashed before commit")
+        self.txn_id = txn_id
+        self.rule_name = rule_name
 
 
 # ---------------------------------------------------------------------------

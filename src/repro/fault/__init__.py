@@ -1,0 +1,40 @@
+"""Fault injection and retry: the robustness layer.
+
+The paper's semantic-consistency claim (``ES_M ⊆ ES_single``,
+Definitions 3.1/3.2) is demonstrated *under adversity* by injecting
+failures on purpose — denied and delayed lock grants, forced mid-RHS
+aborts, firings killed before commit, failed durable-store writes —
+and asserting that every committed firing sequence still replays
+single-threaded.
+
+* :class:`FaultPlan` / :class:`FaultSpec` — a deterministic, seeded
+  description of which faults fire where.
+* :class:`FaultInjector` — the runtime that executes a plan against an
+  engine (one per run; thread-safe).
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  seeded jitter, used by the engines to re-drive timed-out/aborted
+  firings instead of silently deferring them.
+* :class:`VirtualSleeper` — virtual time for deterministic backoff.
+"""
+
+from repro.fault.plan import (
+    FAULT_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    LOCK_KINDS,
+)
+from repro.fault.injector import FaultInjector
+from repro.fault.retry import NO_RETRY, RetryPolicy, VirtualSleeper
+
+__all__ = [
+    "FAULT_KINDS",
+    "LOCK_KINDS",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "RetryPolicy",
+    "NO_RETRY",
+    "VirtualSleeper",
+]

@@ -1,0 +1,109 @@
+"""Bounded retry with exponential backoff and seeded jitter.
+
+A :class:`RetryPolicy` is immutable and *pure*: :meth:`backoff` is a
+function of ``(seed, key, attempt)`` only, so concurrent firing
+threads need no shared RNG and a re-run with the same seed produces
+the same delays — the property the chaos suite leans on.
+
+Time is pluggable: the threaded executor sleeps for real
+(:func:`time.sleep`); the deterministic engines charge delays to a
+:class:`VirtualSleeper`, which just accumulates seconds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How timed-out/aborted firings are re-driven.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per firing, including the first (so
+        ``max_attempts=1`` disables retries).
+    base_delay:
+        Backoff before the second attempt, in seconds.
+    multiplier:
+        Exponential growth factor per subsequent attempt.
+    max_delay:
+        Backoff ceiling, in seconds.
+    jitter:
+        Fraction of each backoff that is randomized: the delay is
+        drawn uniformly from ``[raw * (1 - jitter), raw]``.  Zero
+        means fully deterministic backoff.
+    seed:
+        Seed for the jitter draw (per ``(key, attempt)``), so delays
+        are reproducible without shared state.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ReproError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ReproError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ReproError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff(self, attempt: int, key: str = "") -> float:
+        """Delay before attempt ``attempt + 1``, given ``attempt`` failed.
+
+        ``attempt`` is 1-based (the first, un-delayed try is attempt 1).
+        ``key`` decorrelates jitter across firings retrying in lockstep
+        (pass the rule name or transaction id).
+        """
+        if attempt < 1:
+            raise ReproError(f"attempt is 1-based, got {attempt}")
+        raw = min(
+            self.base_delay * self.multiplier ** (attempt - 1),
+            self.max_delay,
+        )
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        draw = random.Random(f"{self.seed}|{key}|{attempt}").random()
+        return raw * (1.0 - self.jitter + self.jitter * draw)
+
+    def should_retry(self, attempt: int) -> bool:
+        """May another attempt follow 1-based attempt ``attempt``?"""
+        return attempt < self.max_attempts
+
+
+#: A policy that never retries (single attempt, no backoff).
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0)
+
+
+class VirtualSleeper:
+    """A sleeper that only accumulates: virtual time for deterministic
+    engines and tests.
+
+    >>> clock = VirtualSleeper()
+    >>> clock(0.25); clock(0.5)
+    >>> clock.total
+    0.75
+    """
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.calls = 0
+
+    def __call__(self, seconds: float) -> None:
+        self.total += seconds
+        self.calls += 1

@@ -36,7 +36,10 @@ from repro.locks.deadlock import (
     DeadlockDetector,
     VictimPolicy,
     youngest_victim,
+    oldest_victim,
     most_locks_victim,
+    make_fewest_locks_victim,
+    resolve_victim_policy,
 )
 from repro.locks.escalation import EscalationPolicy
 from repro.locks.prevention import (
@@ -61,7 +64,10 @@ __all__ = [
     "DeadlockDetector",
     "VictimPolicy",
     "youngest_victim",
+    "oldest_victim",
     "most_locks_victim",
+    "make_fewest_locks_victim",
+    "resolve_victim_policy",
     "EscalationPolicy",
     "WoundWait",
     "WaitDie",

@@ -42,8 +42,46 @@ def make_most_locks_victim(manager: LockManager) -> VictimPolicy:
     return policy
 
 
+def make_fewest_locks_victim(manager: LockManager) -> VictimPolicy:
+    """Abort the transaction holding the fewest locks (least work redone).
+
+    Ties break toward the youngest transaction, so the policy is total
+    and deterministic.
+    """
+
+    def policy(cycle: Sequence[Transaction]) -> Transaction:
+        return min(
+            cycle,
+            key=lambda t: (len(manager.locked_objects(t)), -t.start_order),
+        )
+
+    return policy
+
+
 #: Alias kept for the public API listing in ``repro.locks``.
 most_locks_victim = make_most_locks_victim
+
+
+def resolve_victim_policy(
+    name: "str | VictimPolicy", manager: LockManager
+) -> VictimPolicy:
+    """Victim policy by name (``youngest`` / ``oldest`` /
+    ``fewest-locks`` / ``most-locks``), or pass a policy through."""
+    if callable(name):
+        return name
+    policies = {
+        "youngest": lambda: youngest_victim,
+        "oldest": lambda: oldest_victim,
+        "fewest-locks": lambda: make_fewest_locks_victim(manager),
+        "most-locks": lambda: make_most_locks_victim(manager),
+    }
+    try:
+        return policies[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown victim policy {name!r}; "
+            f"expected one of {sorted(policies)}"
+        ) from None
 
 
 class DeadlockDetector:

@@ -136,17 +136,29 @@ class RcScheme:
         reads: Iterable[DataObject] = (),
         writes: Iterable[DataObject] = (),
     ) -> bool:
-        """Non-blocking all-or-nothing variant of :meth:`lock_action`."""
-        ok = True
-        for obj in sorted(reads, key=repr):
-            ok = ok and self.manager.try_acquire(
-                txn, obj, self.action_read_mode
-            )
-        for obj in sorted(writes, key=repr):
-            ok = ok and self.manager.try_acquire(
-                txn, obj, self.action_write_mode
-            )
-        return ok
+        """Non-blocking all-or-nothing variant of :meth:`lock_action`.
+
+        On any failure the ``Ra``/``Wa`` locks acquired *by this call*
+        are released before returning False — condition-phase ``Rc``
+        locks (and any modes held before the call) are untouched, so
+        the caller can still retry or abort through the normal path.
+        """
+        todo = sorted(
+            [(obj, self.action_read_mode) for obj in reads]
+            + [(obj, self.action_write_mode) for obj in writes],
+            key=lambda pair: (repr(pair[0]), str(pair[1])),
+        )
+        newly_acquired: list[tuple[DataObject, LockMode]] = []
+        for obj, mode in todo:
+            if self.manager.holds(txn, obj, mode):
+                continue  # already held before this call: not ours to undo
+            if self.manager.try_acquire(txn, obj, mode):
+                newly_acquired.append((obj, mode))
+                continue
+            for held_obj, held_mode in newly_acquired:
+                self.manager.release(txn, held_obj, held_mode)
+            return False
+        return True
 
     # -- commit-time rule ---------------------------------------------------------------------
 

@@ -68,6 +68,9 @@ class Observer:
         )
         self._batch_size = m.histogram("match.batch_size", COUNT_BUCKETS)
         self._merge_time = m.histogram("match.merge_seconds", TIME_BUCKETS)
+        self._retry_delay = m.histogram(
+            "retry.backoff_seconds", TIME_BUCKETS
+        )
 
     def clock(self) -> float:
         return self.trace.clock()
@@ -180,6 +183,51 @@ class Observer:
     def match_latency(self, seconds: float) -> None:
         with self._mutex:
             self._match_latency.observe(seconds)
+
+    # -- robustness (faults / retries / deadlocks) -----------------------------------------
+
+    def fault_injected(
+        self, kind: str, txn_id: str, site: str, detail: str = ""
+    ) -> None:
+        """The fault layer fired one injected fault at a site."""
+        with self._mutex:
+            self.metrics.counter("fault.injected").inc()
+            self.metrics.counter(f"fault.injected.{kind}").inc()
+        self.trace.emit(
+            "fault.injected", kind=kind, txn=txn_id, site=site,
+            detail=detail,
+        )
+
+    def retry_attempt(
+        self, rule: str, attempt: int, delay: float, reason: str
+    ) -> None:
+        """A timed-out/aborted firing is being re-driven after backoff."""
+        with self._mutex:
+            self.metrics.counter("retry.attempts").inc()
+            self._retry_delay.observe(delay)
+        self.trace.emit(
+            "retry.attempt", rule=rule, attempt=attempt, delay=delay,
+            reason=reason,
+        )
+
+    def retry_exhausted(self, rule: str, attempts: int, reason: str) -> None:
+        """A firing used up its retry budget and was abandoned."""
+        with self._mutex:
+            self.metrics.counter("retry.exhausted").inc()
+        self.trace.emit(
+            "retry.exhausted", rule=rule, attempts=attempts, reason=reason
+        )
+
+    def deadlock_victim(
+        self, txn_id: str, cycle: Iterable[str], policy: str
+    ) -> None:
+        """Deadlock detection chose and aborted a victim."""
+        with self._mutex:
+            self.metrics.counter("deadlock.victims").inc()
+        self.trace.emit(
+            "deadlock.victim", victim=txn_id, cycle=tuple(cycle),
+            policy=policy,
+        )
 
     # -- partitioned match -----------------------------------------------------------------
 

@@ -70,12 +70,21 @@ class DurableStore:
         wm2, store2 = DurableStore.open("plant-state")   # recover
     """
 
-    def __init__(self, memory: WorkingMemory, directory: str | Path) -> None:
+    def __init__(
+        self,
+        memory: WorkingMemory,
+        directory: str | Path,
+        fault_injector=None,
+    ) -> None:
         self.memory = memory
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._lsn = 0
         self._wal: IO[str] | None = None
+        #: Optional :class:`repro.fault.FaultInjector`; its
+        #: ``storage_fail`` faults raise :class:`StorageFailure` before
+        #: the WAL record is written, simulating a failed device write.
+        self.fault = fault_injector
         self._open_wal()
         self.memory.subscribe(self._on_delta)
         self._attached = True
@@ -93,6 +102,11 @@ class DurableStore:
     def _on_delta(self, delta: WMDelta) -> None:
         if self._wal is None:
             raise WorkingMemoryError("durable store is closed")
+        if self.fault is not None:
+            # Fails *before* the LSN advances or the record is
+            # written: the WAL stays well-formed and recovery sees a
+            # store that simply never journalled this delta.
+            self.fault.storage_fault(site=f"wal:{delta.kind}")
         self._lsn += 1
         record = {
             "lsn": self._lsn,
@@ -204,6 +218,7 @@ class DurableStore:
         store.directory = directory
         store._lsn = replayed_lsn
         store._wal = None
+        store.fault = None
         store._open_wal()
         memory.subscribe(store._on_delta)
         store._attached = True

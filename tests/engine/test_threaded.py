@@ -4,6 +4,7 @@ import pytest
 
 from repro.engine import ThreadedWaveExecutor, replay_commit_sequence
 from repro.errors import EngineError
+from repro.fault import FaultPlan, FaultSpec, RetryPolicy
 from repro.lang import RuleBuilder
 from repro.lang.builder import var
 from repro.txn.serializability import is_conflict_serializable
@@ -85,3 +86,192 @@ class TestThreadedWave:
                 break
         assert total == 4
         assert all(w["state"] == "done" for w in wm.elements("cell"))
+
+    def test_run_drains_to_quiescence(self):
+        wm, rules = disjoint_setup(5)
+        executor = ThreadedWaveExecutor(rules, wm, scheme="rc")
+        results = executor.run()
+        assert sum(len(r.committed) for r in results) == 5
+        assert not executor.matcher.conflict_set.eligible()
+
+
+def figure_44_setup():
+    """Figure 4.4 as a threaded scenario: two rules each *match* both
+    elements and each *modify* the other's — Pi holds Rc(q) Rc(r) and
+    Wa(r); Pj holds Rc(q) Rc(r) and Wa(q)."""
+    wm = WorkingMemory(thread_safe=True)
+    wm.make("item", id="q", state="fresh")
+    wm.make("item", id="r", state="fresh")
+    rules = [
+        RuleBuilder("pi")
+        .when("item", id="q", state="fresh")
+        .when("item", id="r", state="fresh")
+        .modify(2, state="written-by-pi")
+        .build(),
+        RuleBuilder("pj")
+        .when("item", id="q", state="fresh")
+        .when("item", id="r", state="fresh")
+        .modify(1, state="written-by-pj")
+        .build(),
+    ]
+    return wm, rules
+
+
+class TestAbortTimeoutClassification:
+    """Regression for the abort/timeout conflation: ``_acquire_all``
+    used to return one flat False for both failure modes, so rule-(ii)
+    victims were reported as timeouts."""
+
+    def test_figure_44_loser_is_aborted_not_timed_out(self):
+        """Figure 4.4 on real threads: every lock grant is immediate
+        under Rc (Wa bypasses Rc), so no firing can time out — the
+        loser must be reported as *aborted*, whichever thread wins."""
+        wm, rules = figure_44_setup()
+        snapshot = WMSnapshot.capture(wm)
+        executor = ThreadedWaveExecutor(
+            rules, wm, scheme="rc", lock_timeout=5.0
+        )
+        result = executor.run_wave()
+        assert len(result.committed) == 1
+        assert len(result.aborted) == 1
+        assert result.timed_out == []
+        assert {result.committed[0].rule_name, result.aborted[0]} == {
+            "pi", "pj"
+        }
+        outcome = replay_commit_sequence(snapshot, rules, result.committed)
+        assert outcome.consistent, outcome.detail
+
+    def test_injected_lock_denial_is_a_timeout(self):
+        """A denied lock is an unavailable lock: timed_out, not aborted."""
+        wm, rules = disjoint_setup(1)
+        plan = FaultPlan([FaultSpec("lock_deny", rule="cook")], seed=0)
+        executor = ThreadedWaveExecutor(
+            rules, wm, scheme="rc", fault_injector=plan.injector()
+        )
+        result = executor.run_wave()
+        assert result.timed_out == ["cook"]
+        assert result.aborted == []
+        assert result.committed == []
+
+    def test_injected_rhs_abort_is_an_abort(self):
+        wm, rules = disjoint_setup(1)
+        plan = FaultPlan([FaultSpec("abort_rhs", rule="cook")], seed=0)
+        executor = ThreadedWaveExecutor(
+            rules, wm, scheme="rc", fault_injector=plan.injector()
+        )
+        result = executor.run_wave()
+        assert result.aborted == ["cook"]
+        assert result.timed_out == []
+        assert result.committed == []
+
+
+class TestDeadlockDetection:
+    """2PL upgrade deadlock on real threads, broken by detection."""
+
+    def _run(self, victim_policy="youngest"):
+        wm, rules = figure_44_setup()
+        snapshot = WMSnapshot.capture(wm)
+        # Stall both threads before their W request (rate 1.0, mode W)
+        # so each holds its condition R locks when the upgrades start:
+        # pi waits for pj's R(r), pj waits for pi's R(q) — a cycle.
+        plan = FaultPlan(
+            [FaultSpec("lock_delay", mode="W", delay=0.1)], seed=0
+        )
+        executor = ThreadedWaveExecutor(
+            rules,
+            wm,
+            scheme="2pl",
+            lock_timeout=10.0,
+            victim_policy=victim_policy,
+            fault_injector=plan.injector(),
+        )
+        result = executor.run_wave()
+        return snapshot, rules, executor, result
+
+    def test_upgrade_deadlock_detected_and_broken(self):
+        snapshot, rules, executor, result = self._run()
+        assert len(result.committed) == 1
+        assert len(result.aborted) == 1
+        assert result.timed_out == []  # detected, not timed out
+        assert len(result.deadlock_victims) == 1
+        assert executor.detector.detected  # the cycle was observed
+        outcome = replay_commit_sequence(snapshot, rules, result.committed)
+        assert outcome.consistent, outcome.detail
+        assert is_conflict_serializable(executor.history)
+
+    @pytest.mark.parametrize(
+        "victim_policy", ["oldest", "fewest-locks", "most-locks"]
+    )
+    def test_alternative_victim_policies_break_the_cycle(
+        self, victim_policy
+    ):
+        _, _, executor, result = self._run(victim_policy)
+        assert len(result.committed) == 1
+        assert len(result.deadlock_victims) == 1
+
+    def test_unknown_victim_policy_rejected(self):
+        wm, rules = figure_44_setup()
+        with pytest.raises(ValueError):
+            ThreadedWaveExecutor(
+                rules, wm, scheme="2pl", victim_policy="coin-flip"
+            )
+
+
+class TestThreadedRetry:
+    def test_denied_locks_retried_to_commit(self):
+        """Two denials then success: the retry policy re-drives the
+        firing and the final outcome is a commit, not a timeout."""
+        wm, rules = disjoint_setup(1)
+        snapshot = WMSnapshot.capture(wm)
+        plan = FaultPlan(
+            [FaultSpec("lock_deny", rule="cook", max_hits=2)], seed=0
+        )
+        executor = ThreadedWaveExecutor(
+            rules,
+            wm,
+            scheme="rc",
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.001),
+            fault_injector=plan.injector(),
+        )
+        result = executor.run_wave()
+        assert [r.rule_name for r in result.committed] == ["cook"]
+        assert result.timed_out == []
+        assert result.retries == 2
+        outcome = replay_commit_sequence(snapshot, rules, result.committed)
+        assert outcome.consistent, outcome.detail
+
+    def test_retries_exhausted_keeps_timeout_classification(self):
+        wm, rules = disjoint_setup(1)
+        plan = FaultPlan([FaultSpec("lock_deny", rule="cook")], seed=0)
+        executor = ThreadedWaveExecutor(
+            rules,
+            wm,
+            scheme="rc",
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.001),
+            fault_injector=plan.injector(),
+        )
+        result = executor.run_wave()
+        assert result.timed_out == ["cook"]
+        assert result.aborted == []
+        assert result.retries == 2
+
+    def test_crash_before_commit_rolls_back_and_retries(self):
+        """An injected pre-commit crash leaves no trace in working
+        memory; the retry then commits the firing for real."""
+        wm, rules = disjoint_setup(1)
+        snapshot = WMSnapshot.capture(wm)
+        plan = FaultPlan(
+            [FaultSpec("crash_commit", rule="cook", max_hits=1)], seed=0
+        )
+        executor = ThreadedWaveExecutor(
+            rules,
+            wm,
+            scheme="rc",
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.001),
+            fault_injector=plan.injector(),
+        )
+        result = executor.run_wave()
+        assert [r.rule_name for r in result.committed] == ["cook"]
+        assert [w["state"] for w in wm.elements("cell")] == ["done"]
+        outcome = replay_commit_sequence(snapshot, rules, result.committed)
+        assert outcome.consistent, outcome.detail

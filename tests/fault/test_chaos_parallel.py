@@ -1,0 +1,259 @@
+"""Chaos tests for the deterministic engines.
+
+The central claim under test: *with any seeded fault plan*, whatever
+subset of firings the engine manages to commit still replays
+single-threaded — injected lock denials, forced aborts, and pre-commit
+crashes may reduce throughput, never consistency (Definitions 3.1/3.2).
+"""
+
+import pytest
+
+from repro.engine import (
+    Interpreter,
+    MultiUserEngine,
+    ParallelEngine,
+    Session,
+    replay_commit_sequence,
+)
+from repro.errors import StorageFailure
+from repro.fault import FaultPlan, FaultSpec, RetryPolicy
+from repro.lang import RuleBuilder
+from repro.lang.builder import var
+from repro.txn.serializability import is_conflict_serializable
+from repro.wm import WMSnapshot, WorkingMemory
+from repro.wm.storage import DurableStore
+
+
+def contended_rules():
+    """Two rules racing on the same tuples plus a downstream consumer."""
+    return [
+        RuleBuilder("work")
+        .when("task", id=var("t"), state="todo")
+        .modify(1, state="done")
+        .build(),
+        RuleBuilder("audit")
+        .when("task", id=var("t"), state="todo")
+        .make("seen", task=var("t"))
+        .build(),
+        RuleBuilder("tally")
+        .when("seen", task=var("t"))
+        .remove(1)
+        .build(),
+    ]
+
+
+def fresh_wm(n=5):
+    wm = WorkingMemory()
+    for i in range(n):
+        wm.make("task", id=i, state="todo")
+    return wm
+
+
+def run_chaos(seed, scheme, rate=0.3, retries=4):
+    rules = contended_rules()
+    wm = fresh_wm()
+    snapshot = WMSnapshot.capture(wm)
+    injector = FaultPlan.chaos(seed, rate).injector()
+    engine = ParallelEngine(
+        rules,
+        wm,
+        scheme=scheme,
+        retry_policy=RetryPolicy(max_attempts=retries, seed=seed),
+        fault_injector=injector,
+    )
+    result = engine.run(max_waves=200)
+    return rules, snapshot, engine, injector, result
+
+
+@pytest.mark.parametrize("scheme", ["rc", "2pl"])
+@pytest.mark.parametrize("seed", range(8))
+class TestSeededChaosSweep:
+    def test_commit_sequence_replays_single_threaded(self, scheme, seed):
+        rules, snapshot, engine, _, result = run_chaos(seed, scheme)
+        outcome = replay_commit_sequence(snapshot, rules, result.firings)
+        assert outcome.consistent, outcome.detail
+        assert is_conflict_serializable(engine.history)
+
+    def test_run_terminates(self, scheme, seed):
+        *_, result = run_chaos(seed, scheme)
+        assert result.stop_reason in ("quiescent", "retries_exhausted")
+
+
+class TestChaosDeterminism:
+    def test_same_seed_reproduces_the_run_exactly(self):
+        a = run_chaos(3, "rc")
+        b = run_chaos(3, "rc")
+        assert [f.rule_name for f in a[4].firings] == [
+            f.rule_name for f in b[4].firings
+        ]
+        assert a[3].summary() == b[3].summary()
+        assert a[2].retry_count == b[2].retry_count
+
+    def test_different_seeds_inject_differently(self):
+        summaries = {
+            tuple(sorted(run_chaos(seed, "rc")[3].summary().items()))
+            for seed in range(6)
+        }
+        assert len(summaries) > 1
+
+
+class TestRetryBudget:
+    def test_permanent_denial_exhausts_budget_and_stops(self):
+        """A rule whose locks are always denied must give up after its
+        budget, not spin forever — and the run must say so."""
+        wm = fresh_wm(2)
+        plan = FaultPlan([FaultSpec("lock_deny", rule="work")], seed=0)
+        engine = ParallelEngine(
+            contended_rules(),
+            wm,
+            scheme="rc",
+            retry_policy=RetryPolicy(max_attempts=2, seed=0),
+            fault_injector=plan.injector(),
+        )
+        result = engine.run(max_waves=50)
+        assert result.stop_reason == "retries_exhausted"
+        assert set(engine.gave_up) == {"work"}
+        # The un-faulted rules still drained their work.
+        assert "audit" in {f.rule_name for f in result.firings}
+
+    def test_transient_denial_recovers_within_budget(self):
+        wm = fresh_wm(2)
+        plan = FaultPlan(
+            [FaultSpec("lock_deny", rule="work", max_hits=2)], seed=0
+        )
+        engine = ParallelEngine(
+            contended_rules(),
+            wm,
+            scheme="rc",
+            retry_policy=RetryPolicy(max_attempts=5, seed=0),
+            fault_injector=plan.injector(),
+        )
+        result = engine.run(max_waves=50)
+        assert result.stop_reason == "quiescent"
+        assert engine.gave_up == []
+        assert engine.retry_count >= 1
+        assert engine.retry_clock.total > 0  # backoff on a virtual clock
+
+    def test_without_policy_failures_stay_eligible(self):
+        """Pre-retry behavior preserved: no policy means no give-up."""
+        wm = fresh_wm(1)
+        plan = FaultPlan(
+            [FaultSpec("abort_rhs", rule="work", max_hits=3)], seed=0
+        )
+        engine = ParallelEngine(
+            contended_rules(), wm, scheme="rc",
+            fault_injector=plan.injector(),
+        )
+        result = engine.run(max_waves=50)
+        assert result.stop_reason == "quiescent"
+        assert engine.gave_up == []
+        assert "work" in {f.rule_name for f in result.firings}
+
+
+class TestCrashRollback:
+    def test_crash_before_commit_leaves_no_trace(self):
+        """A crashed firing rolls back and the run converges to the
+        same final state as a fault-free serial execution."""
+        rules = contended_rules()
+        faulty_wm = fresh_wm()
+        snapshot = WMSnapshot.capture(faulty_wm)
+        plan = FaultPlan(
+            [FaultSpec("crash_commit", max_hits=3)], seed=1
+        )
+        engine = ParallelEngine(
+            rules,
+            faulty_wm,
+            scheme="rc",
+            retry_policy=RetryPolicy(max_attempts=10, seed=1),
+            fault_injector=plan.injector(),
+        )
+        result = engine.run(max_waves=100)
+        assert result.stop_reason == "quiescent"
+        outcome = replay_commit_sequence(snapshot, rules, result.firings)
+        assert outcome.consistent, outcome.detail
+
+        serial_wm = fresh_wm()
+        Interpreter(rules, serial_wm).run()
+        assert (
+            faulty_wm.value_identity_set()
+            == serial_wm.value_identity_set()
+        )
+
+
+class TestMultiUserChaos:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sessions_stay_consistent_under_faults(self, seed):
+        sessions = [
+            Session.of(
+                "worker",
+                [
+                    RuleBuilder("work")
+                    .when("task", id=var("t"), state="todo")
+                    .modify(1, state="done")
+                    .build()
+                ],
+            ),
+            Session.of(
+                "auditor",
+                [
+                    RuleBuilder("audit")
+                    .when("task", id=var("t"), state="todo")
+                    .make("seen", task=var("t"))
+                    .build()
+                ],
+            ),
+        ]
+        wm = fresh_wm(4)
+        snapshot = WMSnapshot.capture(wm)
+        productions = [
+            p for session in sessions for p in session.productions
+        ]
+        engine = MultiUserEngine(
+            sessions,
+            wm,
+            scheme="rc",
+            retry_policy=RetryPolicy(max_attempts=4, seed=seed),
+            fault_injector=FaultPlan.chaos(seed, 0.3).injector(),
+        )
+        result = engine.run(max_waves=200)
+        outcome = replay_commit_sequence(
+            snapshot, productions, result.firings
+        )
+        assert outcome.consistent, outcome.detail
+
+
+class TestStorageFaults:
+    def test_constructor_accepts_an_injector(self, tmp_path):
+        wm = WorkingMemory()
+        injector = FaultPlan(
+            [FaultSpec("storage_fail", max_hits=1)], seed=0
+        ).injector()
+        store = DurableStore(wm, tmp_path / "db", fault_injector=injector)
+        with pytest.raises(StorageFailure):
+            wm.make("row", id=1)
+        assert injector.total_injected == 1
+        store.close()
+
+    def test_wal_failure_is_atomic_per_record(self, tmp_path):
+        """The injected failure fires before the LSN advances: the WAL
+        stays well-formed and recovery sees only the journalled rows."""
+        wm = WorkingMemory()
+        injector = FaultPlan(
+            [FaultSpec("storage_fail", rate=1.0, max_hits=1)], seed=0
+        ).injector()
+        store = DurableStore(wm, tmp_path / "db")
+        wm.make("row", id=1)  # journalled (no fault attached yet)
+        store.fault = injector
+        with pytest.raises(StorageFailure):
+            wm.make("row", id=2)  # fault fires; never reaches the WAL
+        store.fault = None
+        wm.make("row", id=3)  # journalling resumes, LSN contiguous
+        assert store.lsn == 2
+        store.close()
+
+        recovered, store2 = DurableStore.open(tmp_path / "db")
+        ids = sorted(row["id"] for row in recovered.elements("row"))
+        # Row 2 exists in the live memory but was never made durable.
+        assert ids == [1, 3]
+        assert sorted(r["id"] for r in wm.elements("row")) == [1, 2, 3]
+        store2.close()

@@ -1,0 +1,67 @@
+"""Tests for the retry policy's backoff math."""
+
+import pytest
+
+from repro.fault import NO_RETRY, RetryPolicy, VirtualSleeper
+
+
+class TestShouldRetry:
+    def test_bounded_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+
+    def test_no_retry_sentinel(self):
+        assert not NO_RETRY.should_retry(1)
+
+
+class TestBackoff:
+    def test_deterministic_for_same_seed_key_attempt(self):
+        policy = RetryPolicy(seed=9)
+        assert policy.backoff(2, key="r1") == policy.backoff(2, key="r1")
+
+    def test_varies_by_key_and_attempt(self):
+        policy = RetryPolicy(seed=9)
+        delays = {
+            policy.backoff(attempt, key=key)
+            for key in ("r1", "r2")
+            for attempt in (1, 2, 3)
+        }
+        assert len(delays) == 6  # all draws independent
+
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay=0.01, multiplier=2.0, jitter=0.0, max_delay=10.0
+        )
+        assert policy.backoff(1) == pytest.approx(0.01)
+        assert policy.backoff(2) == pytest.approx(0.02)
+        assert policy.backoff(4) == pytest.approx(0.08)
+
+    def test_max_delay_caps_growth(self):
+        policy = RetryPolicy(
+            base_delay=0.01, multiplier=10.0, jitter=0.0, max_delay=0.5
+        )
+        assert policy.backoff(10) == pytest.approx(0.5)
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=1.0, jitter=0.5, seed=3
+        )
+        for attempt in range(1, 50):
+            delay = policy.backoff(attempt, key="k")
+            assert 0.05 <= delay <= 0.1
+
+    def test_different_seeds_jitter_differently(self):
+        a = RetryPolicy(seed=1).backoff(1, key="k")
+        b = RetryPolicy(seed=2).backoff(1, key="k")
+        assert a != b
+
+
+class TestVirtualSleeper:
+    def test_accumulates_without_sleeping(self):
+        sleeper = VirtualSleeper()
+        sleeper(0.5)
+        sleeper(0.25)
+        assert sleeper.total == pytest.approx(0.75)
+        assert sleeper.calls == 2

@@ -107,6 +107,22 @@ class TestRelease:
         manager.cancel(blocked_writer)
         assert queued_reader.is_granted
 
+    def test_cancel_spares_request_granted_in_race_window(self, manager):
+        """Pin for the timeout/cancel race: a waiter that times out may
+        receive its grant between giving up and calling ``cancel``.
+        The cancel must only resolve WAITING requests — the slipped-in
+        grant stays granted (the caller uses the lock; nothing leaks)."""
+        t1, t2 = txn(), txn()
+        manager.acquire(t1, "q", LockMode.W)
+        waiting = manager.acquire(t2, "q", LockMode.W)
+        manager.release(t1, "q")  # the grant slips in "post-timeout"
+        assert waiting.is_granted
+        manager.cancel(waiting)  # the timed-out caller's cleanup
+        assert waiting.is_granted  # not retroactively cancelled
+        assert manager.holds(t2, "q", LockMode.W)
+        manager.release_all(t2)  # and a normal release frees it
+        assert manager.grant_table() == {}
+
 
 class TestBookkeeping:
     def test_history_records_reads_and_writes(self):

@@ -190,6 +190,52 @@ class TestRevalidation:
         assert sorted(seen) == ["p", "q"]
 
 
+class TestTryLockActionAllOrNothing:
+    """Regression: ``try_lock_action`` claimed to be all-or-nothing but
+    leaked the Ra/Wa locks it had already acquired when a later object
+    in the (sorted) list was contended — the leaked locks then blocked
+    every other firing until the transaction died."""
+
+    def test_failure_releases_partially_acquired_locks(self):
+        scheme = RcScheme()
+        holder, loser = txn("holder"), txn("loser")
+        # Contend the *middle* of loser's sorted acquisition list, so
+        # the call fails after acquiring "a" but before "c".
+        scheme.lock_action(holder, writes=["b"])
+        assert not scheme.try_lock_action(loser, writes=["a", "b", "c"])
+        assert scheme.manager.locked_objects(loser) == frozenset()
+        # "a" and "c" must be immediately available to others.
+        fresh = txn("fresh")
+        assert scheme.try_lock_action(fresh, writes=["a", "c"])
+
+    def test_failure_keeps_condition_phase_locks(self):
+        scheme = RcScheme()
+        holder, loser = txn("holder"), txn("loser")
+        scheme.lock_condition(loser, "q")
+        scheme.lock_action(holder, writes=["b"])
+        assert not scheme.try_lock_action(loser, reads=["a"], writes=["b"])
+        # Rc from the condition phase survives; the Ra on "a" does not.
+        assert scheme.manager.holds(loser, "q", LockMode.RC)
+        assert scheme.manager.locked_objects(loser) == frozenset({"q"})
+
+    def test_failure_keeps_action_locks_held_before_the_call(self):
+        scheme = RcScheme()
+        holder, loser = txn("holder"), txn("loser")
+        scheme.lock_action(loser, writes=["a"])
+        scheme.lock_action(holder, writes=["b"])
+        assert not scheme.try_lock_action(loser, writes=["a", "b"])
+        # "a" was held before the failing call: not the call's to undo.
+        assert scheme.manager.holds(loser, "a", LockMode.WA)
+
+    def test_success_acquires_everything(self):
+        scheme = RcScheme()
+        t = txn()
+        assert scheme.try_lock_action(t, reads=["p"], writes=["q", "r"])
+        assert scheme.manager.holds(t, "p", LockMode.RA)
+        assert scheme.manager.holds(t, "q", LockMode.WA)
+        assert scheme.manager.holds(t, "r", LockMode.WA)
+
+
 class TestRcSchemeEdgeCases:
     def test_committed_victim_is_spared(self):
         """rule (i): whoever reaches the commit point first wins."""

@@ -126,6 +126,77 @@ class TestRun:
         assert "bad fact line" in err
 
 
+class TestRunWithFaults:
+    def test_faulted_parallel_run_still_consistent(
+        self, rule_file, facts_file, capsys
+    ):
+        code = main(
+            ["run", str(rule_file), "--facts", str(facts_file),
+             "--parallel", "rc", "--fault-rate", "0.5",
+             "--retries", "4", "--fault-seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "INCONSISTENT" not in out
+
+    def test_fault_options_require_parallel(
+        self, rule_file, facts_file, capsys
+    ):
+        code = main(
+            ["run", str(rule_file), "--facts", str(facts_file),
+             "--fault-rate", "0.5"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--parallel" in err
+
+    def test_unknown_fault_kind_reports_error(
+        self, rule_file, facts_file, capsys
+    ):
+        code = main(
+            ["run", str(rule_file), "--facts", str(facts_file),
+             "--parallel", "rc", "--fault-rate", "0.5",
+             "--fault-kinds", "lock_deny,disk_on_fire"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "disk_on_fire" in err
+
+
+class TestChaos:
+    def test_sweep_reports_every_seed_consistent(
+        self, rule_file, facts_file, capsys
+    ):
+        code = main(
+            ["chaos", str(rule_file), "--facts", str(facts_file),
+             "--seeds", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all 4 seeds replay consistently" in out
+        assert "INCONSISTENT" not in out
+        assert out.count("consistent") >= 5  # 4 rows + the summary
+
+    def test_scheme_and_kind_options(self, rule_file, facts_file, capsys):
+        code = main(
+            ["chaos", str(rule_file), "--facts", str(facts_file),
+             "--seeds", "2", "--scheme", "2pl",
+             "--fault-kinds", "abort_rhs", "--fault-rate", "0.6"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scheme=2pl" in out
+        assert "kinds=abort_rhs" in out
+
+    def test_zero_rate_rejected(self, rule_file, capsys):
+        code = main(
+            ["chaos", str(rule_file), "--fault-rate", "0"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "fault-rate" in err
+
+
 class TestGraph:
     def test_graph_prints_sequences(self, capsys):
         assert main(["graph"]) == 0
