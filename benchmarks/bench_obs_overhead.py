@@ -1,0 +1,87 @@
+"""Observability overhead — NullObserver vs metrics vs full spans.
+
+Not a paper figure: this measures the cost of the causal span layer
+itself, so the paper-value column carries the expectations instead
+(baseline 1.0x, and loose overhead ceilings).  A wave-parallel ``rc``
+run over a widening item workload is timed three ways:
+
+* ``off``     — the default ``NullObserver`` (every hook a no-op),
+* ``metrics`` — counters/gauges/histograms only (``level="metrics"``),
+* ``full``    — metrics + trace events + the causal span tree.
+
+The interesting quantity is the *ratio* to the ``off`` baseline; the
+assertion only guards against pathological blow-ups (instrumentation
+orders of magnitude slower than the work it observes) because absolute
+wall times on CI machines are noisy.
+"""
+
+import time
+
+from conftest import report
+
+import repro.obs as obs
+from repro.engine import ParallelEngine
+from repro.lang import RuleBuilder
+from repro.lang.builder import var
+from repro.wm import WorkingMemory
+
+ITEMS = 60
+REPEATS = 5
+# Generous ceilings: instrumentation must stay within an order of
+# magnitude of the uninstrumented engine even on noisy CI boxes.
+MAX_RATIO = {"metrics": 10.0, "full": 10.0}
+
+
+def _rules():
+    return [
+        RuleBuilder("consume")
+        .when("item", id=var("i"))
+        .remove(1)
+        .build()
+    ]
+
+
+def _run_once(level):
+    wm = WorkingMemory()
+    for i in range(ITEMS):
+        wm.make("item", id=i)
+    observer = (
+        obs.NULL_OBSERVER if level == "off" else obs.Observer(level=level)
+    )
+    engine = ParallelEngine(
+        _rules(), wm, scheme="rc", observer=observer
+    )
+    start = time.perf_counter()
+    result = engine.run()
+    elapsed = time.perf_counter() - start
+    assert len(result.firings) == ITEMS
+    if level == "full":
+        assert observer.spans is not None
+        assert len(observer.spans.spans("firing")) == ITEMS
+    return elapsed
+
+
+def _best_of(level):
+    return min(_run_once(level) for _ in range(REPEATS))
+
+
+def test_obs_overhead(benchmark):
+    base = benchmark(_best_of, "off")
+    with_metrics = _best_of("metrics")
+    with_spans = _best_of("full")
+
+    metrics_ratio = with_metrics / base
+    full_ratio = with_spans / base
+    assert metrics_ratio < MAX_RATIO["metrics"]
+    assert full_ratio < MAX_RATIO["full"]
+
+    report(
+        "Observability overhead (60 firings, rc, best of 5)",
+        [
+            ("off wall_seconds", "baseline", round(base, 6)),
+            ("metrics wall_seconds", "-", round(with_metrics, 6)),
+            ("full wall_seconds", "-", round(with_spans, 6)),
+            ("metrics ratio", "< 10x", round(metrics_ratio, 3)),
+            ("full ratio", "< 10x", round(full_ratio, 3)),
+        ],
+    )

@@ -1,4 +1,4 @@
-"""Section 5 analytics: speedup models and factor sweeps."""
+"""Section 5 analytics: speedup models, factor sweeps, critical paths."""
 
 from repro.analysis.speedup import (
     multi_thread_uniprocessor_time,
@@ -25,6 +25,18 @@ from repro.analysis.match_parallel import (
     speedup_ceiling,
     speedup_curve,
 )
+from repro.analysis.critpath import (
+    AbortChain,
+    BenchDiff,
+    CycleBreakdown,
+    abort_chains,
+    build_tree,
+    coverage,
+    critical_chain,
+    cycle_breakdowns,
+    diff_bench,
+    makespan,
+)
 
 __all__ = [
     "single_thread_time",
@@ -44,4 +56,14 @@ __all__ = [
     "speedup_ceiling",
     "skewed_costs",
     "speedup_curve",
+    "AbortChain",
+    "BenchDiff",
+    "CycleBreakdown",
+    "abort_chains",
+    "build_tree",
+    "coverage",
+    "critical_chain",
+    "cycle_breakdowns",
+    "diff_bench",
+    "makespan",
 ]

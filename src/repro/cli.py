@@ -28,6 +28,19 @@ Subcommands
     still replays single-threaded.  Exits non-zero on any
     inconsistency — the semantic-consistency claim, demonstrated
     under adversity.
+``repro obs export RULES --format chrome|prom|jsonl ...``
+    Run with full span recording and export the run: Chrome
+    ``trace_event`` JSON (loadable in Perfetto / ``chrome://tracing``),
+    the Prometheus text exposition of the metrics registry, or a JSONL
+    span dump for offline analysis.
+``repro obs report RULES ...``
+    Same run, reduced: per-cycle critical paths with lock-wait vs.
+    match vs. RHS attribution, the rule-(ii) abort attribution table,
+    and the lock-wait histogram summary.
+``repro obs diff BENCH_a.json BENCH_b.json [--tolerance 0.15]``
+    Compare two benchmark result files; exits non-zero when a wall
+    time regressed or a measured quantity drifted beyond the
+    tolerance (``--report-only`` demotes regressions to warnings).
 
 Installed as the ``repro`` console script.
 """
@@ -229,6 +242,149 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     _write_or_print(observer.metrics.to_json(), args.out)
     print(f"# stop={result.stop_reason}", file=sys.stderr)
     return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs.export import (
+        chrome_trace_json,
+        prometheus_text,
+        spans_json_lines,
+    )
+
+    observer, result = _run_observed(args)
+    if args.format == "chrome":
+        payload = chrome_trace_json(observer.spans, indent=None)
+    elif args.format == "prom":
+        payload = prometheus_text(observer.metrics)
+    else:  # jsonl
+        payload = spans_json_lines(observer.spans)
+    _write_or_print(payload.rstrip("\n"), args.out)
+    print(
+        f"# format={args.format} spans={len(observer.spans)} "
+        f"(dropped {observer.spans.dropped}), stop={result.stop_reason}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _render_obs_report(observer, top: int = 10) -> str:
+    """The human-readable reduction of one spanned run."""
+    from repro.analysis.critpath import (
+        abort_chains,
+        coverage,
+        cycle_breakdowns,
+        makespan,
+    )
+
+    spans = observer.spans.spans()
+    breakdowns = cycle_breakdowns(spans)
+    lines: list[str] = []
+    lines.append(
+        f"critical paths: {len(breakdowns)} cycles, "
+        f"makespan {makespan(spans):.6f}s, "
+        f"cycle coverage {coverage(spans):.1%}"
+    )
+    lines.append(
+        f"  {'wave':>4} {'duration':>10} {'lock_wait':>10} "
+        f"{'match':>10} {'acquire':>10} {'rhs':>10} {'other':>10}  "
+        "dominant chain"
+    )
+    ranked = sorted(breakdowns, key=lambda b: -b.duration)[:top]
+    for b in sorted(ranked, key=lambda b: b.wave):
+        chain = " > ".join(label for label, _ in b.chain[:3]) or "-"
+        lines.append(
+            f"  {b.wave:>4} {b.duration:>10.6f} "
+            f"{b.buckets['lock_wait']:>10.6f} "
+            f"{b.buckets['match']:>10.6f} "
+            f"{b.buckets['acquire']:>10.6f} "
+            f"{b.buckets['rhs']:>10.6f} "
+            f"{b.buckets['other']:>10.6f}  {chain}"
+        )
+    if len(breakdowns) > top:
+        lines.append(
+            f"  ... {len(breakdowns) - top} more cycles "
+            f"(top {top} by duration shown)"
+        )
+
+    chains = abort_chains(spans)
+    lines.append("")
+    lines.append(f"rule-(ii) abort attribution: {len(chains)} aborts")
+    if chains:
+        lines.append(
+            f"  {'victim':<16} {'txn':<6} <- {'committer':<16} "
+            f"{'txn':<6} objects"
+        )
+        for c in chains:
+            lines.append(
+                f"  {c.victim_rule:<16} {c.victim_txn:<6} <- "
+                f"{c.committer_rule:<16} {c.committer_txn:<6} "
+                f"{', '.join(c.objs) or '-'}"
+            )
+
+    lines.append("")
+    snap = observer.metrics.snapshot().get("lock.wait_seconds")
+    if snap and snap.get("count"):
+        lines.append(
+            f"lock waits: {snap['count']} grants, "
+            f"mean {snap['mean']:.6f}s, max {snap['max']:.6f}s"
+        )
+        buckets = ", ".join(
+            f"<={bound}: {count}"
+            for bound, count in snap["buckets"].items()
+            if count
+        )
+        lines.append(f"  histogram: {buckets}")
+    else:
+        lines.append("lock waits: none recorded")
+    return "\n".join(lines)
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    observer, result = _run_observed(args)
+    _write_or_print(_render_obs_report(observer, top=args.top), args.out)
+    print(f"# stop={result.stop_reason}", file=sys.stderr)
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.analysis.critpath import diff_bench
+
+    try:
+        payload_a = json.loads(Path(args.bench_a).read_text("utf-8"))
+        payload_b = json.loads(Path(args.bench_b).read_text("utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read benchmark file: {exc}") from exc
+    diff = diff_bench(
+        payload_a,
+        payload_b,
+        tolerance=args.tolerance,
+        compare_wall=not args.no_wall,
+    )
+    shown = 0
+    for entry in diff.entries:
+        if not entry.regressed and not args.verbose:
+            continue
+        marker = "REGRESSED" if entry.regressed else "ok"
+        delta = (
+            f"{entry.delta:+.1%}" if entry.delta is not None else "-"
+        )
+        print(
+            f"{marker:<9} {entry.key}: {entry.a!r} -> {entry.b!r} "
+            f"({delta}{', ' + entry.note if entry.note else ''})"
+        )
+        shown += 1
+    compared = len(diff.entries)
+    bad = len(diff.regressions)
+    print(
+        f"# compared {compared} quantities, {bad} regressed "
+        f"(tolerance {args.tolerance:.0%})",
+        file=sys.stderr,
+    )
+    if bad and args.report_only:
+        print("# report-only: exiting 0 despite regressions",
+              file=sys.stderr)
+        return 0
+    return 1 if bad else 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -514,6 +670,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_observed_arguments(metrics)
     metrics.set_defaults(handler=_cmd_metrics)
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="causal-span observability: export, report, diff",
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="run with span recording; export trace/metrics/spans",
+    )
+    add_observed_arguments(obs_export)
+    obs_export.add_argument(
+        "--format",
+        choices=["chrome", "prom", "jsonl"],
+        default="chrome",
+        help="chrome = trace_event JSON (Perfetto), prom = Prometheus "
+        "text exposition, jsonl = one JSON span per line",
+    )
+    obs_export.set_defaults(handler=_cmd_obs_export)
+
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="run with span recording; print critical paths, abort "
+        "attribution and lock-wait summary",
+    )
+    add_observed_arguments(obs_report)
+    obs_report.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="show the N most expensive cycles (default 10)",
+    )
+    obs_report.set_defaults(handler=_cmd_obs_report)
+
+    obs_diff = obs_sub.add_parser(
+        "diff",
+        help="compare two BENCH_*.json files; non-zero exit on "
+        "regression",
+    )
+    obs_diff.add_argument("bench_a", help="baseline BENCH_*.json")
+    obs_diff.add_argument("bench_b", help="candidate BENCH_*.json")
+    obs_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="relative tolerance before a change counts as a "
+        "regression (default 0.15)",
+    )
+    obs_diff.add_argument(
+        "--no-wall",
+        action="store_true",
+        help="ignore wall_seconds (compare measured quantities only)",
+    )
+    obs_diff.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print regressions but exit 0 (CI advisory mode)",
+    )
+    obs_diff.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print every compared quantity, not just regressions",
+    )
+    obs_diff.set_defaults(handler=_cmd_obs_diff)
 
     lint = sub.add_parser("lint", help="lint a rule program")
     lint.add_argument("rules", help="rule file (OPS5-style DSL)")

@@ -134,6 +134,12 @@ class MultiUserEngine(ParallelEngine):
 
     # -- attribution -----------------------------------------------------------------
 
+    def _span_fields(self, instantiation: Instantiation) -> dict:
+        """Stamp acquire/firing spans with the owning session's user."""
+        return {
+            "user": self._owners.get(instantiation.production.name, "?")
+        }
+
     def user_of(self, rule_name: str) -> str:
         """The session owning ``rule_name``."""
         try:

@@ -227,22 +227,79 @@ class ParallelEngine:
             ordered = ordered[: self.processors]
         return ordered
 
+    def _span_fields(self, instantiation: Instantiation) -> dict:
+        """Extra fields stamped on acquire/firing spans (overridable)."""
+        return {}
+
     def run_wave(self) -> WaveResult:
         """Execute one wave; returns its summary."""
         wave = WaveResult(wave=len(self.waves) + 1)
         obs = self.obs
+        spans = obs.spans if obs.enabled else None
         wave_start = obs.clock() if obs.enabled else 0.0
-        candidates = self._ordered_candidates()
+        cycle_span = None
+        if spans is not None:
+            cycle_span = spans.start(
+                "cycle", parent=spans.current(), ts=wave_start,
+                wave=wave.wave,
+            )
+            spans.push_scope(cycle_span)
+        try:
+            if spans is not None:
+                with spans.span(
+                    "phase.match", parent=cycle_span, scope=True
+                ):
+                    candidates = self._ordered_candidates()
+            else:
+                candidates = self._ordered_candidates()
+            if obs.enabled:
+                obs.match_latency(obs.clock() - wave_start)
+                obs.wave_started(wave.wave, len(candidates))
+            slots = self._acquire_phase(wave, candidates, spans, cycle_span)
+            self._act_phase(wave, slots, spans, cycle_span)
+        finally:
+            if spans is not None:
+                spans.pop_scope(cycle_span)
+                cycle_span.finish(
+                    committed=len(wave.committed),
+                    aborted=len(wave.aborted),
+                    deferred=len(wave.deferred),
+                )
+        self.waves.append(wave)
         if obs.enabled:
-            obs.match_latency(obs.clock() - wave_start)
-            obs.wave_started(wave.wave, len(candidates))
-        slots: list[tuple[Instantiation, Transaction]] = []
+            obs.wave_finished(
+                wave.wave,
+                committed=len(wave.committed),
+                aborted=len(wave.aborted),
+                deferred=len(wave.deferred),
+                duration=obs.clock() - wave_start,
+            )
+        return wave
 
-        # Phase 1: condition locks for every candidate.  Under the
-        # conservative (preclaiming) scheme the whole footprint —
-        # condition reads AND action writes — is taken atomically here.
+    def _acquire_phase(
+        self, wave: WaveResult, candidates, spans, cycle_span
+    ) -> list[tuple[Instantiation, Transaction]]:
+        """Phase 1: condition locks for every candidate.
+
+        Under the conservative (preclaiming) scheme the whole
+        footprint — condition reads AND action writes — is taken
+        atomically here.
+        """
+        slots: list[tuple[Instantiation, Transaction]] = []
+        phase_span = (
+            spans.start("phase.acquire", parent=cycle_span)
+            if spans is not None else None
+        )
         for instantiation in candidates:
             txn = Transaction(rule_name=instantiation.production.name)
+            acq = None
+            if spans is not None:
+                acq = spans.start(
+                    "acquire", parent=phase_span,
+                    rule=instantiation.production.name, txn=txn.txn_id,
+                    **self._span_fields(instantiation),
+                )
+                spans.bind(txn.txn_id, acq)
             reads = instantiation_read_objects(instantiation)
             if self._fault_denies_locks(
                 txn, reads, self.scheme.condition_mode
@@ -264,108 +321,141 @@ class ParallelEngine:
                 )
             if granted:
                 slots.append((instantiation, txn))
+                if acq is not None:
+                    # The binding stays on the acquire span until the
+                    # firing span takes over in phase 2, so a
+                    # rule-(ii) abort link from an earlier commit
+                    # lands on the span holding the Rc locks.
+                    acq.finish(granted=True)
             else:
                 # Footprint unavailable: defer to a later wave.
                 self.scheme.abort(txn, "condition lock denied")
                 wave.deferred.append(instantiation.production.name)
                 self._note_failure(instantiation, "condition-lock-denied")
+                if acq is not None:
+                    acq.finish(granted=False)
+                    spans.unbind(txn.txn_id)
+        if phase_span is not None:
+            phase_span.finish(
+                candidates=len(candidates), granted=len(slots)
+            )
+        return slots
 
-        # Phase 2: RHS execution in conflict-resolution order.
-        for instantiation, txn in slots:
-            if txn.is_aborted:
-                # Rule (ii) victim of an earlier commit in this wave.
-                self.scheme.abort(txn, "rule (ii) victim")
-                wave.aborted.append(instantiation.production.name)
-                self.abort_count += 1
-                self._note_failure(instantiation, "rule-ii-victim")
-                continue
-            if instantiation not in self.matcher.conflict_set:
-                # The database changed under it and the matcher
-                # retracted the instantiation: semantically a victim.
-                # (Not retryable: there is nothing left to re-drive.)
-                self.scheme.abort(txn, "instantiation invalidated")
-                wave.aborted.append(instantiation.production.name)
-                self.abort_count += 1
-                continue
-            writes = instantiation_write_objects(instantiation)
-            if self._fault_denies_locks(
-                txn, writes, self.scheme.action_write_mode
-            ) or (
-                not self._preclaims
-                and not self.scheme.try_lock_action(
-                    txn, writes=sorted(writes, key=repr)
+    def _act_phase(
+        self, wave: WaveResult, slots, spans, cycle_span
+    ) -> None:
+        """Phase 2: RHS execution in conflict-resolution order."""
+        phase_span = (
+            spans.start("phase.act", parent=cycle_span)
+            if spans is not None else None
+        )
+        try:
+            for instantiation, txn in slots:
+                if spans is None:
+                    self._run_slot(wave, instantiation, txn)
+                    continue
+                firing = spans.start(
+                    "firing", parent=phase_span,
+                    rule=instantiation.production.name, txn=txn.txn_id,
+                    **self._span_fields(instantiation),
                 )
-            ):
-                # 2PL: blocked by another candidate's condition locks —
-                # defer to a later wave.  (Under Rc only Ra/Wa block Wa,
-                # and none are held across candidates here.)
-                self.scheme.abort(txn, "action locks unavailable")
-                wave.deferred.append(instantiation.production.name)
-                self._note_failure(instantiation, "action-lock-denied")
-                continue
-            if self.fault is not None and self.fault.rhs_abort(txn):
-                self.scheme.abort(txn, "injected RHS abort")
-                wave.aborted.append(instantiation.production.name)
-                self.abort_count += 1
-                self._note_failure(instantiation, "injected-abort")
-                continue
-            undo = UndoLog(self.memory).attach()
-            try:
-                self.matcher.conflict_set.mark_fired(instantiation)
-                outcome = self.executor.execute(instantiation)
-                if self.fault is not None:
-                    self.fault.crash_point(txn)
-            except FiringCrashed:
-                # The firing died after its RHS but before commit: roll
-                # back, clear the fired mark (the restored WMEs revive
-                # the same instantiation identity), and survive — the
-                # wave goes on and the retry budget governs re-driving.
-                undo.detach()
-                undone = undo.rollback()
-                self.matcher.conflict_set.forget_fired(instantiation)
-                if obs.enabled:
-                    obs.rollback(txn.txn_id, undone)
-                self.scheme.abort(txn, "crashed before commit")
-                wave.aborted.append(instantiation.production.name)
-                self.abort_count += 1
-                self._note_failure(instantiation, "crash-before-commit")
-                continue
-            except Exception:
-                undo.detach()
-                undone = undo.rollback()
-                if obs.enabled:
-                    obs.rollback(txn.txn_id, undone)
-                self.scheme.abort(txn, "RHS execution failed")
-                raise
+                spans.bind(txn.txn_id, firing)
+                try:
+                    self._run_slot(wave, instantiation, txn)
+                finally:
+                    firing.finish()
+                    spans.unbind(txn.txn_id)
+        finally:
+            if phase_span is not None:
+                phase_span.finish(slots=len(slots))
+
+    def _run_slot(
+        self, wave: WaveResult, instantiation: Instantiation,
+        txn: Transaction,
+    ) -> None:
+        """Drive one granted candidate through RHS + commit."""
+        obs = self.obs
+        if txn.is_aborted:
+            # Rule (ii) victim of an earlier commit in this wave.
+            self.scheme.abort(txn, "rule (ii) victim")
+            wave.aborted.append(instantiation.production.name)
+            self.abort_count += 1
+            self._note_failure(instantiation, "rule-ii-victim")
+            return
+        if instantiation not in self.matcher.conflict_set:
+            # The database changed under it and the matcher
+            # retracted the instantiation: semantically a victim.
+            # (Not retryable: there is nothing left to re-drive.)
+            self.scheme.abort(txn, "instantiation invalidated")
+            wave.aborted.append(instantiation.production.name)
+            self.abort_count += 1
+            return
+        writes = instantiation_write_objects(instantiation)
+        if self._fault_denies_locks(
+            txn, writes, self.scheme.action_write_mode
+        ) or (
+            not self._preclaims
+            and not self.scheme.try_lock_action(
+                txn, writes=sorted(writes, key=repr)
+            )
+        ):
+            # 2PL: blocked by another candidate's condition locks —
+            # defer to a later wave.  (Under Rc only Ra/Wa block Wa,
+            # and none are held across candidates here.)
+            self.scheme.abort(txn, "action locks unavailable")
+            wave.deferred.append(instantiation.production.name)
+            self._note_failure(instantiation, "action-lock-denied")
+            return
+        if self.fault is not None and self.fault.rhs_abort(txn):
+            self.scheme.abort(txn, "injected RHS abort")
+            wave.aborted.append(instantiation.production.name)
+            self.abort_count += 1
+            self._note_failure(instantiation, "injected-abort")
+            return
+        undo = UndoLog(self.memory).attach()
+        try:
+            self.matcher.conflict_set.mark_fired(instantiation)
+            outcome = self.executor.execute(instantiation)
+            if self.fault is not None:
+                self.fault.crash_point(txn)
+        except FiringCrashed:
+            # The firing died after its RHS but before commit: roll
+            # back, clear the fired mark (the restored WMEs revive
+            # the same instantiation identity), and survive — the
+            # wave goes on and the retry budget governs re-driving.
             undo.detach()
-            self.scheme.commit(txn)
-            undo.commit()
-            self.result.firings.append(
-                FiringRecord.from_instantiation(
-                    instantiation, len(self.waves) + 1
-                )
-            )
-            self.result.outputs.extend(outcome.outputs)
-            wave.committed.append(instantiation.production.name)
+            undone = undo.rollback()
+            self.matcher.conflict_set.forget_fired(instantiation)
             if obs.enabled:
-                obs.firing_committed(
-                    instantiation.production.name, wave.wave
-                )
-            if outcome.halted:
-                self.result.halted = True
-            # commit.victims carry the rule-(ii) aborts; their slots
-            # are skipped when their turn comes (txn.is_aborted above).
-
-        self.waves.append(wave)
+                obs.rollback(txn.txn_id, undone)
+            self.scheme.abort(txn, "crashed before commit")
+            wave.aborted.append(instantiation.production.name)
+            self.abort_count += 1
+            self._note_failure(instantiation, "crash-before-commit")
+            return
+        except Exception:
+            undo.detach()
+            undone = undo.rollback()
+            if obs.enabled:
+                obs.rollback(txn.txn_id, undone)
+            self.scheme.abort(txn, "RHS execution failed")
+            raise
+        undo.detach()
+        self.scheme.commit(txn)
+        undo.commit()
+        self.result.firings.append(
+            FiringRecord.from_instantiation(instantiation, wave.wave)
+        )
+        self.result.outputs.extend(outcome.outputs)
+        wave.committed.append(instantiation.production.name)
         if obs.enabled:
-            obs.wave_finished(
-                wave.wave,
-                committed=len(wave.committed),
-                aborted=len(wave.aborted),
-                deferred=len(wave.deferred),
-                duration=obs.clock() - wave_start,
+            obs.firing_committed(
+                instantiation.production.name, wave.wave
             )
-        return wave
+        if outcome.halted:
+            self.result.halted = True
+        # commit.victims carry the rule-(ii) aborts; their slots
+        # are skipped when their turn comes (txn.is_aborted above).
 
     # -- whole runs -------------------------------------------------------------------------
 
@@ -377,27 +467,44 @@ class ParallelEngine:
         firing to guarantee progress — equivalent to shrinking that
         wave to width 1, still inside ``ES_single``.
         """
-        while len(self.waves) < max_waves:
-            if self.result.halted:
-                self.result.stop_reason = "halt"
-                break
-            candidates = self._eligible_candidates()
-            if not candidates:
-                # With a retry policy, work may remain in the conflict
-                # set whose budget is exhausted — that is not
-                # quiescence and is reported honestly.
-                self.result.stop_reason = (
-                    "retries_exhausted"
-                    if self.matcher.conflict_set.eligible()
-                    else "quiescent"
+        spans = self.obs.spans if self.obs.enabled else None
+        run_span = None
+        if spans is not None:
+            run_span = spans.start(
+                "run",
+                scheme=type(self.scheme).__name__,
+                processors=self.processors,
+            )
+            spans.push_scope(run_span)
+        try:
+            while len(self.waves) < max_waves:
+                if self.result.halted:
+                    self.result.stop_reason = "halt"
+                    break
+                candidates = self._eligible_candidates()
+                if not candidates:
+                    # With a retry policy, work may remain in the
+                    # conflict set whose budget is exhausted — that is
+                    # not quiescence and is reported honestly.
+                    self.result.stop_reason = (
+                        "retries_exhausted"
+                        if self.matcher.conflict_set.eligible()
+                        else "quiescent"
+                    )
+                    break
+                wave = self.run_wave()
+                self.result.cycles += 1
+                if not wave.committed and self._eligible_candidates():
+                    self._fire_single()
+            else:
+                self.result.stop_reason = "max_waves"
+        finally:
+            if spans is not None:
+                spans.pop_scope(run_span)
+                run_span.finish(
+                    cycles=self.result.cycles,
+                    stop_reason=self.result.stop_reason,
                 )
-                break
-            wave = self.run_wave()
-            self.result.cycles += 1
-            if not wave.committed and self._eligible_candidates():
-                self._fire_single()
-        else:
-            self.result.stop_reason = "max_waves"
         self.result.final_snapshot = WMSnapshot.capture(self.memory)
         return self.result
 
@@ -412,32 +519,57 @@ class ParallelEngine:
         if not candidates:
             return
         obs = self.obs
+        spans = obs.spans if obs.enabled else None
         instantiation = self.strategy.select(candidates)
         txn = Transaction(rule_name=instantiation.production.name)
-        undo = UndoLog(self.memory).attach()
-        try:
-            self.matcher.conflict_set.mark_fired(instantiation)
-            outcome = self.executor.execute(instantiation)
-        except Exception:
-            undo.detach()
-            undone = undo.rollback()
-            if obs.enabled:
-                obs.rollback(txn.txn_id, undone)
-            self.history.abort(txn.txn_id)
-            txn.abort("RHS execution failed")
-            raise
-        undo.detach()
-        self.history.commit(txn.txn_id)
-        txn.commit()
-        undo.commit()
-        self.result.cycles += 1
-        self.result.firings.append(
-            FiringRecord.from_instantiation(instantiation, len(self.waves))
-        )
-        self.result.outputs.extend(outcome.outputs)
-        if obs.enabled:
-            obs.firing_committed(
-                instantiation.production.name, len(self.waves)
+        cycle_span = firing = None
+        if spans is not None:
+            cycle_span = spans.start(
+                "cycle", parent=spans.current(),
+                wave=len(self.waves), kind="single",
             )
-        if outcome.halted:
-            self.result.halted = True
+            firing = spans.start(
+                "firing", parent=cycle_span,
+                rule=instantiation.production.name, txn=txn.txn_id,
+                single=True, **self._span_fields(instantiation),
+            )
+            spans.bind(txn.txn_id, firing)
+        try:
+            undo = UndoLog(self.memory).attach()
+            try:
+                self.matcher.conflict_set.mark_fired(instantiation)
+                outcome = self.executor.execute(instantiation)
+            except Exception:
+                undo.detach()
+                undone = undo.rollback()
+                if obs.enabled:
+                    obs.rollback(txn.txn_id, undone)
+                self.history.abort(txn.txn_id)
+                txn.abort("RHS execution failed")
+                if firing is not None:
+                    firing.annotate(status="aborted")
+                raise
+            undo.detach()
+            self.history.commit(txn.txn_id)
+            txn.commit()
+            undo.commit()
+            self.result.cycles += 1
+            self.result.firings.append(
+                FiringRecord.from_instantiation(
+                    instantiation, len(self.waves)
+                )
+            )
+            self.result.outputs.extend(outcome.outputs)
+            if firing is not None:
+                firing.annotate(status="committed")
+            if obs.enabled:
+                obs.firing_committed(
+                    instantiation.production.name, len(self.waves)
+                )
+            if outcome.halted:
+                self.result.halted = True
+        finally:
+            if spans is not None:
+                firing.finish()
+                cycle_span.finish()
+                spans.unbind(txn.txn_id)

@@ -208,24 +208,41 @@ class ThreadedWaveExecutor:
         self.waves_run += 1
         cycle = self.waves_run
         obs = self.obs
+        spans = obs.spans if obs.enabled else None
         wave_start = obs.clock() if obs.enabled else 0.0
-        victims_before = len(self.deadlock_victims)
-        candidates = self.matcher.conflict_set.eligible()
-        if obs.enabled:
-            obs.wave_started(cycle, len(candidates))
-        threads = [
-            threading.Thread(
-                target=self._fire,
-                args=(instantiation, result, cycle),
-                name=f"firing-{instantiation.production.name}",
-                daemon=True,
+        cycle_span = None
+        if spans is not None:
+            cycle_span = spans.start(
+                "cycle", parent=spans.current(), ts=wave_start,
+                wave=cycle, executor="threaded",
             )
-            for instantiation in candidates
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+            spans.push_scope(cycle_span)
+        victims_before = len(self.deadlock_victims)
+        try:
+            candidates = self.matcher.conflict_set.eligible()
+            if obs.enabled:
+                obs.wave_started(cycle, len(candidates))
+            threads = [
+                threading.Thread(
+                    target=self._fire,
+                    args=(instantiation, result, cycle, cycle_span),
+                    name=f"firing-{instantiation.production.name}",
+                    daemon=True,
+                )
+                for instantiation in candidates
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            if spans is not None:
+                spans.pop_scope(cycle_span)
+                cycle_span.finish(
+                    committed=len(result.committed),
+                    aborted=len(result.aborted),
+                    timed_out=len(result.timed_out),
+                )
         result.deadlock_victims = self.deadlock_victims[victims_before:]
         if obs.enabled:
             obs.wave_finished(
@@ -239,11 +256,25 @@ class ThreadedWaveExecutor:
 
     def run(self, max_waves: int = 100) -> list[ThreadedWaveResult]:
         """Run waves until the conflict set drains (or ``max_waves``)."""
+        spans = self.obs.spans if self.obs.enabled else None
+        run_span = None
+        if spans is not None:
+            run_span = spans.start(
+                "run",
+                scheme=type(self.scheme).__name__,
+                executor="threaded",
+            )
+            spans.push_scope(run_span)
         results: list[ThreadedWaveResult] = []
-        for _ in range(max_waves):
-            if not self.matcher.conflict_set.eligible():
-                break
-            results.append(self.run_wave())
+        try:
+            for _ in range(max_waves):
+                if not self.matcher.conflict_set.eligible():
+                    break
+                results.append(self.run_wave())
+        finally:
+            if run_span is not None:
+                spans.pop_scope(run_span)
+                run_span.finish(waves=len(results))
         return results
 
     # -- deadlock detection ----------------------------------------------------------------
@@ -325,6 +356,7 @@ class ThreadedWaveExecutor:
         instantiation: Instantiation,
         result: ThreadedWaveResult,
         cycle: int,
+        parent=None,
     ) -> None:
         policy = self.retry_policy
         rule = instantiation.production.name
@@ -333,7 +365,10 @@ class ThreadedWaveExecutor:
         while True:
             attempt += 1
             txn = Transaction(rule_name=rule)
-            outcome = self._fire_once(instantiation, txn, result, cycle)
+            outcome = self._fire_once(
+                instantiation, txn, result, cycle,
+                parent=parent, attempt=attempt,
+            )
             if outcome is _Fired.COMMITTED:
                 return
             if outcome is _Fired.INVALIDATED:
@@ -359,6 +394,38 @@ class ThreadedWaveExecutor:
                 result.aborted.append(rule)
 
     def _fire_once(
+        self,
+        instantiation: Instantiation,
+        txn: Transaction,
+        result: ThreadedWaveResult,
+        cycle: int,
+        parent=None,
+        attempt: int = 1,
+    ) -> _Fired:
+        """One attempt wrapped in a ``firing`` span (when recording).
+
+        The transaction is bound to the span for the duration, so
+        lock grants, faults, deadlock victimhood and rule-(ii) links
+        land on the right firing even across OS threads.
+        """
+        spans = self.obs.spans if self.obs.enabled else None
+        if spans is None:
+            return self._attempt(instantiation, txn, result, cycle)
+        firing = spans.start(
+            "firing", parent=parent,
+            rule=instantiation.production.name, txn=txn.txn_id,
+            attempt=attempt,
+        )
+        spans.bind(txn.txn_id, firing)
+        try:
+            outcome = self._attempt(instantiation, txn, result, cycle)
+            firing.annotate(outcome=outcome.value)
+            return outcome
+        finally:
+            firing.finish()
+            spans.unbind(txn.txn_id)
+
+    def _attempt(
         self,
         instantiation: Instantiation,
         txn: Transaction,

@@ -49,7 +49,11 @@ partitioned:rete:4``).  Architecture:
 Observability (the PR-1 ``obs`` layer): per-shard match latency
 histogram (``match.shard_seconds``), batch size (``match.batch_size``)
 and merge time (``match.merge_seconds``), plus ``match.shard`` /
-``match.batch`` trace events — all guarded by ``obs.enabled``.
+``match.batch`` trace events — all guarded by ``obs.enabled``.  With
+span recording on, every flush additionally emits a ``match.flush``
+span (parented under the engine's current scope) with per-shard
+``match.shard`` child spans on the wall clock, or shard charges as
+fields on the DES/virtual-clock paths.
 """
 
 from __future__ import annotations
@@ -339,7 +343,19 @@ class PartitionedMatcher(BaseMatcher):
         if not deltas:
             return
         obs = self.obs
+        spans = obs.spans if obs.enabled else None
         shards = self._shards
+        flush_span = None
+        flush_start = 0.0
+        if spans is not None:
+            # Parent under the innermost scoped span — the engine's
+            # phase.match while candidates are gathered, or its cycle
+            # span when a mid-RHS delta triggers an immediate flush.
+            flush_start = spans.clock()
+            flush_span = spans.start(
+                "match.flush", parent=spans.current(), ts=flush_start,
+                deltas=len(deltas), backend=self.backend,
+            )
         if self.backend == "thread" and len(shards) > 1:
             pool = self._ensure_pool()
             durations = list(
@@ -354,10 +370,45 @@ class PartitionedMatcher(BaseMatcher):
         merge_seconds = time.perf_counter() - merge_start
         self.flush_count += 1
         self.delta_count += len(deltas)
+        if flush_span is not None:
+            self._flush_spans(
+                spans, flush_span, flush_start, durations, merge_seconds
+            )
         if obs.enabled:
             for shard, seconds in zip(shards, durations):
                 obs.shard_match(shard.index, seconds, len(deltas))
             obs.match_batch(len(deltas), len(shards), merge_seconds)
+
+    def _flush_spans(
+        self, spans, flush_span, flush_start: float,
+        durations: Sequence[float], merge_seconds: float,
+    ) -> None:
+        """Child spans (or annotations) for one flush's shard work.
+
+        Shard durations are wall-clock (``perf_counter``) except on
+        the DES backend, where they are virtual charges.  Per-shard
+        child spans are emitted only when the recorder itself runs on
+        ``perf_counter`` — under an injected (virtual) clock the
+        durations would mix timelines, so they stay as fields.
+        """
+        wall_clock = spans.clock is time.perf_counter
+        if self.backend == "des" or not wall_clock:
+            flush_span.annotate(
+                shard_seconds=[round(d, 9) for d in durations]
+            )
+        else:
+            concurrent_shards = (
+                self.backend == "thread" and len(self._shards) > 1
+            )
+            offset = flush_start
+            for shard, seconds in zip(self._shards, durations):
+                start = flush_start if concurrent_shards else offset
+                spans.record(
+                    "match.shard", start=start, end=start + seconds,
+                    parent=flush_span, shard=shard.index,
+                )
+                offset += seconds
+        flush_span.finish(merge_seconds=merge_seconds)
 
     def _replay(self, shard: _Shard, deltas: Sequence[WMDelta]) -> float:
         start = time.perf_counter()

@@ -1,12 +1,16 @@
-"""Observability: structured traces + metrics for engines and locks.
+"""Observability: traces + metrics + causal spans for engines and locks.
 
-The measurement substrate behind the Section 5 evaluation.  Three
+The measurement substrate behind the Section 5 evaluation.  Five
 pieces:
 
 * :mod:`repro.obs.trace` — immutable :class:`TraceEvent` records in a
   bounded ring buffer (:class:`TraceCollector`);
 * :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
   gauges and fixed-bucket histograms with a JSON snapshot;
+* :mod:`repro.obs.spans` — the causal :class:`Span` tree (cycle →
+  phase → firing → lock) with rule-(ii) abort links;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON, Prometheus
+  text exposition, and JSONL span dumps;
 * :mod:`repro.obs.observer` — the :class:`Observer` facade whose
   semantic hooks the lock manager, lock schemes, engines and
   simulators call.
@@ -45,7 +49,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
     TIME_BUCKETS,
 )
-from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer
+from repro.obs.observer import (
+    LEVELS,
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+)
+from repro.obs.spans import Span, SpanRecorder
 from repro.obs.trace import TraceCollector, TraceEvent
 
 _default: Observer | NullObserver = NULL_OBSERVER
@@ -69,13 +79,16 @@ def set_observer(
 def enable(
     trace_capacity: int = 65_536,
     clock: Callable[[], float] | None = None,
+    level: str = "full",
 ) -> Observer:
     """Create a live :class:`Observer` and make it the default.
 
     Only components constructed *after* this call pick it up — enable
     observability before building engines/managers.
     """
-    observer = Observer(trace_capacity=trace_capacity, clock=clock)
+    observer = Observer(
+        trace_capacity=trace_capacity, clock=clock, level=level
+    )
     set_observer(observer)
     return observer
 
@@ -89,9 +102,12 @@ def disable() -> None:
 def observed(
     trace_capacity: int = 65_536,
     clock: Callable[[], float] | None = None,
+    level: str = "full",
 ) -> Iterator[Observer]:
     """Scoped :func:`enable`: restores the previous default on exit."""
-    observer = Observer(trace_capacity=trace_capacity, clock=clock)
+    observer = Observer(
+        trace_capacity=trace_capacity, clock=clock, level=level
+    )
     previous = set_observer(observer)
     try:
         yield observer
@@ -108,6 +124,9 @@ __all__ = [
     "COUNT_BUCKETS",
     "TraceCollector",
     "TraceEvent",
+    "Span",
+    "SpanRecorder",
+    "LEVELS",
     "Observer",
     "NullObserver",
     "NULL_OBSERVER",

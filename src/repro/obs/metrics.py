@@ -40,40 +40,52 @@ COUNT_BUCKETS: tuple[float, ...] = (
 
 
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total.
 
-    __slots__ = ("name", "value")
+    ``inc`` runs under a per-instrument lock: worker threads (the
+    threaded wave executor, partitioned match shards) update shared
+    instruments directly, and an unlocked read-modify-write would
+    drop increments under contention.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name}: negative inc {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict:
-        return {"type": "counter", "value": self.value}
+        with self._lock:
+            return {"type": "counter", "value": self.value}
 
 
 class Gauge:
     """A point-in-time value; remembers its high watermark."""
 
-    __slots__ = ("name", "value", "max")
+    __slots__ = ("name", "value", "max", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
         self.max = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.value = value
+            if value > self.max:
+                self.max = value
 
     def snapshot(self) -> dict:
-        return {"type": "gauge", "value": self.value, "max": self.max}
+        with self._lock:
+            return {"type": "gauge", "value": self.value, "max": self.max}
 
 
 class Histogram:
@@ -85,7 +97,9 @@ class Histogram:
     bounds so consumers can cumulate either way.
     """
 
-    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+    __slots__ = (
+        "name", "bounds", "counts", "count", "sum", "min", "max", "_lock",
+    )
 
     def __init__(self, name: str, buckets: Sequence[float]) -> None:
         bounds = tuple(float(b) for b in buckets)
@@ -103,35 +117,38 @@ class Histogram:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.counts[bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
     def snapshot(self) -> dict:
-        buckets = {
-            f"{bound:g}": count
-            for bound, count in zip(self.bounds, self.counts)
-        }
-        buckets["+inf"] = self.counts[-1]
-        return {
-            "type": "histogram",
-            "count": self.count,
-            "sum": self.sum,
-            "mean": self.mean,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
-            "buckets": buckets,
-        }
+        with self._lock:
+            buckets = {
+                f"{bound:g}": count
+                for bound, count in zip(self.bounds, self.counts)
+            }
+            buckets["+inf"] = self.counts[-1]
+            return {
+                "type": "histogram",
+                "count": self.count,
+                "sum": self.sum,
+                "mean": self.mean,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "buckets": buckets,
+            }
 
 
 class MetricsRegistry:

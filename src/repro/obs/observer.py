@@ -1,19 +1,29 @@
-"""The observer facade: named hooks over one trace + one registry.
+"""The observer facade: named hooks over one trace + registry + spans.
 
 Instrumented components (lock manager, lock schemes, engines,
 simulators) do not build trace events or look up metrics themselves —
 they call semantic hooks on an :class:`Observer` (``lock_granted``,
 ``rule_ii_abort``, ``wave_finished``, ...).  The observer translates
-each hook into a trace event and the matching metric updates, keeping
-every instrumentation point a one-liner and the naming scheme in one
-place.
+each hook into a trace event, the matching metric updates, and — when
+span recording is on — the matching mutation of the causal span tree
+(:mod:`repro.obs.spans`), keeping every instrumentation point a
+one-liner and the naming scheme in one place.
+
+Hooks that only know a transaction id reach the right span through
+the recorder's txn binding: the engines bind each transaction to its
+acquire/firing span, so a lock grant becomes a ``lock.acquire`` child
+span, a fault annotates the firing it hit, and a rule-(ii) abort
+links the victim's span to the committing Wa transaction's span.
 
 The hot-path contract: components hold a reference to an observer and
 guard every hook call with ``if obs.enabled:``.  The default observer
 is :data:`NULL_OBSERVER` (``enabled = False``), so an uninstrumented
 run costs one attribute load and a falsy branch per site — nothing is
 allocated, stamped or counted (the < 5 % bench-regression budget in
-the observability issue).
+the observability issue).  A live observer's cost is tiered by
+``level``: ``"metrics"`` (counters/histograms only), ``"trace"``
+(+ ring-buffer events — the PR-1 behavior), ``"full"`` (+ spans, the
+default); ``benchmarks/bench_obs_overhead.py`` measures the tiers.
 """
 
 from __future__ import annotations
@@ -26,19 +36,31 @@ from repro.obs.metrics import (
     MetricsRegistry,
     TIME_BUCKETS,
 )
+from repro.obs.spans import Span, SpanRecorder
 from repro.obs.trace import TraceCollector
+
+#: Observer cost tiers, cheapest first.
+LEVELS = ("metrics", "trace", "full")
 
 
 class Observer:
-    """Live observer: every hook traces and meters.
+    """Live observer: every hook traces, meters and (optionally) spans.
 
     Parameters
     ----------
     trace_capacity:
-        Ring-buffer size for the trace collector.
+        Ring-buffer size for the trace collector (and, by default,
+        the span recorder).
     clock:
-        Monotonic time source shared by trace and wait-timing; pass a
-        virtual clock when observing a discrete-event simulation.
+        Monotonic time source shared by trace, spans and wait-timing;
+        pass a virtual clock when observing a discrete-event
+        simulation.
+    level:
+        ``"metrics"``, ``"trace"``, or ``"full"`` (default): how much
+        each hook records.  ``"full"`` is the only level with a
+        :attr:`spans` recorder.
+    span_capacity:
+        Ring size for the span recorder; defaults to ``trace_capacity``.
     """
 
     enabled = True
@@ -47,12 +69,29 @@ class Observer:
         self,
         trace_capacity: int = 65_536,
         clock: Callable[[], float] | None = None,
+        level: str = "full",
+        span_capacity: int | None = None,
     ) -> None:
+        if level not in LEVELS:
+            raise ValueError(
+                f"unknown observer level {level!r}; expected one of {LEVELS}"
+            )
+        self.level = level
         if clock is None:
             self.trace = TraceCollector(capacity=trace_capacity)
         else:
             self.trace = TraceCollector(
                 capacity=trace_capacity, clock=clock
+            )
+        self._trace_on = level in ("trace", "full")
+        self.spans: SpanRecorder | None = None
+        if level == "full":
+            self.spans = SpanRecorder(
+                capacity=(
+                    span_capacity if span_capacity is not None
+                    else trace_capacity
+                ),
+                clock=self.trace.clock,
             )
         self.metrics = MetricsRegistry()
         self._mutex = threading.Lock()
@@ -75,6 +114,9 @@ class Observer:
     def clock(self) -> float:
         return self.trace.clock()
 
+    def _span_for_txn(self, txn_id: str) -> Span | None:
+        return self.spans.for_txn(txn_id) if self.spans is not None else None
+
     # -- lock manager ----------------------------------------------------------------------
 
     def lock_granted(
@@ -84,10 +126,20 @@ class Observer:
         with self._mutex:
             self.metrics.counter("lock.grants").inc()
             self._lock_wait.observe(waited)
-        self.trace.emit(
-            "lock.grant", txn=txn_id, obj=repr(obj), mode=mode,
-            waited=waited, queued=queued,
-        )
+        if self._trace_on:
+            self.trace.emit(
+                "lock.grant", txn=txn_id, obj=repr(obj), mode=mode,
+                waited=waited, queued=queued,
+            )
+        if self.spans is not None:
+            owner = self.spans.for_txn(txn_id)
+            if owner is not None:
+                now = self.spans.clock()
+                self.spans.record(
+                    "lock.acquire", start=now - waited, end=now,
+                    parent=owner, obj=repr(obj), mode=mode,
+                    waited=waited, queued=queued,
+                )
 
     def lock_queued(
         self, txn_id: str, obj: object, mode: str, depth: int
@@ -95,67 +147,112 @@ class Observer:
         with self._mutex:
             self.metrics.counter("lock.waits").inc()
             self._queue_depth.set(depth)
-        self.trace.emit(
-            "lock.wait", txn=txn_id, obj=repr(obj), mode=mode, depth=depth
-        )
+        if self._trace_on:
+            self.trace.emit(
+                "lock.wait", txn=txn_id, obj=repr(obj), mode=mode,
+                depth=depth,
+            )
 
     def lock_denied(
         self, txn_id: str, obj: object, mode: str, reason: str
     ) -> None:
         with self._mutex:
             self.metrics.counter("lock.denials").inc()
-        self.trace.emit(
-            "lock.deny", txn=txn_id, obj=repr(obj), mode=mode,
-            reason=reason,
-        )
+        if self._trace_on:
+            self.trace.emit(
+                "lock.deny", txn=txn_id, obj=repr(obj), mode=mode,
+                reason=reason,
+            )
+        owner = self._span_for_txn(txn_id)
+        if owner is not None:
+            owner.event(
+                "lock.deny", obj=repr(obj), mode=mode, reason=reason
+            )
 
     def lock_cancelled(self, txn_id: str, obj: object, mode: str) -> None:
         with self._mutex:
             self.metrics.counter("lock.cancels").inc()
-        self.trace.emit(
-            "lock.cancel", txn=txn_id, obj=repr(obj), mode=mode
-        )
+        if self._trace_on:
+            self.trace.emit(
+                "lock.cancel", txn=txn_id, obj=repr(obj), mode=mode
+            )
+        owner = self._span_for_txn(txn_id)
+        if owner is not None:
+            owner.event("lock.cancel", obj=repr(obj), mode=mode)
 
     # -- lock schemes ----------------------------------------------------------------------
 
     def txn_committed(self, txn_id: str, scheme: str) -> None:
         with self._mutex:
             self.metrics.counter("txn.commits").inc()
-        self.trace.emit("txn.commit", txn=txn_id, scheme=scheme)
+        if self._trace_on:
+            self.trace.emit("txn.commit", txn=txn_id, scheme=scheme)
+        owner = self._span_for_txn(txn_id)
+        if owner is not None:
+            owner.annotate(status="committed", scheme=scheme)
 
     def txn_aborted(self, txn_id: str, scheme: str, reason: str) -> None:
         with self._mutex:
             self.metrics.counter("txn.aborts").inc()
-        self.trace.emit(
-            "txn.abort", txn=txn_id, scheme=scheme, reason=reason
-        )
+        if self._trace_on:
+            self.trace.emit(
+                "txn.abort", txn=txn_id, scheme=scheme, reason=reason
+            )
+        owner = self._span_for_txn(txn_id)
+        if owner is not None:
+            owner.annotate(status="aborted", abort_reason=reason)
 
     def rule_ii_abort(
         self, victim_id: str, committer_id: str, objs: Iterable[object]
     ) -> None:
-        """A Wa commit force-aborted an Rc holder (Section 4.3)."""
+        """A Wa commit force-aborted an Rc holder (Section 4.3).
+
+        With spans on, the victim's span gets a causal link to the
+        committing Wa transaction's span (kind ``"rc_wa_abort"``) —
+        the edge the abort-chain analysis walks.
+        """
+        objs = tuple(repr(o) for o in objs)
         with self._mutex:
             self.metrics.counter("rc.rule_ii_aborts").inc()
-        self.trace.emit(
-            "rc.rule_ii_abort", victim=victim_id, committer=committer_id,
-            objs=tuple(repr(o) for o in objs),
-        )
+        if self._trace_on:
+            self.trace.emit(
+                "rc.rule_ii_abort", victim=victim_id,
+                committer=committer_id, objs=objs,
+            )
+        if self.spans is not None:
+            victim = self.spans.for_txn(victim_id)
+            committer = self.spans.for_txn(committer_id)
+            if victim is not None and committer is not None:
+                victim.link(committer, kind="rc_wa_abort")
+                victim.annotate(
+                    aborted_by_txn=committer_id,
+                    aborted_by_span=committer.span_id,
+                    conflict_objs=objs,
+                )
+                committer.event(
+                    "rc.rule_ii_abort", victim=victim_id, objs=objs
+                )
 
     def revalidation_spared(
         self, holder_id: str, committer_id: str
     ) -> None:
         with self._mutex:
             self.metrics.counter("rc.revalidated").inc()
-        self.trace.emit(
-            "rc.revalidated", holder=holder_id, committer=committer_id
-        )
+        if self._trace_on:
+            self.trace.emit(
+                "rc.revalidated", holder=holder_id, committer=committer_id
+            )
+        owner = self._span_for_txn(holder_id)
+        if owner is not None:
+            owner.event("rc.revalidated", committer=committer_id)
 
     # -- engines ---------------------------------------------------------------------------
 
     def wave_started(self, wave: int, candidates: int) -> None:
         with self._mutex:
             self._wave_width.observe(candidates)
-        self.trace.emit("wave.start", wave=wave, candidates=candidates)
+        if self._trace_on:
+            self.trace.emit("wave.start", wave=wave, candidates=candidates)
 
     def wave_finished(
         self, wave: int, committed: int, aborted: int, deferred: int,
@@ -167,18 +264,24 @@ class Observer:
             m.counter("firing.committed").inc(committed)
             m.counter("firing.aborted").inc(aborted)
             m.counter("firing.deferred").inc(deferred)
-        self.trace.emit(
-            "wave.end", wave=wave, committed=committed, aborted=aborted,
-            deferred=deferred, duration=duration,
-        )
+        if self._trace_on:
+            self.trace.emit(
+                "wave.end", wave=wave, committed=committed,
+                aborted=aborted, deferred=deferred, duration=duration,
+            )
 
     def firing_committed(self, rule: str, cycle: int) -> None:
-        self.trace.emit("firing.commit", rule=rule, cycle=cycle)
+        if self._trace_on:
+            self.trace.emit("firing.commit", rule=rule, cycle=cycle)
 
     def rollback(self, txn_id: str, undone: int) -> None:
         with self._mutex:
             self.metrics.counter("engine.rollbacks").inc()
-        self.trace.emit("engine.rollback", txn=txn_id, undone=undone)
+        if self._trace_on:
+            self.trace.emit("engine.rollback", txn=txn_id, undone=undone)
+        owner = self._span_for_txn(txn_id)
+        if owner is not None:
+            owner.event("engine.rollback", undone=undone)
 
     def match_latency(self, seconds: float) -> None:
         with self._mutex:
@@ -189,14 +292,22 @@ class Observer:
     def fault_injected(
         self, kind: str, txn_id: str, site: str, detail: str = ""
     ) -> None:
-        """The fault layer fired one injected fault at a site."""
+        """The fault layer fired one injected fault at a site.
+
+        With spans on, the fault annotates the span it fired inside
+        (the bound acquire/firing span of ``txn_id``).
+        """
         with self._mutex:
             self.metrics.counter("fault.injected").inc()
             self.metrics.counter(f"fault.injected.{kind}").inc()
-        self.trace.emit(
-            "fault.injected", kind=kind, txn=txn_id, site=site,
-            detail=detail,
-        )
+        if self._trace_on:
+            self.trace.emit(
+                "fault.injected", kind=kind, txn=txn_id, site=site,
+                detail=detail,
+            )
+        owner = self._span_for_txn(txn_id)
+        if owner is not None:
+            owner.event(f"fault.{kind}", site=site, detail=detail)
 
     def retry_attempt(
         self, rule: str, attempt: int, delay: float, reason: str
@@ -205,29 +316,37 @@ class Observer:
         with self._mutex:
             self.metrics.counter("retry.attempts").inc()
             self._retry_delay.observe(delay)
-        self.trace.emit(
-            "retry.attempt", rule=rule, attempt=attempt, delay=delay,
-            reason=reason,
-        )
+        if self._trace_on:
+            self.trace.emit(
+                "retry.attempt", rule=rule, attempt=attempt, delay=delay,
+                reason=reason,
+            )
 
     def retry_exhausted(self, rule: str, attempts: int, reason: str) -> None:
         """A firing used up its retry budget and was abandoned."""
         with self._mutex:
             self.metrics.counter("retry.exhausted").inc()
-        self.trace.emit(
-            "retry.exhausted", rule=rule, attempts=attempts, reason=reason
-        )
+        if self._trace_on:
+            self.trace.emit(
+                "retry.exhausted", rule=rule, attempts=attempts,
+                reason=reason,
+            )
 
     def deadlock_victim(
         self, txn_id: str, cycle: Iterable[str], policy: str
     ) -> None:
         """Deadlock detection chose and aborted a victim."""
+        cycle = tuple(cycle)
         with self._mutex:
             self.metrics.counter("deadlock.victims").inc()
-        self.trace.emit(
-            "deadlock.victim", victim=txn_id, cycle=tuple(cycle),
-            policy=policy,
-        )
+        if self._trace_on:
+            self.trace.emit(
+                "deadlock.victim", victim=txn_id, cycle=cycle,
+                policy=policy,
+            )
+        owner = self._span_for_txn(txn_id)
+        if owner is not None:
+            owner.event("deadlock.victim", cycle=cycle, policy=policy)
 
     # -- partitioned match -----------------------------------------------------------------
 
@@ -235,9 +354,10 @@ class Observer:
         """One shard finished matching a delta batch."""
         with self._mutex:
             self._shard_match.observe(seconds)
-        self.trace.emit(
-            "match.shard", shard=shard, seconds=seconds, deltas=deltas
-        )
+        if self._trace_on:
+            self.trace.emit(
+                "match.shard", shard=shard, seconds=seconds, deltas=deltas
+            )
 
     def match_batch(
         self, size: int, shards: int, merge_seconds: float
@@ -247,10 +367,11 @@ class Observer:
             self.metrics.counter("match.batches").inc()
             self._batch_size.observe(size)
             self._merge_time.observe(merge_seconds)
-        self.trace.emit(
-            "match.batch", size=size, shards=shards,
-            merge_seconds=merge_seconds,
-        )
+        if self._trace_on:
+            self.trace.emit(
+                "match.batch", size=size, shards=shards,
+                merge_seconds=merge_seconds,
+            )
 
     # -- simulators ------------------------------------------------------------------------
 
@@ -258,7 +379,8 @@ class Observer:
         """Virtual-time event from a discrete-event simulation."""
         with self._mutex:
             self.metrics.counter(f"{kind}.count").inc()
-        self.trace.emit_at(ts, kind, **fields)
+        if self._trace_on:
+            self.trace.emit_at(ts, kind, **fields)
 
     def sim_observe(
         self, name: str, value: float,
@@ -278,10 +400,12 @@ class NullObserver:
 
     ``enabled`` is False, so correctly guarded call sites never even
     invoke the hooks; the no-op methods are a safety net for unguarded
-    (cold-path) calls.
+    (cold-path) calls.  ``spans`` is None, matching a live observer
+    below the ``"full"`` level.
     """
 
     enabled = False
+    spans = None
 
     def clock(self) -> float:
         return 0.0

@@ -64,11 +64,19 @@ class TraceEvent:
 
 
 def _jsonable(value: object) -> object:
-    """Coerce a field value to something ``json.dumps`` accepts."""
+    """Coerce a field value to something ``json.dumps`` accepts.
+
+    Containers are converted structurally (sets deterministically, by
+    sorted repr); everything else non-scalar falls back to ``repr``.
+    """
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
-    if isinstance(value, (tuple, list, set, frozenset)):
+    if isinstance(value, (set, frozenset)):
+        return [_jsonable(v) for v in sorted(value, key=repr)]
+    if isinstance(value, (tuple, list)):
         return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
     return repr(value)
 
 
@@ -126,13 +134,40 @@ class TraceCollector:
 
         The end event repeats the start fields and adds the elapsed
         ``duration`` (in clock units), so wave and firing intervals can
-        be reconstructed without pairing logic downstream.
+        be reconstructed without pairing logic downstream.  Both
+        timestamps come from the *collector's* clock; owners living on
+        a different (virtual) clock must use :meth:`span_at` instead,
+        or the record would mix wall and virtual time — the invariant
+        this module promises never to break.
         """
-        start = self.emit(f"{kind}.start", **fields)
+        with self.span_at(kind, self.clock, **fields) as start:
+            yield start
+
+    @contextmanager
+    def span_at(
+        self,
+        kind: str,
+        clock: Callable[[], float],
+        **fields: object,
+    ) -> Iterator[TraceEvent]:
+        """:meth:`span`, stamped with a caller-supplied clock.
+
+        The virtual-time counterpart of :meth:`emit_at`: a simulator
+        passes its own clock and both the start and end events (and the
+        computed ``duration``) live on that timeline.  A caller-supplied
+        ``duration`` field would silently collide with the computed one,
+        so it is rejected.
+        """
+        if "duration" in fields:
+            raise ValueError(
+                f"span {kind!r}: 'duration' is computed by the span and "
+                "cannot be passed as a field"
+            )
+        start = self.emit_at(clock(), f"{kind}.start", **fields)
         try:
             yield start
         finally:
-            end_ts = self.clock()
+            end_ts = clock()
             self.emit_at(
                 end_ts, f"{kind}.end", duration=end_ts - start.ts, **fields
             )

@@ -1,0 +1,136 @@
+"""Tests for the exporters: Chrome trace_event, Prometheus, JSONL."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, SpanRecorder
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    load_spans_json_lines,
+    prometheus_text,
+    spans_json_lines,
+)
+
+
+def recorder_with_tree():
+    rec = SpanRecorder()
+    run = rec.record("run", start=1.0, end=2.0)
+    cycle = rec.record("cycle", start=1.0, end=1.9, parent=run, wave=1)
+    firing = rec.record(
+        "firing", start=1.2, end=1.8, parent=cycle, rule="toggle",
+        txn="t1",
+    )
+    victim = rec.record(
+        "acquire", start=1.1, end=1.15, parent=cycle, rule="observe",
+        txn="t2",
+    )
+    victim.link(firing, kind="rc_wa_abort")
+    firing.event("rc.rule_ii_abort", ts=1.8, victim="t2")
+    return rec, run, cycle, firing, victim
+
+
+class TestChromeTrace:
+    def test_complete_events_rebased_to_microseconds(self):
+        rec, run, cycle, firing, victim = recorder_with_tree()
+        doc = chrome_trace(rec)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in slices}
+        assert by_name["run"]["ts"] == 0.0
+        assert by_name["run"]["dur"] == pytest.approx(1e6)
+        assert by_name["firing[toggle]"]["ts"] == pytest.approx(0.2e6)
+        assert by_name["firing[toggle]"]["dur"] == pytest.approx(0.6e6)
+        assert by_name["firing[toggle]"]["args"]["parent_id"] == (
+            cycle.span_id
+        )
+
+    def test_links_become_flow_arrows_cause_to_effect(self):
+        rec, run, cycle, firing, victim = recorder_with_tree()
+        doc = chrome_trace(rec)
+        flows = [
+            e for e in doc["traceEvents"] if e["ph"] in ("s", "f")
+        ]
+        assert len(flows) == 2
+        start = next(e for e in flows if e["ph"] == "s")
+        end = next(e for e in flows if e["ph"] == "f")
+        # Arrow starts at the committer (the cause)...
+        assert start["args"]["from"] == firing.span_id
+        assert start["ts"] == pytest.approx(0.8e6)
+        # ...and lands on the victim.
+        assert end["args"]["to"] == victim.span_id
+        assert start["id"] == end["id"]
+
+    def test_span_events_become_instants(self):
+        rec, *_ = recorder_with_tree()
+        doc = chrome_trace(rec)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == ["rc.rule_ii_abort"]
+
+    def test_unfinished_spans_are_skipped_as_slices(self):
+        rec = SpanRecorder()
+        rec.start("open")
+        doc = chrome_trace(rec)
+        assert [e for e in doc["traceEvents"] if e["ph"] == "X"] == []
+
+    def test_metadata_and_json_form(self):
+        rec, *_ = recorder_with_tree()
+        doc = json.loads(chrome_trace_json(rec, process_name="demo"))
+        meta = doc["traceEvents"][0]
+        assert meta["ph"] == "M"
+        assert meta["args"]["name"] == "demo"
+
+    def test_empty_recorder_still_loads(self):
+        doc = chrome_trace(SpanRecorder())
+        assert doc["traceEvents"][0]["ph"] == "M"
+
+
+class TestPrometheus:
+    def test_counter_gauge_histogram_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("txn.commits").inc(3)
+        gauge = registry.gauge("lock.queue_depth")
+        gauge.set(2)
+        gauge.set(1)
+        hist = registry.histogram("lock.wait_seconds", (0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = prometheus_text(registry)
+        lines = text.splitlines()
+        assert "repro_txn_commits_total 3" in lines
+        assert "repro_lock_queue_depth 1" in lines
+        assert "repro_lock_queue_depth_max 2" in lines
+        # Cumulative le buckets: 1 below 0.1, 2 below 1.0, 3 total.
+        assert 'repro_lock_wait_seconds_bucket{le="0.1"} 1' in lines
+        assert 'repro_lock_wait_seconds_bucket{le="1"} 2' in lines
+        assert 'repro_lock_wait_seconds_bucket{le="+Inf"} 3' in lines
+        assert "repro_lock_wait_seconds_count 3" in lines
+        assert text.endswith("\n")
+
+    def test_accepts_a_plain_snapshot_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        assert prometheus_text(registry.snapshot()) == prometheus_text(
+            registry
+        )
+
+    def test_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("rc.rule-ii aborts").inc()
+        text = prometheus_text(registry)
+        assert "repro_rc_rule_ii_aborts_total 1" in text
+
+
+class TestJsonLines:
+    def test_round_trip_through_load(self):
+        rec, *_ = recorder_with_tree()
+        dump = spans_json_lines(rec)
+        rows = load_spans_json_lines(dump)
+        assert len(rows) == len(rec.spans())
+        names = {r["name"] for r in rows}
+        assert {"run", "cycle", "firing", "acquire"} == names
+        victim = next(r for r in rows if r["name"] == "acquire")
+        assert victim["links"][0]["kind"] == "rc_wa_abort"
+
+    def test_blank_lines_ignored_on_load(self):
+        assert load_spans_json_lines("\n\n") == []

@@ -1,6 +1,7 @@
 """Tests for counters, gauges, histograms and the registry."""
 
 import json
+import threading
 
 import pytest
 
@@ -94,3 +95,80 @@ class TestRegistry:
         registry.counter("b")
         registry.counter("a")
         assert registry.names() == ["a", "b"]
+
+
+def _hammer(threads: int, iterations: int, work) -> None:
+    """Run ``work(thread_index)`` concurrently from a common barrier."""
+    barrier = threading.Barrier(threads)
+    errors: list[BaseException] = []
+
+    def body(index: int) -> None:
+        try:
+            barrier.wait()
+            for _ in range(iterations):
+                work(index)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    pool = [
+        threading.Thread(target=body, args=(i,)) for i in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert not errors
+
+
+class TestConcurrency:
+    """Instruments are updated directly by worker threads (the
+    threaded wave executor, match shards); an unlocked read-modify-
+    write would drop updates under contention.  These pin the
+    per-instrument lock with exact-total assertions."""
+
+    THREADS = 8
+    ITERS = 2_000
+
+    def test_counter_inc_is_atomic(self):
+        counter = MetricsRegistry().counter("c")
+        _hammer(self.THREADS, self.ITERS, lambda i: counter.inc())
+        assert counter.value == self.THREADS * self.ITERS
+
+    def test_counter_inc_amounts_are_atomic(self):
+        counter = MetricsRegistry().counter("c")
+        _hammer(self.THREADS, self.ITERS, lambda i: counter.inc(i + 1))
+        expected = self.ITERS * sum(
+            range(1, self.THREADS + 1)
+        )
+        assert counter.value == expected
+
+    def test_histogram_observe_keeps_exact_totals(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        _hammer(
+            self.THREADS, self.ITERS,
+            lambda i: hist.observe(float(i)),
+        )
+        snap = hist.snapshot()
+        total = self.THREADS * self.ITERS
+        assert snap["count"] == total
+        assert sum(snap["buckets"].values()) == total
+        assert snap["sum"] == pytest.approx(
+            self.ITERS * sum(range(self.THREADS))
+        )
+        assert snap["min"] == 0.0
+        assert snap["max"] == float(self.THREADS - 1)
+
+    def test_gauge_watermark_never_regresses(self):
+        gauge = MetricsRegistry().gauge("g")
+        _hammer(
+            self.THREADS, self.ITERS, lambda i: gauge.set(float(i))
+        )
+        assert gauge.max == float(self.THREADS - 1)
+        assert 0.0 <= gauge.value <= gauge.max
+
+    def test_slots_still_reject_new_attributes(self):
+        # The lock must not have cost the instruments __slots__.
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(AttributeError):
+            counter.arbitrary = 1
+        assert not hasattr(counter, "__dict__")

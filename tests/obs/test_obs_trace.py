@@ -1,6 +1,7 @@
 """Tests for the trace layer: events, ring buffer, spans, JSON."""
 
 import json
+import threading
 
 import pytest
 
@@ -55,6 +56,61 @@ class TestRingBuffer:
         assert len(trace) == 0
         assert trace.dropped == 0
 
+    def test_loss_accounting_under_concurrent_overflow(self):
+        """emitted == buffered + dropped, exactly, with many threads
+        overflowing one small ring at once."""
+        threads, per_thread, capacity = 8, 500, 64
+        trace = TraceCollector(capacity=capacity)
+        barrier = threading.Barrier(threads)
+
+        def emit(worker: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                trace.emit("lock.grant", worker=worker, i=i)
+
+        pool = [
+            threading.Thread(target=emit, args=(w,))
+            for w in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        emitted = threads * per_thread
+        assert len(trace) == capacity
+        assert trace.dropped == emitted - capacity
+        # Sequence numbers never collide even under contention.
+        seqs = [e.seq for e in trace.events()]
+        assert len(set(seqs)) == capacity
+
+    def test_prefix_filter_sees_only_survivors(self):
+        trace = TraceCollector(capacity=4)
+        for i in range(6):
+            trace.emit("lock.grant", i=i)
+        trace.emit("wave.start")
+        trace.emit("lock.deny")
+        # Ring holds the last 4: grants 4,5 then wave.start, lock.deny.
+        family = trace.events("lock.")
+        assert [e.kind for e in family] == [
+            "lock.grant", "lock.grant", "lock.deny",
+        ]
+        assert [e.get("i") for e in family[:2]] == [4, 5]
+        assert trace.dropped == 4
+
+    def test_json_lines_round_trip_after_overflow(self):
+        trace = TraceCollector(capacity=2)
+        trace.emit("a", obj=("order", 1))
+        trace.emit("b", payload={"k": {1, 2}})
+        trace.emit("c", fn=len)
+        lines = trace.to_json_lines().splitlines()
+        assert len(lines) == 2
+        rows = [json.loads(line) for line in lines]
+        assert [r["kind"] for r in rows] == ["b", "c"]
+        # _jsonable: sets become sorted lists, callables fall back to
+        # repr — every survivor stays parseable.
+        assert rows[0]["payload"] == {"k": [1, 2]}
+        assert isinstance(rows[1]["fn"], str)
+
 
 class TestFiltering:
     def test_events_by_exact_kind(self):
@@ -100,6 +156,41 @@ class TestSpan:
         assert [e.kind for e in trace.events()] == [
             "wave.start", "wave.end",
         ]
+
+    def test_span_at_uses_the_injected_clock(self):
+        """A virtual-time owner spans on its own clock even when the
+        collector itself runs on wall time."""
+        virtual = iter([100.0, 107.25])
+        trace = TraceCollector()  # wall clock
+        with trace.span_at("sim.phase", lambda: next(virtual), pid="P1"):
+            pass
+        start, end = trace.events()
+        assert start.ts == 100.0
+        assert end.ts == 107.25
+        assert end.get("duration") == pytest.approx(7.25)
+        assert end.get("pid") == "P1"
+
+    def test_span_wall_and_span_at_virtual_do_not_mix(self):
+        wall = iter([1.0, 2.0])
+        virtual = iter([500.0, 510.0])
+        trace = TraceCollector(clock=lambda: next(wall))
+        with trace.span("wave"):
+            with trace.span_at("sim.step", lambda: next(virtual)):
+                pass
+        by_kind = {e.kind: e for e in trace.events()}
+        assert by_kind["wave.end"].get("duration") == pytest.approx(1.0)
+        assert by_kind["sim.step.end"].get("duration") == pytest.approx(
+            10.0
+        )
+
+    def test_caller_supplied_duration_field_is_rejected(self):
+        trace = TraceCollector()
+        with pytest.raises(ValueError, match="duration"):
+            with trace.span("wave", duration=3.0):
+                pass
+        with pytest.raises(ValueError, match="duration"):
+            with trace.span_at("wave", trace.clock, duration=3.0):
+                pass
 
 
 class TestJson:

@@ -310,3 +310,149 @@ class TestMetrics:
         empty.write_text("; nothing here\n")
         assert main(["metrics", str(empty)]) == 2
         assert "error" in capsys.readouterr().err
+
+
+CONFLICT_RULES = """
+(p toggle 10
+   (flag ^id <f> ^state on)
+   -->
+   (modify 1 ^state off))
+
+(p observe 0
+   (flag ^id <f> ^state on)
+   -->
+   (make seen ^flag <f>))
+"""
+
+
+@pytest.fixture
+def conflict_rule_file(tmp_path):
+    path = tmp_path / "conflict.ops"
+    path.write_text(CONFLICT_RULES)
+    return path
+
+
+@pytest.fixture
+def conflict_facts_file(tmp_path):
+    path = tmp_path / "conflict.jsonl"
+    path.write_text(
+        json.dumps({"relation": "flag", "id": 1, "state": "on"})
+    )
+    return path
+
+
+def bench_file(tmp_path, name, wall=1.0, speedup=2.25):
+    payload = {
+        "tests": {
+            "benchmarks/bench_x.py::test_x": {
+                "wall_seconds": wall,
+                "reports": [
+                    {
+                        "title": "Figure X",
+                        "rows": [
+                            {
+                                "quantity": "speedup",
+                                "paper": 2.25,
+                                "measured": speedup,
+                            }
+                        ],
+                    }
+                ],
+            }
+        }
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestObsExport:
+    def test_chrome_export_is_a_loadable_trace(
+        self, conflict_rule_file, conflict_facts_file, capsys
+    ):
+        code = main(
+            ["obs", "export", str(conflict_rule_file),
+             "--facts", str(conflict_facts_file),
+             "--format", "chrome"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        doc = json.loads(captured.out)
+        names = {e["name"].split("[")[0] for e in doc["traceEvents"]}
+        assert {"run", "cycle", "firing"} <= names
+        assert "# format=chrome" in captured.err
+
+    def test_prom_export_has_metrics(
+        self, conflict_rule_file, conflict_facts_file, capsys
+    ):
+        code = main(
+            ["obs", "export", str(conflict_rule_file),
+             "--facts", str(conflict_facts_file),
+             "--format", "prom"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro_txn_commits_total" in out
+
+    def test_jsonl_export_writes_file(
+        self, conflict_rule_file, conflict_facts_file, tmp_path
+    ):
+        target = tmp_path / "spans.jsonl"
+        code = main(
+            ["obs", "export", str(conflict_rule_file),
+             "--facts", str(conflict_facts_file),
+             "--format", "jsonl", "--out", str(target)]
+        )
+        assert code == 0
+        rows = [
+            json.loads(line)
+            for line in target.read_text().splitlines() if line
+        ]
+        assert any(r["name"] == "cycle" for r in rows)
+
+
+class TestObsReport:
+    def test_report_shows_critical_paths_and_aborts(
+        self, conflict_rule_file, conflict_facts_file, capsys
+    ):
+        code = main(
+            ["obs", "report", str(conflict_rule_file),
+             "--facts", str(conflict_facts_file),
+             "--strategy", "priority"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "critical paths" in out
+        assert "makespan" in out
+        assert "rule-(ii) abort attribution: 1 abort" in out
+        assert "observe" in out and "toggle" in out
+
+
+class TestObsDiff:
+    def test_identical_benches_exit_zero(self, tmp_path, capsys):
+        a = bench_file(tmp_path, "a.json")
+        b = bench_file(tmp_path, "b.json")
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+        assert "0 regressed" in capsys.readouterr().err
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        a = bench_file(tmp_path, "a.json", speedup=2.25)
+        b = bench_file(tmp_path, "b.json", speedup=2.25 * 0.7)
+        code = main(["obs", "diff", str(a), str(b), "--no-wall"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "REGRESSED" in captured.out
+
+    def test_report_only_exits_zero_on_regression(self, tmp_path):
+        a = bench_file(tmp_path, "a.json", wall=1.0)
+        b = bench_file(tmp_path, "b.json", wall=5.0)
+        assert main(
+            ["obs", "diff", str(a), str(b), "--report-only"]
+        ) == 0
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        a = bench_file(tmp_path, "a.json")
+        assert main(
+            ["obs", "diff", str(a), str(tmp_path / "absent.json")]
+        ) == 2
+        assert "error" in capsys.readouterr().err
