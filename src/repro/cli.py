@@ -144,6 +144,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             retry_policy=retry_policy,
             fault_injector=injector,
+            lock_stripes=args.lock_stripes,
         )
         result = engine.run(max_waves=args.max_cycles)
         replay = replay_commit_sequence(snapshot, rules, result.firings)
@@ -210,6 +211,7 @@ def _run_observed(
         processors=args.processors,
         seed=args.seed,
         observer=observer,
+        lock_stripes=args.lock_stripes,
     )
     result = engine.run(max_waves=args.max_cycles)
     return observer, result
@@ -422,6 +424,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             seed=args.seed,
             retry_policy=RetryPolicy(max_attempts=args.retries, seed=seed),
             fault_injector=injector,
+            lock_stripes=args.lock_stripes,
         )
         result = engine.run(max_waves=args.max_cycles)
         replay = replay_commit_sequence(snapshot, rules, result.firings)
@@ -527,6 +530,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the wave-parallel engine with this lock scheme",
     )
     run.add_argument("--processors", type=int, default=None)
+    run.add_argument(
+        "--lock-stripes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lock-table stripes (default 1 = the single-mutex "
+        "centralized manager; >1 shards the grant table)",
+    )
     run.add_argument("--seed", type=int, default=None)
     run.add_argument("--max-cycles", type=int, default=10_000)
     run.add_argument(
@@ -596,6 +607,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="lex",
     )
     chaos.add_argument("--processors", type=int, default=None)
+    chaos.add_argument(
+        "--lock-stripes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lock-table stripes (default 1 = single-mutex manager)",
+    )
     chaos.add_argument("--seed", type=int, default=None)
     chaos.add_argument("--max-cycles", type=int, default=10_000)
     add_fault_arguments(chaos)
@@ -640,6 +658,13 @@ def build_parser() -> argparse.ArgumentParser:
             default="lex",
         )
         parser.add_argument("--processors", type=int, default=None)
+        parser.add_argument(
+            "--lock-stripes",
+            type=int,
+            default=1,
+            metavar="N",
+            help="lock-table stripes (default 1 = single-mutex manager)",
+        )
         parser.add_argument("--seed", type=int, default=None)
         parser.add_argument("--max-cycles", type=int, default=10_000)
         parser.add_argument(

@@ -120,6 +120,7 @@ class ParallelEngine:
         observer=None,
         retry_policy: RetryPolicy | None = None,
         fault_injector: FaultInjector | None = None,
+        lock_stripes: int = 1,
     ) -> None:
         self.obs = (
             observer if observer is not None else obs_module.get_observer()
@@ -140,15 +141,18 @@ class ParallelEngine:
         self.history = History()
         if scheme == "rc":
             self.scheme: RcScheme | TwoPhaseScheme = RcScheme(
-                history=self.history, observer=self.obs
+                history=self.history, observer=self.obs,
+                stripes=lock_stripes,
             )
         elif scheme == "2pl":
             self.scheme = TwoPhaseScheme(
-                history=self.history, observer=self.obs
+                history=self.history, observer=self.obs,
+                stripes=lock_stripes,
             )
         elif scheme == "c2pl":
             self.scheme = ConservativeTwoPhaseScheme(
-                history=self.history, observer=self.obs
+                history=self.history, observer=self.obs,
+                stripes=lock_stripes,
             )
         else:
             raise EngineError(f"unknown scheme {scheme!r}")

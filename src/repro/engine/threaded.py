@@ -154,6 +154,7 @@ class ThreadedWaveExecutor:
         retry_policy: RetryPolicy | None = None,
         fault_injector: FaultInjector | None = None,
         sleeper: Callable[[float], None] = time.sleep,
+        lock_stripes: int = 1,
     ) -> None:
         if memory._mutex is None:  # noqa: SLF001 - deliberate check
             raise EngineError(
@@ -169,11 +170,13 @@ class ThreadedWaveExecutor:
         self.history = History()
         if scheme == "rc":
             self.scheme: RcScheme | TwoPhaseScheme = RcScheme(
-                history=self.history, observer=self.obs
+                history=self.history, observer=self.obs,
+                stripes=lock_stripes,
             )
         elif scheme == "2pl":
             self.scheme = TwoPhaseScheme(
-                history=self.history, observer=self.obs
+                history=self.history, observer=self.obs,
+                stripes=lock_stripes,
             )
         else:
             raise EngineError(f"unknown scheme {scheme!r}")

@@ -29,7 +29,8 @@ from repro.locks.modes import (
     table_4_1,
 )
 from repro.locks.request import LockGrant, LockRequest, RequestStatus
-from repro.locks.manager import LockManager
+from repro.locks.manager import GrantOutcome, LockManager, StripedLockManager
+from repro.locks.fastpath import HeldModeCache
 from repro.locks.two_phase import ConservativeTwoPhaseScheme, TwoPhaseScheme
 from repro.locks.rc_scheme import RcScheme
 from repro.locks.deadlock import (
@@ -58,6 +59,9 @@ __all__ = [
     "LockGrant",
     "RequestStatus",
     "LockManager",
+    "StripedLockManager",
+    "GrantOutcome",
+    "HeldModeCache",
     "TwoPhaseScheme",
     "ConservativeTwoPhaseScheme",
     "RcScheme",

@@ -1,0 +1,89 @@
+"""Per-transaction held-mode memoization for the locking schemes.
+
+Both schemes' all-or-nothing acquisition (:meth:`try_lock_action`)
+needs to know whether the transaction already holds a mode on each
+object — in the seed that is a ``manager.holds`` call per object, a
+full mutex round trip each.  The scheme layer is in a position to
+remember its own grants: every lock a scheme hands out, and every
+release, passes through the scheme's entry points, so a local cache of
+``(obj, mode)`` pairs per transaction turns the already-held check
+into a set lookup.
+
+The cache is *memoization, never authority*:
+
+* a hit means "this scheme granted the mode and has not released it" —
+  trustworthy because all scheme-level release paths
+  (commit/abort/release_condition_locks/rollback) evict;
+* a miss means nothing — engines such as the ThreadedWaveExecutor
+  acquire straight from the manager, bypassing the scheme, so callers
+  must fall back to the manager (``try_acquire_held`` folds that
+  fallback and the acquisition into one round trip).
+
+False negatives are therefore harmless (one extra manager call);
+false positives cannot occur while every scheme release path calls
+:meth:`drop`/:meth:`discard`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.locks.modes import LockMode
+from repro.txn.transaction import DataObject, Transaction
+
+
+class HeldModeCache:
+    """Scheme-local map of transaction -> held ``(obj, mode)`` pairs.
+
+    Mutations are guarded by a plain lock; the read path
+    (:meth:`holds`) is deliberately unguarded — under the GIL a
+    concurrent ``add`` can at worst produce a spurious miss, which
+    only costs the fallback manager round trip.
+    """
+
+    __slots__ = ("_held", "_mutex")
+
+    def __init__(self) -> None:
+        self._held: dict[Transaction, set[tuple[DataObject, LockMode]]] = {}
+        self._mutex = threading.Lock()
+
+    def holds(
+        self, txn: Transaction, obj: DataObject, mode: LockMode
+    ) -> bool:
+        """True when this scheme is known to hold ``mode`` on ``obj``."""
+        entry = self._held.get(txn)
+        return entry is not None and (obj, mode) in entry
+
+    def note(
+        self, txn: Transaction, obj: DataObject, mode: LockMode
+    ) -> None:
+        """Record a grant observed by the scheme.
+
+        Hot path: the entry set is looked up without the mutex (only
+        ``txn``'s own thread notes for it, and CPython dict reads are
+        GIL-atomic); the mutex guards only first-touch insertion.
+        """
+        entry = self._held.get(txn)
+        if entry is None:
+            with self._mutex:
+                entry = self._held.setdefault(txn, set())
+        entry.add((obj, mode))
+
+    def discard(
+        self, txn: Transaction, obj: DataObject, mode: LockMode
+    ) -> None:
+        """Forget one pair (single-lock release on a rollback path)."""
+        with self._mutex:
+            entry = self._held.get(txn)
+            if entry is not None:
+                entry.discard((obj, mode))
+                if not entry:
+                    del self._held[txn]
+
+    def drop(self, txn: Transaction) -> None:
+        """Forget everything for ``txn`` (commit/abort/release-all)."""
+        with self._mutex:
+            self._held.pop(txn, None)
+
+    def __len__(self) -> int:
+        return len(self._held)

@@ -1,4 +1,4 @@
-"""The centralized lock manager.
+"""The centralized lock manager — and its striped successor.
 
 Implements the machinery both schemes share (Section 4.2 introduces it:
 "below is an example of such a scheme, using a centralized lock
@@ -12,20 +12,72 @@ The manager is deliberately scheme-agnostic: it enforces whatever the
 compatibility function says.  The 2PL discipline and the Rc/Ra/Wa
 commit-time abort rule live in :mod:`repro.locks.two_phase` and
 :mod:`repro.locks.rc_scheme`.
+
+Striping
+--------
+``LockManager(stripes=1)`` (the default) is the seed implementation:
+one global mutex guarding the whole grant table — the literal
+"centralized lock manager" of Section 4.2, kept byte-for-byte as the
+semantics oracle.  ``LockManager(stripes=N)`` for ``N > 1`` returns a
+:class:`StripedLockManager`: the table is sharded into N independent
+stripes (``stripe_fn(obj) % N``), each owning its own mutex, grant
+map, FIFO queues, per-transaction indexes and stats counters, so
+uncontended acquisitions on distinct objects never touch the same
+latch.  Cross-stripe reads (``waits_for_edges``, ``grant_table``,
+``stats_snapshot``...) take *ordered* all-stripe snapshots, which keeps
+the deadlock detector and the auditor sound.  Both variants make
+identical grant/wait/deny decisions for any deterministic schedule —
+the hypothesis equivalence tests pin that.
 """
 
 from __future__ import annotations
 
+import enum
 import threading
 from collections import defaultdict
+from contextlib import contextmanager
 from typing import Callable, Iterator
 
 import repro.obs as obs_module
 from repro.errors import DeadlockDetected, LockError
 from repro.locks.modes import LockMode, compatible, is_upgrade
+
+#: Read-flavored modes, precomputed for the striped fast path (saves a
+#: property call per grant).
+_READ_MODES = frozenset(m for m in LockMode if m.is_read)
 from repro.locks.request import LockRequest, RequestStatus
 from repro.txn.schedule import History
 from repro.txn.transaction import DataObject, Transaction
+
+#: Counter names aggregated by :meth:`LockManager.stats_snapshot`.
+STAT_KEYS = ("grants", "waits", "denials", "upgrades")
+
+
+class GrantOutcome(enum.Enum):
+    """Result of :meth:`LockManager.try_acquire_held`."""
+
+    #: The transaction already held the mode; nothing was acquired.
+    HELD = "held"
+    #: The mode was granted by this call.
+    GRANTED = "granted"
+    #: The mode is unavailable; nothing was acquired or queued.
+    DENIED = "denied"
+
+
+def _check_audit_pairs(obj: DataObject, grants: dict) -> None:
+    """Raise :class:`LockError` when two held modes are incompatible."""
+    pairs = [(t, m) for t, modes in grants.items() for m in modes]
+    for i, (txn_a, mode_a) in enumerate(pairs):
+        for txn_b, mode_b in pairs[i + 1:]:
+            if txn_a is txn_b:
+                continue
+            if not compatible(mode_a, mode_b) and not compatible(
+                mode_b, mode_a
+            ):
+                raise LockError(
+                    f"compatibility invariant violated on {obj!r}: "
+                    f"{txn_a.txn_id}:{mode_a} with {txn_b.txn_id}:{mode_b}"
+                )
 
 
 class LockManager:
@@ -46,14 +98,43 @@ class LockManager:
         Observability sink for lock events (grant/wait/deny/cancel)
         and metrics; defaults to the module-level observer from
         :mod:`repro.obs` (inert unless enabled).
+    stripes:
+        Lock-table stripe count.  ``1`` (default) keeps the seed
+        single-mutex implementation — the semantics oracle.  ``N > 1``
+        dispatches to :class:`StripedLockManager`.
+    stripe_fn:
+        Object-to-integer hash used for stripe placement (striped
+        variant only); defaults to :func:`hash`.  Tests inject a
+        custom function to force objects into chosen stripes.
     """
+
+    #: Stripe count; 1 for the legacy single-mutex manager.
+    stripes: int = 1
+
+    def __new__(
+        cls,
+        history: History | None = None,
+        audit: bool = True,
+        observer=None,
+        *,
+        stripes: int = 1,
+        stripe_fn: Callable[[DataObject], int] | None = None,
+    ):
+        if cls is LockManager and stripes > 1:
+            return super().__new__(StripedLockManager)
+        return super().__new__(cls)
 
     def __init__(
         self,
         history: History | None = None,
         audit: bool = True,
         observer=None,
+        *,
+        stripes: int = 1,
+        stripe_fn: Callable[[DataObject], int] | None = None,
     ) -> None:
+        if stripes < 1:
+            raise ValueError(f"stripes must be >= 1, got {stripes}")
         self.history = history
         self.audit = audit
         self.obs = (
@@ -67,8 +148,15 @@ class LockManager:
         self._txn_objects: dict[Transaction, set[DataObject]] = defaultdict(
             set
         )
-        #: Total grants/waits/denials, exposed for benchmarks.
-        self.stats = {"grants": 0, "waits": 0, "denials": 0, "upgrades": 0}
+        #: Total grants/waits/denials — the live counter dict of the
+        #: seed implementation.  Deprecated for external reads: use
+        #: :meth:`stats_snapshot`, which is atomic and also works on
+        #: the striped variant (where ``stats`` is an aggregate view).
+        self.stats = {key: 0 for key in STAT_KEYS}
+        #: Queue-processing passes performed (one per object whose
+        #: queue was examined) — the regression counter for the
+        #: commit-cost fix; see :meth:`release_all`.
+        self.queue_visits = 0
 
     # -- queries ---------------------------------------------------------------------
 
@@ -132,6 +220,37 @@ class LockManager:
                             continue
                         if not compatible(request.mode, ahead.mode):
                             yield (request.txn, ahead.txn)
+
+    def write_read_conflicts(
+        self,
+        txn: Transaction,
+        write_mode: LockMode,
+        read_mode: LockMode,
+        candidates: Iterable[DataObject] | None = None,
+    ) -> dict[Transaction, list[DataObject]]:
+        """Holders of ``read_mode`` on objects where ``txn`` holds
+        ``write_mode``, as one consistent pass.
+
+        The commit-time rule (ii) scan: equivalent to iterating
+        ``locked_objects``/``holds``/``holders`` from the scheme layer,
+        but in a single lock round trip instead of 2-3 per object.
+        ``candidates`` narrows the scan to a superset of the objects
+        ``txn`` may hold ``write_mode`` on (e.g. its write set);
+        objects where it doesn't actually hold the mode are filtered
+        here, so a stale superset is safe.
+        """
+        victims: dict[Transaction, list[DataObject]] = {}
+        with self._mutex:
+            if candidates is None:
+                candidates = self._txn_objects.get(txn, ())
+            for obj in candidates:
+                grants = self._grants.get(obj, {})
+                if write_mode not in grants.get(txn, ()):
+                    continue
+                for holder, modes in grants.items():
+                    if holder is not txn and read_mode in modes:
+                        victims.setdefault(holder, []).append(obj)
+        return victims
 
     def can_grant(
         self, txn: Transaction, obj: DataObject, mode: LockMode
@@ -231,6 +350,23 @@ class LockManager:
                 )
             return False
 
+    def try_acquire_held(
+        self, txn: Transaction, obj: DataObject, mode: LockMode
+    ) -> GrantOutcome:
+        """Held-check and non-queuing grant in one mutex round trip.
+
+        Equivalent to ``holds(...) or try_acquire(...)`` but atomic and
+        with the already-held case distinguished, so scheme-level
+        all-or-nothing acquisition can tell "not ours to undo" from
+        "newly acquired" without a second round trip.
+        """
+        with self._mutex:
+            if mode in self._grants.get(obj, {}).get(txn, ()):
+                return GrantOutcome.HELD
+            if self.try_acquire(txn, obj, mode):
+                return GrantOutcome.GRANTED
+            return GrantOutcome.DENIED
+
     def _try_grant(self, request: LockRequest) -> bool:
         """Grant ``request`` if rules allow; caller holds the mutex."""
         obj, txn, mode = request.obj, request.txn, request.mode
@@ -280,21 +416,7 @@ class LockManager:
                 self.history.write(txn.txn_id, obj)
 
     def _audit_object(self, obj: DataObject) -> None:
-        grants = self._grants.get(obj, {})
-        pairs = [
-            (t, m) for t, modes in grants.items() for m in modes
-        ]
-        for i, (txn_a, mode_a) in enumerate(pairs):
-            for txn_b, mode_b in pairs[i + 1:]:
-                if txn_a is txn_b:
-                    continue
-                if not compatible(mode_a, mode_b) and not compatible(
-                    mode_b, mode_a
-                ):
-                    raise LockError(
-                        f"compatibility invariant violated on {obj!r}: "
-                        f"{txn_a.txn_id}:{mode_a} with {txn_b.txn_id}:{mode_b}"
-                    )
+        _check_audit_pairs(obj, self._grants.get(obj, {}))
 
     # -- release ---------------------------------------------------------------------------
 
@@ -318,7 +440,14 @@ class LockManager:
 
     def release_all(self, txn: Transaction) -> None:
         """Release every lock ``txn`` holds (commit/abort epilogue —
-        both schemes hold all locks to the end, Figures 4.1/4.2)."""
+        both schemes hold all locks to the end, Figures 4.1/4.2).
+
+        The seed cost profile is kept deliberately: the epilogue scans
+        *every* queue in the system (via ``_cancel_requests_of``), so a
+        commit is O(total objects ever queued).  The striped variant
+        replaces this with per-transaction indexes — O(held + waiting)
+        — which is the measured win of ``bench_lock_scaling``.
+        """
         with self._mutex:
             for obj in list(self._txn_objects.get(txn, ())):
                 grants = self._grants.get(obj)
@@ -357,6 +486,7 @@ class LockManager:
 
     def _process_queue(self, obj: DataObject) -> None:
         """Grant queued requests in FIFO order while compatible."""
+        self.queue_visits += 1
         queue = self._queues.get(obj)
         if not queue:
             return
@@ -385,7 +515,708 @@ class LockManager:
                 if grants
             }
 
+    def stats_snapshot(self) -> dict[str, int]:
+        """Atomic copy of the grant/wait/denial/upgrade counters.
+
+        The supported way to read lock statistics: on the striped
+        variant the per-stripe counters are aggregated under an
+        all-stripe lock, so the totals are a consistent cut.
+        """
+        with self._mutex:
+            return dict(self.stats)
+
+    def audit_now(self) -> None:
+        """Verify the compatibility invariant for every held object.
+
+        Raises :class:`LockError` on violation; used by tests as a
+        post-run safety sweep (the per-grant auditor covers the
+        incremental case).
+        """
+        with self._mutex:
+            for obj in self._grants:
+                self._audit_object(obj)
+
     def raise_deadlock(self, request: LockRequest, cycle: tuple[str, ...]) -> None:
         """Deny ``request`` as a deadlock victim and raise."""
         self.cancel(request)
         raise DeadlockDetected(request.txn.txn_id, cycle)
+
+
+class _Stripe:
+    """One shard of the striped lock table.
+
+    Everything here is guarded by :attr:`mutex`; the stripe never
+    reaches into another stripe, so uncontended acquisitions on
+    objects in different stripes are latch-free with respect to each
+    other.
+    """
+
+    __slots__ = (
+        "mutex", "grants", "queues", "held", "pending",
+        "grants_n", "waits_n", "denials_n", "upgrades_n", "queue_visits",
+    )
+
+    def __init__(self) -> None:
+        self.mutex = threading.Lock()
+        #: obj -> txn -> held modes
+        self.grants: dict[DataObject, dict[Transaction, set[LockMode]]] = {}
+        #: obj -> FIFO list of requests (waiting and resolved mixed,
+        #: as in the seed; resolved entries are skipped/purged during
+        #: queue processing)
+        self.queues: dict[DataObject, list[LockRequest]] = {}
+        #: txn -> objects it holds grants on *in this stripe* — makes
+        #: release_all O(held) instead of O(table).
+        self.held: dict[Transaction, set[DataObject]] = {}
+        #: txn -> its waiting requests in this stripe — makes
+        #: commit/abort-time request cancellation O(waiting) instead
+        #: of a scan over every queue in the system.
+        self.pending: dict[Transaction, set[LockRequest]] = {}
+        self.grants_n = 0
+        self.waits_n = 0
+        self.denials_n = 0
+        self.upgrades_n = 0
+        self.queue_visits = 0
+
+
+class StripedLockManager(LockManager):
+    """Lock table sharded into N independent stripes.
+
+    Decision-equivalent to the single-mutex :class:`LockManager` (the
+    hypothesis tests enforce it) but with per-object work distributed
+    over per-stripe latches and with per-transaction indexes replacing
+    the seed's table scans:
+
+    * ``release_all`` / request cancellation are O(held + waiting) per
+      commit instead of O(total objects ever queued);
+    * ``try_acquire`` grants without allocating a request object (the
+      seed pays a ``threading.Event`` per probe);
+    * empty grant/queue entries are pruned, so the table does not grow
+      without bound under churn.
+
+    Cross-stripe reads take all stripe mutexes in index order (a
+    deterministic total order, so two concurrent snapshots cannot
+    deadlock) — the waits-for graph and the auditor see one consistent
+    cut of the whole table.
+    """
+
+    def __init__(
+        self,
+        history: History | None = None,
+        audit: bool = True,
+        observer=None,
+        *,
+        stripes: int = 2,
+        stripe_fn: Callable[[DataObject], int] | None = None,
+    ) -> None:
+        if stripes < 2:
+            raise ValueError(
+                f"StripedLockManager needs stripes >= 2, got {stripes}"
+            )
+        self.history = history
+        self.audit = audit
+        self.obs = (
+            observer if observer is not None else obs_module.get_observer()
+        )
+        self.stripes = stripes
+        self._stripe_fn = stripe_fn if stripe_fn is not None else hash
+        self._table = [_Stripe() for _ in range(stripes)]
+        # txn -> stripe indexes where it has (or had) waiting requests.
+        # Only touched on the queue/cancel slow path; lets release_all
+        # skip stripes the transaction never waited in.
+        self._pending_mutex = threading.Lock()
+        self._pending_stripes: dict[Transaction, set[int]] = {}
+
+    # -- stripe plumbing ---------------------------------------------------------------
+
+    def _index_of(self, obj: DataObject) -> int:
+        return self._stripe_fn(obj) % self.stripes
+
+    def _stripe_of(self, obj: DataObject) -> _Stripe:
+        return self._table[self._stripe_fn(obj) % self.stripes]
+
+    @contextmanager
+    def _locked_all(self):
+        """All stripe mutexes, acquired in index order (deadlock-free
+        by total ordering), for consistent cross-stripe snapshots."""
+        for stripe in self._table:
+            stripe.mutex.acquire()
+        try:
+            yield
+        finally:
+            for stripe in reversed(self._table):
+                stripe.mutex.release()
+
+    # -- queries ---------------------------------------------------------------------
+
+    def holders(
+        self, obj: DataObject, mode: LockMode | None = None
+    ) -> list[Transaction]:
+        stripe = self._stripe_of(obj)
+        with stripe.mutex:
+            grants = stripe.grants.get(obj, {})
+            if mode is None:
+                return list(grants)
+            return [t for t, modes in grants.items() if mode in modes]
+
+    def held_modes(self, txn: Transaction, obj: DataObject) -> set[LockMode]:
+        stripe = self._stripe_of(obj)
+        with stripe.mutex:
+            return set(stripe.grants.get(obj, {}).get(txn, set()))
+
+    def locked_objects(self, txn: Transaction) -> frozenset[DataObject]:
+        out: set[DataObject] = set()
+        for stripe in self._table:
+            with stripe.mutex:
+                out.update(stripe.held.get(txn, ()))
+        return frozenset(out)
+
+    def waiting_requests(self, obj: DataObject | None = None) -> list[LockRequest]:
+        if obj is not None:
+            stripe = self._stripe_of(obj)
+            with stripe.mutex:
+                return [
+                    r for r in stripe.queues.get(obj, []) if r.is_waiting
+                ]
+        out: list[LockRequest] = []
+        with self._locked_all():
+            for stripe in self._table:
+                for queue in stripe.queues.values():
+                    out.extend(r for r in queue if r.is_waiting)
+        return out
+
+    def waits_for_edges(self) -> Iterator[tuple[Transaction, Transaction]]:
+        edges: list[tuple[Transaction, Transaction]] = []
+        with self._locked_all():
+            for stripe in self._table:
+                for obj, queue in stripe.queues.items():
+                    waiting = [r for r in queue if r.is_waiting]
+                    for position, request in enumerate(waiting):
+                        for holder, modes in stripe.grants.get(
+                            obj, {}
+                        ).items():
+                            if holder is request.txn:
+                                continue
+                            if any(
+                                not compatible(request.mode, m)
+                                for m in modes
+                            ):
+                                edges.append((request.txn, holder))
+                        for ahead in waiting[:position]:
+                            if ahead.txn is request.txn:
+                                continue
+                            if not compatible(request.mode, ahead.mode):
+                                edges.append((request.txn, ahead.txn))
+        return iter(edges)
+
+    def write_read_conflicts(
+        self,
+        txn: Transaction,
+        write_mode: LockMode,
+        read_mode: LockMode,
+        candidates: Iterable[DataObject] | None = None,
+    ) -> dict[Transaction, list[DataObject]]:
+        victims: dict[Transaction, list[DataObject]] = {}
+        if candidates is not None:
+            by_stripe: dict[int, list[DataObject]] = {}
+            stripe_fn, count = self._stripe_fn, self.stripes
+            for obj in candidates:
+                by_stripe.setdefault(stripe_fn(obj) % count, []).append(obj)
+            for index, objs in sorted(by_stripe.items()):
+                stripe = self._table[index]
+                with stripe.mutex:
+                    for obj in objs:
+                        grants = stripe.grants.get(obj)
+                        if (
+                            grants is None
+                            or write_mode not in grants.get(txn, ())
+                        ):
+                            continue
+                        for holder, modes in grants.items():
+                            if holder is not txn and read_mode in modes:
+                                victims.setdefault(holder, []).append(obj)
+            return victims
+        for stripe in self._table:
+            # Unlocked pre-check: txn's own holdings only change from
+            # its own (or its aborter's) thread, never concurrently
+            # with a commit-time scan, and dict lookups are GIL-atomic.
+            if txn not in stripe.held:
+                continue
+            with stripe.mutex:
+                held = stripe.held.get(txn)
+                if not held:
+                    continue
+                for obj in held:
+                    grants = stripe.grants.get(obj, {})
+                    if write_mode not in grants.get(txn, ()):
+                        continue
+                    for holder, modes in grants.items():
+                        if holder is not txn and read_mode in modes:
+                            victims.setdefault(holder, []).append(obj)
+        return victims
+
+    def can_grant(
+        self, txn: Transaction, obj: DataObject, mode: LockMode
+    ) -> bool:
+        stripe = self._stripe_of(obj)
+        with stripe.mutex:
+            return self._can_grant_locked(stripe, txn, obj, mode)
+
+    @staticmethod
+    def _can_grant_locked(
+        stripe: _Stripe, txn: Transaction, obj: DataObject, mode: LockMode
+    ) -> bool:
+        """Pure grant-rule probe; caller holds the stripe mutex."""
+        grants = stripe.grants.get(obj)
+        upgrading = False
+        if grants:
+            upgrading = txn in grants
+            for holder, modes in grants.items():
+                if holder is txn:
+                    continue
+                if any(not compatible(mode, held) for held in modes):
+                    return False
+        if not upgrading:
+            for ahead in stripe.queues.get(obj, ()):
+                if not ahead.is_waiting or ahead.txn is txn:
+                    continue
+                if not compatible(mode, ahead.mode):
+                    return False
+        return True
+
+    # -- acquisition --------------------------------------------------------------------
+
+    def _grant_effects_locked(
+        self,
+        stripe: _Stripe,
+        txn: Transaction,
+        obj: DataObject,
+        mode: LockMode,
+        enqueued_at: float | None = None,
+    ) -> None:
+        """Record a grant's side effects; caller holds the stripe
+        mutex and has already verified the grant rules."""
+        grants = stripe.grants.get(obj)
+        if grants is None:
+            grants = stripe.grants[obj] = {}
+        own = grants.get(txn)
+        if own is None:
+            grants[txn] = {mode}
+            held = stripe.held.get(txn)
+            if held is None:
+                stripe.held[txn] = {obj}
+            else:
+                held.add(obj)
+        else:
+            # Check upgrades against the modes held *before* this
+            # grant (hence before the add — avoids copying the set).
+            if any(is_upgrade(h, mode) for h in own):
+                stripe.upgrades_n += 1
+            own.add(mode)
+        stripe.grants_n += 1
+        if self.obs.enabled:
+            waited = (
+                self.obs.clock() - enqueued_at
+                if enqueued_at is not None
+                else 0.0
+            )
+            self.obs.lock_granted(
+                txn.txn_id, obj, str(mode), waited=waited,
+                queued=enqueued_at is not None,
+            )
+        self._record(txn, obj, mode)
+        if self.audit:
+            _check_audit_pairs(obj, grants)
+
+    def _try_grant_locked(
+        self,
+        stripe: _Stripe,
+        txn: Transaction,
+        obj: DataObject,
+        mode: LockMode,
+        enqueued_at: float | None = None,
+    ) -> bool:
+        """Grant rules + effects without a request object; caller
+        holds the stripe mutex."""
+        if not self._can_grant_locked(stripe, txn, obj, mode):
+            return False
+        self._grant_effects_locked(stripe, txn, obj, mode, enqueued_at)
+        return True
+
+    def acquire(
+        self,
+        txn: Transaction,
+        obj: DataObject,
+        mode: LockMode,
+        blocking: bool = False,
+        timeout: float | None = None,
+        on_block: Callable[[LockRequest], None] | None = None,
+    ) -> LockRequest:
+        stripe = self._stripe_of(obj)
+        index = None
+        request = LockRequest(txn, obj, mode)
+        with stripe.mutex:
+            if self._try_grant_locked(stripe, txn, obj, mode):
+                request.resolve(RequestStatus.GRANTED)
+                return request
+            stripe.queues.setdefault(obj, []).append(request)
+            pending = stripe.pending.get(txn)
+            if pending is None:
+                pending = stripe.pending[txn] = set()
+            pending.add(request)
+            index = self._index_of(obj)
+            stripe.waits_n += 1
+            if self.obs.enabled:
+                request.enqueued_at = self.obs.clock()
+                self.obs.lock_queued(
+                    txn.txn_id, obj, str(mode),
+                    depth=len(stripe.queues[obj]),
+                )
+        # Note which stripes hold waiting requests for this txn, so
+        # release_all can cancel them without scanning every stripe.
+        with self._pending_mutex:
+            self._pending_stripes.setdefault(txn, set()).add(index)
+        if on_block is not None:
+            on_block(request)
+        if blocking:
+            status = request.wait(timeout)
+            if status is RequestStatus.WAITING:
+                self.cancel(request)
+                if request.status is RequestStatus.CANCELLED:
+                    with stripe.mutex:
+                        stripe.denials_n += 1
+                    if self.obs.enabled:
+                        self.obs.lock_denied(
+                            txn.txn_id, obj, str(mode), reason="timeout"
+                        )
+        return request
+
+    def try_acquire(
+        self, txn: Transaction, obj: DataObject, mode: LockMode
+    ) -> bool:
+        """Non-queuing attempt — allocation-free on both outcomes.
+
+        The seed builds a :class:`LockRequest` (with its
+        ``threading.Event``) per probe; this path touches only the
+        stripe's dicts, which is where the single-thread speedup of
+        the scaling benchmark comes from.  The grant rules and effects
+        are inlined (rather than delegated to the ``_locked`` helpers)
+        because this is the hottest call in the system.
+        """
+        stripe = self._table[self._stripe_fn(obj) % self.stripes]
+        with stripe.mutex:
+            grants = stripe.grants.get(obj)
+            own = grants.get(txn) if grants is not None else None
+            if grants:
+                for holder, modes in grants.items():
+                    if holder is txn:
+                        continue
+                    for held in modes:
+                        if not compatible(mode, held):
+                            stripe.denials_n += 1
+                            if self.obs.enabled:
+                                self.obs.lock_denied(
+                                    txn.txn_id, obj, str(mode),
+                                    reason="busy",
+                                )
+                            return False
+            if own is None:
+                queue = stripe.queues.get(obj)
+                if queue is not None:
+                    for ahead in queue:
+                        if not ahead.is_waiting or ahead.txn is txn:
+                            continue
+                        if not compatible(mode, ahead.mode):
+                            stripe.denials_n += 1
+                            if self.obs.enabled:
+                                self.obs.lock_denied(
+                                    txn.txn_id, obj, str(mode),
+                                    reason="busy",
+                                )
+                            return False
+                if grants is None:
+                    stripe.grants[obj] = {txn: {mode}}
+                else:
+                    grants[txn] = {mode}
+                held = stripe.held.get(txn)
+                if held is None:
+                    stripe.held[txn] = {obj}
+                else:
+                    held.add(obj)
+            else:
+                if any(is_upgrade(h, mode) for h in own):
+                    stripe.upgrades_n += 1
+                own.add(mode)
+            stripe.grants_n += 1
+            if self.obs.enabled:
+                self.obs.lock_granted(
+                    txn.txn_id, obj, str(mode), waited=0.0, queued=False
+                )
+            if mode in _READ_MODES:
+                txn.record_read(obj)
+                if self.history is not None:
+                    self.history.read(txn.txn_id, obj)
+            else:
+                txn.record_write(obj)
+                if self.history is not None:
+                    self.history.write(txn.txn_id, obj)
+            if self.audit:
+                _check_audit_pairs(
+                    obj, grants if grants is not None else stripe.grants[obj]
+                )
+            return True
+
+    def try_acquire_held(
+        self, txn: Transaction, obj: DataObject, mode: LockMode
+    ) -> GrantOutcome:
+        stripe = self._table[self._stripe_fn(obj) % self.stripes]
+        grants = stripe.grants.get(obj)
+        if grants is not None:
+            own = grants.get(txn)
+            # Sound without the mutex: only txn's own thread (or its
+            # aborter, which cannot race a live call) grants or
+            # releases txn's modes, and CPython dict/set reads are
+            # atomic under the GIL.
+            if own is not None and mode in own:
+                return GrantOutcome.HELD
+        if self.try_acquire(txn, obj, mode):
+            return GrantOutcome.GRANTED
+        return GrantOutcome.DENIED
+
+    # -- release ---------------------------------------------------------------------------
+
+    def release(
+        self, txn: Transaction, obj: DataObject, mode: LockMode | None = None
+    ) -> None:
+        stripe = self._stripe_of(obj)
+        with stripe.mutex:
+            grants = stripe.grants.get(obj)
+            if not grants or txn not in grants:
+                return
+            if mode is None:
+                del grants[txn]
+            else:
+                grants[txn].discard(mode)
+                if not grants[txn]:
+                    del grants[txn]
+            if txn not in grants:
+                held = stripe.held.get(txn)
+                if held is not None:
+                    held.discard(obj)
+                    if not held:
+                        del stripe.held[txn]
+            if not grants:
+                del stripe.grants[obj]
+            self._process_queue_locked(stripe, obj)
+
+    def release_all(self, txn: Transaction) -> None:
+        """Commit/abort epilogue in O(held + waiting + stripes).
+
+        Every stripe is visited once and probed for the transaction in
+        its held/pending indexes *under the stripe mutex*.  The
+        indexes, not the transaction's read/write sets, are the
+        authoritative record of what to release: a rule-(ii) force
+        abort can land between a grant's bookkeeping and
+        ``record_read``, leaving a granted object outside the read
+        set, and a deadlock victim's waiting request can be granted by
+        a concurrent release while this runs.  A stripe the
+        transaction touched nothing in costs two dict probes; nothing
+        else in the table is looked at — the seed's every-queue scan
+        is gone.
+        """
+        if self._pending_stripes:
+            with self._pending_mutex:
+                self._pending_stripes.pop(txn, None)
+        cancelled: list[LockRequest] = []
+        for stripe in self._table:
+            with stripe.mutex:
+                held = stripe.held.pop(txn, None)
+                pending = (
+                    stripe.pending.pop(txn, None) if stripe.pending else None
+                )
+                if held is None and pending is None:
+                    continue
+                if pending is None and not stripe.queues:
+                    # Nothing queued anywhere in this stripe: dropping
+                    # the grants cannot wake anyone, so skip queue
+                    # processing entirely (the common uncontended case).
+                    if held:
+                        stripe_grants = stripe.grants
+                        for obj in held:
+                            grants = stripe_grants.get(obj)
+                            if grants is not None:
+                                grants.pop(txn, None)
+                                if not grants:
+                                    del stripe_grants[obj]
+                    continue
+                affected: set[DataObject] = set()
+                if held:
+                    for obj in held:
+                        grants = stripe.grants.get(obj)
+                        if grants is not None:
+                            grants.pop(txn, None)
+                            if not grants:
+                                del stripe.grants[obj]
+                        affected.add(obj)
+                if pending:
+                    for request in pending:
+                        queue = stripe.queues.get(request.obj)
+                        if queue is not None and request in queue:
+                            queue.remove(request)
+                        if request.is_waiting:
+                            request.resolve(RequestStatus.CANCELLED)
+                            cancelled.append(request)
+                        affected.add(request.obj)
+                for obj in affected:
+                    self._process_queue_locked(stripe, obj)
+        if self.obs.enabled:
+            for request in cancelled:
+                self.obs.lock_cancelled(
+                    txn.txn_id, request.obj, str(request.mode)
+                )
+
+    def cancel(self, request: LockRequest) -> None:
+        stripe = self._stripe_of(request.obj)
+        with stripe.mutex:
+            queue = stripe.queues.get(request.obj)
+            if queue is not None and request in queue:
+                queue.remove(request)
+            pending = stripe.pending.get(request.txn)
+            if pending is not None:
+                pending.discard(request)
+                if not pending:
+                    del stripe.pending[request.txn]
+            if request.is_waiting:
+                request.resolve(RequestStatus.CANCELLED)
+                if self.obs.enabled:
+                    self.obs.lock_cancelled(
+                        request.txn.txn_id, request.obj, str(request.mode)
+                    )
+            self._process_queue_locked(stripe, request.obj)
+
+    def _cancel_requests_of(self, txn: Transaction) -> None:
+        """Cancel every waiting request of ``txn`` via the pending
+        index — O(waiting), not a scan of every queue."""
+        with self._pending_mutex:
+            waited_in = self._pending_stripes.pop(txn, None)
+        if not waited_in:
+            return
+        cancelled: list[LockRequest] = []
+        for index in sorted(waited_in):
+            stripe = self._table[index]
+            with stripe.mutex:
+                pending = stripe.pending.pop(txn, None)
+                if not pending:
+                    continue
+                affected: set[DataObject] = set()
+                for request in pending:
+                    queue = stripe.queues.get(request.obj)
+                    if queue is not None and request in queue:
+                        queue.remove(request)
+                    if request.is_waiting:
+                        request.resolve(RequestStatus.CANCELLED)
+                        cancelled.append(request)
+                    affected.add(request.obj)
+                for obj in affected:
+                    self._process_queue_locked(stripe, obj)
+        if self.obs.enabled:
+            for request in cancelled:
+                self.obs.lock_cancelled(
+                    txn.txn_id, request.obj, str(request.mode)
+                )
+
+    def _process_queue_locked(self, stripe: _Stripe, obj: DataObject) -> None:
+        """Grant queued requests FIFO while compatible; caller holds
+        the stripe mutex.  Empty queues are pruned (the seed leaks
+        them)."""
+        stripe.queue_visits += 1
+        queue = stripe.queues.get(obj)
+        if not queue:
+            if queue is not None:
+                del stripe.queues[obj]
+            return
+        still_waiting: list[LockRequest] = []
+        for request in queue:
+            if not request.is_waiting:
+                continue
+            # Same no-barging trick as the seed: expose only the
+            # requests ahead of this one while probing.
+            stripe.queues[obj] = still_waiting
+            if self._can_grant_locked(
+                stripe, request.txn, obj, request.mode
+            ):
+                self._grant_effects_locked(
+                    stripe, request.txn, obj, request.mode,
+                    request.enqueued_at,
+                )
+                pending = stripe.pending.get(request.txn)
+                if pending is not None:
+                    pending.discard(request)
+                    if not pending:
+                        del stripe.pending[request.txn]
+                request.resolve(RequestStatus.GRANTED)
+            else:
+                still_waiting.append(request)
+        if still_waiting:
+            stripe.queues[obj] = still_waiting
+        else:
+            stripe.queues.pop(obj, None)
+
+    # -- diagnostics ----------------------------------------------------------------------------
+
+    def grant_table(self) -> dict[DataObject, dict[str, tuple[str, ...]]]:
+        table: dict[DataObject, dict[str, tuple[str, ...]]] = {}
+        with self._locked_all():
+            for stripe in self._table:
+                for obj, grants in stripe.grants.items():
+                    if grants:
+                        table[obj] = {
+                            txn.txn_id: tuple(
+                                str(m) for m in sorted(modes, key=str)
+                            )
+                            for txn, modes in grants.items()
+                        }
+        return table
+
+    def stats_snapshot(self) -> dict[str, int]:
+        with self._locked_all():
+            return {
+                "grants": sum(s.grants_n for s in self._table),
+                "waits": sum(s.waits_n for s in self._table),
+                "denials": sum(s.denials_n for s in self._table),
+                "upgrades": sum(s.upgrades_n for s in self._table),
+            }
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Deprecated aggregate view; use :meth:`stats_snapshot`.
+
+        Returns a *fresh* dict on every read (mutating it has no
+        effect), kept so seed-era callers reading
+        ``manager.stats["grants"]`` keep working.
+        """
+        return self.stats_snapshot()
+
+    def stripe_stats(self) -> list[dict[str, int]]:
+        """Per-stripe counter breakdown (load-balance diagnostics)."""
+        with self._locked_all():
+            return [
+                {
+                    "grants": s.grants_n,
+                    "waits": s.waits_n,
+                    "denials": s.denials_n,
+                    "upgrades": s.upgrades_n,
+                    "queue_visits": s.queue_visits,
+                }
+                for s in self._table
+            ]
+
+    @property
+    def queue_visits(self) -> int:
+        """Total queue-processing passes across all stripes."""
+        return sum(s.queue_visits for s in self._table)
+
+    def audit_now(self) -> None:
+        with self._locked_all():
+            for stripe in self._table:
+                for obj, grants in stripe.grants.items():
+                    _check_audit_pairs(obj, grants)

@@ -47,6 +47,12 @@ class LockMode(enum.Enum):
     RA = "Ra"
     WA = "Wa"
 
+    # Modes key every grant-map set and compatibility lookup; enum's
+    # default ``hash(self._name_)`` is a Python-level call.  Members
+    # are singletons compared by identity, so the C-level identity
+    # hash is equivalent and much cheaper on the manager's hot paths.
+    __hash__ = object.__hash__
+
     @property
     def is_read(self) -> bool:
         return self in (LockMode.R, LockMode.RC, LockMode.RA)

@@ -31,7 +31,8 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 import repro.obs as obs_module
-from repro.locks.manager import LockManager
+from repro.locks.fastpath import HeldModeCache
+from repro.locks.manager import GrantOutcome, LockManager
 from repro.locks.modes import LockMode
 from repro.locks.request import LockRequest
 from repro.locks.two_phase import CommitOutcome
@@ -74,13 +75,21 @@ class RcScheme:
         revalidator: Revalidator | None = None,
         audit: bool = True,
         observer=None,
+        *,
+        stripes: int = 1,
+        stripe_fn=None,
     ) -> None:
         self.obs = (
             observer if observer is not None else obs_module.get_observer()
         )
         self.manager = LockManager(
-            history=history, audit=audit, observer=self.obs
+            history=history, audit=audit, observer=self.obs,
+            stripes=stripes, stripe_fn=stripe_fn,
         )
+        #: Memoized grants: turns the already-held probe of
+        #: :meth:`try_lock_action` into a local set lookup (see
+        #: :mod:`repro.locks.fastpath`).
+        self._held = HeldModeCache()
         self.revalidator = revalidator
         #: Forced aborts performed by rule (ii), for benchmarks.
         self.forced_aborts = 0
@@ -97,12 +106,18 @@ class RcScheme:
         Granted "as long as no production has already placed a Wa lock
         on the same data item".
         """
-        return self.manager.acquire(
+        request = self.manager.acquire(
             txn, obj, self.condition_mode, blocking=blocking
         )
+        if request.is_granted:
+            self._held.note(txn, obj, self.condition_mode)
+        return request
 
     def try_lock_condition(self, txn: Transaction, obj: DataObject) -> bool:
-        return self.manager.try_acquire(txn, obj, self.condition_mode)
+        if self.manager.try_acquire(txn, obj, self.condition_mode):
+            self._held.note(txn, obj, self.condition_mode)
+            return True
+        return False
 
     def lock_action(
         self,
@@ -125,9 +140,10 @@ class RcScheme:
             key=lambda pair: (repr(pair[0]), str(pair[1])),
         )
         for obj, mode in todo:
-            requests.append(
-                self.manager.acquire(txn, obj, mode, blocking=blocking)
-            )
+            request = self.manager.acquire(txn, obj, mode, blocking=blocking)
+            if request.is_granted:
+                self._held.note(txn, obj, mode)
+            requests.append(request)
         return requests
 
     def try_lock_action(
@@ -148,15 +164,22 @@ class RcScheme:
             + [(obj, self.action_write_mode) for obj in writes],
             key=lambda pair: (repr(pair[0]), str(pair[1])),
         )
+        held = self._held
         newly_acquired: list[tuple[DataObject, LockMode]] = []
         for obj, mode in todo:
-            if self.manager.holds(txn, obj, mode):
+            if held.holds(txn, obj, mode):
                 continue  # already held before this call: not ours to undo
-            if self.manager.try_acquire(txn, obj, mode):
+            outcome = self.manager.try_acquire_held(txn, obj, mode)
+            if outcome is GrantOutcome.HELD:
+                held.note(txn, obj, mode)
+                continue
+            if outcome is GrantOutcome.GRANTED:
+                held.note(txn, obj, mode)
                 newly_acquired.append((obj, mode))
                 continue
             for held_obj, held_mode in newly_acquired:
                 self.manager.release(txn, held_obj, held_mode)
+                held.discard(txn, held_obj, held_mode)
             return False
         return True
 
@@ -170,15 +193,12 @@ class RcScheme:
         Maps each would-be victim to the objects on which the conflict
         exists (a victim can conflict on several objects, Figure 4.4).
         """
-        victims: dict[Transaction, list[DataObject]] = {}
-        for obj in self.manager.locked_objects(txn):
-            if not self.manager.holds(txn, obj, LockMode.WA):
-                continue
-            for holder in self.manager.holders(obj, LockMode.RC):
-                if holder is txn:
-                    continue
-                victims.setdefault(holder, []).append(obj)
-        return victims
+        # The write set is a superset of the objects currently holding
+        # Wa (every Wa grant records a write), so it narrows the scan
+        # to the relevant stripes; the manager re-checks actual holds.
+        return self.manager.write_read_conflicts(
+            txn, LockMode.WA, LockMode.RC, candidates=txn.write_set
+        )
 
     def commit(self, txn: Transaction) -> CommitOutcome:
         """Commit ``txn`` and apply rule (ii) to conflicting Rc holders.
@@ -218,6 +238,7 @@ class RcScheme:
         if self.manager.history is not None:
             self.manager.history.commit(txn.txn_id)
         self.manager.release_all(txn)
+        self._held.drop(txn)
         if self.obs.enabled:
             self.obs.txn_committed(txn.txn_id, self.name)
         return CommitOutcome(committed=True, victims=victims)
@@ -229,9 +250,11 @@ class RcScheme:
         if self.manager.history is not None:
             self.manager.history.abort(txn.txn_id)
         self.manager.release_all(txn)
+        self._held.drop(txn)
         if self.obs.enabled:
             self.obs.txn_aborted(txn.txn_id, self.name, reason)
 
     def release_condition_locks(self, txn: Transaction) -> None:
         """Release after a false condition (Figure 4.2)."""
         self.manager.release_all(txn)
+        self._held.drop(txn)

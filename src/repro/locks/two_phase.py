@@ -22,7 +22,8 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 import repro.obs as obs_module
-from repro.locks.manager import LockManager
+from repro.locks.fastpath import HeldModeCache
+from repro.locks.manager import GrantOutcome, LockManager
 from repro.locks.modes import LockMode
 from repro.locks.request import LockRequest
 from repro.txn.schedule import History
@@ -57,13 +58,21 @@ class TwoPhaseScheme:
         history: History | None = None,
         audit: bool = True,
         observer=None,
+        *,
+        stripes: int = 1,
+        stripe_fn=None,
     ) -> None:
         self.obs = (
             observer if observer is not None else obs_module.get_observer()
         )
         self.manager = LockManager(
-            history=history, audit=audit, observer=self.obs
+            history=history, audit=audit, observer=self.obs,
+            stripes=stripes, stripe_fn=stripe_fn,
         )
+        #: Memoized grants: turns the already-held check of
+        #: :meth:`try_lock_action` into a local set lookup (see
+        #: :mod:`repro.locks.fastpath`).
+        self._held = HeldModeCache()
 
     # -- acquisition entry points --------------------------------------------------------
 
@@ -71,12 +80,18 @@ class TwoPhaseScheme:
         self, txn: Transaction, obj: DataObject, blocking: bool = False
     ) -> LockRequest:
         """Read lock for condition evaluation."""
-        return self.manager.acquire(
+        request = self.manager.acquire(
             txn, obj, self.condition_mode, blocking=blocking
         )
+        if request.is_granted:
+            self._held.note(txn, obj, self.condition_mode)
+        return request
 
     def try_lock_condition(self, txn: Transaction, obj: DataObject) -> bool:
-        return self.manager.try_acquire(txn, obj, self.condition_mode)
+        if self.manager.try_acquire(txn, obj, self.condition_mode):
+            self._held.note(txn, obj, self.condition_mode)
+            return True
+        return False
 
     def lock_action(
         self,
@@ -98,9 +113,10 @@ class TwoPhaseScheme:
             key=lambda pair: (repr(pair[0]), str(pair[1])),
         )
         for obj, mode in todo:
-            requests.append(
-                self.manager.acquire(txn, obj, mode, blocking=blocking)
-            )
+            request = self.manager.acquire(txn, obj, mode, blocking=blocking)
+            if request.is_granted:
+                self._held.note(txn, obj, mode)
+            requests.append(request)
         return requests
 
     def try_lock_action(
@@ -114,17 +130,31 @@ class TwoPhaseScheme:
         On any failure, locks acquired by this call are NOT rolled back
         (the caller owns abort policy); returns False so the caller can
         abort or retry.
+
+        Already-held modes are skipped via the scheme-local cache (or,
+        on a cache miss, detected inside the manager's single-round-trip
+        ``try_acquire_held``) instead of being redundantly re-granted.
         """
-        ok = True
+        held = self._held
         for obj in sorted(reads, key=repr):
-            ok = ok and self.manager.try_acquire(
+            if held.holds(txn, obj, self.action_read_mode):
+                continue
+            outcome = self.manager.try_acquire_held(
                 txn, obj, self.action_read_mode
             )
+            if outcome is GrantOutcome.DENIED:
+                return False
+            held.note(txn, obj, self.action_read_mode)
         for obj in sorted(writes, key=repr):
-            ok = ok and self.manager.try_acquire(
+            if held.holds(txn, obj, self.action_write_mode):
+                continue
+            outcome = self.manager.try_acquire_held(
                 txn, obj, self.action_write_mode
             )
-        return ok
+            if outcome is GrantOutcome.DENIED:
+                return False
+            held.note(txn, obj, self.action_write_mode)
+        return True
 
     # -- lifecycle ---------------------------------------------------------------------------
 
@@ -134,6 +164,7 @@ class TwoPhaseScheme:
         if self.manager.history is not None:
             self.manager.history.commit(txn.txn_id)
         self.manager.release_all(txn)
+        self._held.drop(txn)
         if self.obs.enabled:
             self.obs.txn_committed(txn.txn_id, self.name)
         return CommitOutcome(committed=True)
@@ -144,12 +175,14 @@ class TwoPhaseScheme:
         if self.manager.history is not None:
             self.manager.history.abort(txn.txn_id)
         self.manager.release_all(txn)
+        self._held.drop(txn)
         if self.obs.enabled:
             self.obs.txn_aborted(txn.txn_id, self.name, reason)
 
     def release_condition_locks(self, txn: Transaction) -> None:
         """Release after a false condition (step 2 of Figure 4.1)."""
         self.manager.release_all(txn)
+        self._held.drop(txn)
 
 
 class ConservativeTwoPhaseScheme(TwoPhaseScheme):
@@ -195,6 +228,7 @@ class ConservativeTwoPhaseScheme(TwoPhaseScheme):
         for obj in sorted(reads, key=repr):
             if self.manager.try_acquire(txn, obj, LockMode.R):
                 acquired_any = True
+                self._held.note(txn, obj, LockMode.R)
             else:
                 ok = False
                 break
@@ -202,9 +236,11 @@ class ConservativeTwoPhaseScheme(TwoPhaseScheme):
             for obj in sorted(writes, key=repr):
                 if self.manager.try_acquire(txn, obj, LockMode.W):
                     acquired_any = True
+                    self._held.note(txn, obj, LockMode.W)
                 else:
                     ok = False
                     break
         if not ok and acquired_any:
             self.manager.release_all(txn)
+            self._held.drop(txn)
         return ok

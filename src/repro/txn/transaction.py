@@ -61,6 +61,10 @@ class Transaction:
         if not self.start_order:
             self.start_order = number
         self._mutex = threading.Lock()
+        # Transactions key every grant map and held-object index; the
+        # id never changes after init, so hash once instead of
+        # rehashing the string on each table operation.
+        self._hash = hash(self.txn_id)
 
     # -- access tracking --------------------------------------------------------
 
@@ -137,7 +141,7 @@ class Transaction:
             )
 
     def __hash__(self) -> int:
-        return hash(self.txn_id)
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Transaction):

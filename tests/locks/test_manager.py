@@ -168,9 +168,9 @@ class TestBookkeeping:
         manager.acquire(t1, "q", LockMode.W)
         manager.acquire(t2, "q", LockMode.R)
         manager.try_acquire(t2, "q", LockMode.W)
-        assert manager.stats["grants"] == 1
-        assert manager.stats["waits"] == 1
-        assert manager.stats["denials"] == 1
+        assert manager.stats_snapshot()["grants"] == 1
+        assert manager.stats_snapshot()["waits"] == 1
+        assert manager.stats_snapshot()["denials"] == 1
 
 
 class TestAuditor:

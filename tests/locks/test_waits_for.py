@@ -130,13 +130,13 @@ class TestBlockingTimeoutAccounting:
             t2, "q", LockMode.R, blocking=True, timeout=0.01
         )
         assert request.status is RequestStatus.CANCELLED
-        assert manager.stats["denials"] == 1
+        assert manager.stats_snapshot()["denials"] == 1
 
     def test_granted_blocking_acquire_is_not_a_denial(self):
         manager = LockManager()
         t1 = txn("t1")
         manager.acquire(t1, "q", LockMode.W, blocking=True, timeout=0.01)
-        assert manager.stats["denials"] == 0
+        assert manager.stats_snapshot()["denials"] == 0
 
     def test_each_timeout_counts_once(self):
         manager = LockManager()
@@ -147,4 +147,4 @@ class TestBlockingTimeoutAccounting:
             manager.acquire(
                 waiter, "q", LockMode.R, blocking=True, timeout=0.01
             )
-        assert manager.stats["denials"] == 3
+        assert manager.stats_snapshot()["denials"] == 3
