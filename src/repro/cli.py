@@ -41,6 +41,16 @@ Subcommands
     Compare two benchmark result files; exits non-zero when a wall
     time regressed or a measured quantity drifted beyond the
     tolerance (``--report-only`` demotes regressions to warnings).
+``repro storage inspect|checkpoint|compact DIR``
+    Durable-store maintenance: describe the on-disk state (checkpoint
+    LSN, segment ranges, bytes), land a snapshot + truncate covered
+    segments, or merge sealed segments dropping cancelling deltas.
+``repro storage chaos [--seeds N] [--ops M]``
+    The recovery proof: seeded op sequences crashed at every storage
+    fault window (WAL write, rotation, checkpoint tmp/rename/dir-
+    fsync/truncate, compaction) must recover bit-identically to the
+    journalled prefix.  Exits non-zero on any divergence or any
+    window the workload failed to reach.
 
 Installed as the ``repro`` console script.
 """
@@ -448,6 +458,132 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(args: argparse.Namespace):
+    from repro.wm.storage import DurableStore
+
+    return DurableStore.open(args.directory, durability=args.durability)
+
+
+def _cmd_storage_inspect(args: argparse.Namespace) -> int:
+    from repro.wm.storage import DurableStore
+
+    info = DurableStore.inspect(args.directory)
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(f"directory: {info['directory']}")
+    checkpoint = info["checkpoint"]
+    if checkpoint:
+        print(
+            f"checkpoint: lsn={checkpoint['checkpoint_lsn']} "
+            f"elements={checkpoint['elements']} "
+            f"bytes={checkpoint['bytes']}"
+        )
+    else:
+        print("checkpoint: none")
+    rows = list(info["segments"])
+    if info["legacy_wal"]:
+        rows.insert(0, info["legacy_wal"])
+    if rows:
+        print(
+            f"{'segment':<28} {'records':>8} {'bytes':>10} "
+            f"{'first_lsn':>10} {'last_lsn':>10}"
+        )
+        for row in rows:
+            print(
+                f"{row['name']:<28} {row['records']:>8} "
+                f"{row['bytes']:>10} "
+                f"{row['first_lsn'] if row['first_lsn'] else '-':>10} "
+                f"{row['last_lsn'] if row['last_lsn'] else '-':>10}"
+            )
+    print(
+        f"total: {info['total_wal_records']} WAL records, "
+        f"{info['total_wal_bytes']} bytes"
+    )
+    return 0
+
+
+def _cmd_storage_checkpoint(args: argparse.Namespace) -> int:
+    memory, store = _open_store(args)
+    try:
+        report = store.last_recovery
+        elements = store.checkpoint()
+    finally:
+        store.close()
+    print(
+        f"recovered {report.elements} elements "
+        f"(replayed {report.replayed} records, "
+        f"{report.seconds:.3f}s); "
+        f"checkpointed {elements} elements at lsn {store.lsn}"
+    )
+    return 0
+
+
+def _cmd_storage_compact(args: argparse.Namespace) -> int:
+    memory, store = _open_store(args)
+    try:
+        summary = store.compact()
+    finally:
+        store.close()
+    print(
+        f"compacted {summary['segments_merged']} segments: "
+        f"{summary['records_before']} -> {summary['records_after']} "
+        f"records, {summary['bytes_before']} -> "
+        f"{summary['bytes_after']} bytes "
+        f"({summary['dropped']} cancelled)"
+    )
+    return 0
+
+
+def _cmd_storage_chaos(args: argparse.Namespace) -> int:
+    from repro.fault.storage_chaos import crash_equivalence_sweep
+    from repro.wm.storage import STORAGE_FAULT_SITES
+
+    if args.seeds < 1 or args.ops < 1:
+        raise ReproError("storage chaos needs --seeds >= 1 and --ops >= 1")
+    print(
+        f"storage chaos: {args.seeds} seeds x "
+        f"{len(STORAGE_FAULT_SITES)} crash sites, {args.ops} ops, "
+        f"durability={args.durability}"
+    )
+    result = crash_equivalence_sweep(
+        seeds=range(args.seeds),
+        ops=args.ops,
+        durability=args.durability,
+    )
+    print(
+        f"{'seed':>4} {'site':<22} {'fired':>5} {'ops':>4} recovery"
+    )
+    for case in result.cases:
+        print(
+            f"{case.seed:>4} {case.site:<22} "
+            f"{'yes' if case.fired else 'no':>5} "
+            f"{case.ops_applied:>4} "
+            f"{'ok' if case.ok else 'DIVERGED: ' + case.detail}"
+        )
+    unfired = [
+        site for site, count in result.sites_fired().items() if not count
+    ]
+    if result.failures:
+        print(
+            f"FAILED: {len(result.failures)}/{len(result.cases)} cases "
+            "recovered a state different from the journalled prefix",
+            file=sys.stderr,
+        )
+        return 1
+    if unfired:
+        print(
+            f"FAILED: sites never reached: {', '.join(unfired)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"all {len(result.cases)} crash cases recovered the journalled "
+        "prefix exactly"
+    )
+    return 0
+
+
 def _cmd_graph(args: argparse.Namespace) -> int:
     graph = ExecutionGraph(section_3_3_example(), max_depth=args.depth)
     if args.dot:
@@ -618,6 +754,81 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--max-cycles", type=int, default=10_000)
     add_fault_arguments(chaos)
     chaos.set_defaults(handler=_cmd_chaos, fault_rate=0.25, retries=4)
+
+    storage = sub.add_parser(
+        "storage",
+        help="durable-store maintenance: inspect, checkpoint, compact, "
+        "chaos",
+    )
+    storage_sub = storage.add_subparsers(
+        dest="storage_command", required=True
+    )
+
+    def add_storage_dir_arguments(
+        parser: argparse.ArgumentParser,
+    ) -> None:
+        parser.add_argument("directory", help="durable-store directory")
+        parser.add_argument(
+            "--durability",
+            choices=["always", "batch", "none"],
+            default="always",
+            help="fsync discipline for the maintenance store "
+            "(default always)",
+        )
+
+    storage_inspect = storage_sub.add_parser(
+        "inspect",
+        help="describe checkpoint + WAL segments without opening a "
+        "store",
+    )
+    storage_inspect.add_argument(
+        "directory", help="durable-store directory"
+    )
+    storage_inspect.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    storage_inspect.set_defaults(handler=_cmd_storage_inspect)
+
+    storage_checkpoint = storage_sub.add_parser(
+        "checkpoint",
+        help="recover the directory, snapshot it, truncate covered "
+        "segments",
+    )
+    add_storage_dir_arguments(storage_checkpoint)
+    storage_checkpoint.set_defaults(handler=_cmd_storage_checkpoint)
+
+    storage_compact = storage_sub.add_parser(
+        "compact",
+        help="merge sealed segments, dropping add/remove pairs that "
+        "cancel",
+    )
+    add_storage_dir_arguments(storage_compact)
+    storage_compact.set_defaults(handler=_cmd_storage_compact)
+
+    storage_chaos = storage_sub.add_parser(
+        "chaos",
+        help="crash at every storage fault window; recovery must equal "
+        "the journalled prefix",
+    )
+    storage_chaos.add_argument(
+        "--seeds",
+        type=int,
+        default=4,
+        help="number of op-sequence seeds per crash site (default 4)",
+    )
+    storage_chaos.add_argument(
+        "--ops",
+        type=int,
+        default=48,
+        help="operations per sequence (default 48)",
+    )
+    storage_chaos.add_argument(
+        "--durability",
+        choices=["always", "batch", "none"],
+        default="batch",
+        help="fsync discipline under test (default batch)",
+    )
+    storage_chaos.set_defaults(handler=_cmd_storage_chaos)
 
     graph = sub.add_parser(
         "graph", help="print the Section 3.3 execution graph"

@@ -15,6 +15,9 @@ single-threaded.
   seeded jitter, used by the engines to re-drive timed-out/aborted
   firings instead of silently deferring them.
 * :class:`VirtualSleeper` — virtual time for deterministic backoff.
+* :mod:`repro.fault.storage_chaos` — the crash-equivalence sweep that
+  crashes the durable store at every checkpoint/rotation/compaction
+  window and proves recovery lands on the journalled prefix.
 """
 
 from repro.fault.plan import (
@@ -26,6 +29,13 @@ from repro.fault.plan import (
 )
 from repro.fault.injector import FaultInjector
 from repro.fault.retry import NO_RETRY, RetryPolicy, VirtualSleeper
+from repro.fault.storage_chaos import (
+    CrashCase,
+    SweepResult,
+    crash_equivalence_sweep,
+    memory_signature,
+    run_crash_case,
+)
 
 __all__ = [
     "FAULT_KINDS",
@@ -37,4 +47,9 @@ __all__ = [
     "RetryPolicy",
     "NO_RETRY",
     "VirtualSleeper",
+    "CrashCase",
+    "SweepResult",
+    "crash_equivalence_sweep",
+    "memory_signature",
+    "run_crash_case",
 ]

@@ -135,8 +135,15 @@ class FaultInjector:
         raise FiringCrashed(txn.txn_id, txn.rule_name)
 
     def storage_fault(self, site: str = "wal") -> None:
-        """Fault site: one durable-store write.  Raises on injection."""
-        if self._roll("storage_fail", rule="") is None:
+        """Fault site: one durable-store operation.  Raises on injection.
+
+        ``site`` names the window (``"wal:add"``,
+        ``"checkpoint:rename"``, ``"compact:truncate"``, ...; see
+        :data:`repro.wm.storage.STORAGE_FAULT_SITES`) and doubles as
+        the spec's ``obj`` filter, so a plan can crash one specific
+        window: ``FaultSpec("storage_fail", obj="checkpoint:rename")``.
+        """
+        if self._roll("storage_fail", rule="", obj=site) is None:
             return
         self._emit("storage_fail", "-", site)
         raise StorageFailure(f"injected storage failure at {site}")

@@ -33,7 +33,9 @@ from repro.errors import ReproError
 #:   rule-(ii) victim would;
 #: * ``crash_commit``— kill the firing after its RHS executed but
 #:   before its commit is recorded (rollback must recover);
-#: * ``storage_fail``— fail a durable-store (WAL) write.
+#: * ``storage_fail``— fail a durable-store operation (WAL write,
+#:   segment rotation, checkpoint, or compaction window; narrow with
+#:   ``obj=<site>``).
 FaultKind = Literal[
     "lock_delay", "lock_deny", "abort_rhs", "crash_commit", "storage_fail"
 ]
@@ -60,8 +62,10 @@ class FaultSpec:
     rule:
         Only sites belonging to a firing of this production.
     obj:
-        Only lock sites whose data-object ``repr`` contains this
-        substring (lock kinds only).
+        Only sites whose data-object ``repr`` contains this substring:
+        the locked object for lock kinds, the storage window name
+        (``"checkpoint:rename"``, ``"wal:add"``, ...) for
+        ``storage_fail``.
     mode:
         Only lock sites requesting this lock mode, by name
         (``"Wa"``, ``"W"``, ...; lock kinds only).

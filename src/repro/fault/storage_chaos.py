@@ -1,0 +1,197 @@
+"""Crash-equivalence sweep for the durable store.
+
+Hellerstein's determination/provenance framing (PAPERS.md): recovery
+must land on *one admissible outcome*.  For a write-ahead log that
+outcome is exact — the **journalled prefix**: every delta the store
+acknowledged, nothing more, nothing less.  This module proves it by
+brute force: a seeded random operation sequence runs against a
+:class:`~repro.wm.storage.DurableStore` with tiny segments (so
+rotation, checkpointing and compaction all happen), while a fault plan
+crashes exactly one storage window
+(:data:`~repro.wm.storage.STORAGE_FAULT_SITES`); the run stops at the
+crash (the simulated process death), the directory is recovered, and
+the recovered memory must be bit-identical — same timetags, same
+values — to the reference state.
+
+The reference is tracked with a listener subscribed *after* the store:
+working memory publishes each delta to listeners in order, so when the
+store's listener raises (the injected crash fires before the record is
+written), the tracker never sees that delta — its last recorded state
+is exactly the journalled prefix, including the remove-half of a
+``modify`` that crashed between its two deltas.
+
+Used by ``repro storage chaos`` and the property tests in
+``tests/wm/test_storage_crash.py``.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import StorageFailure
+from repro.fault.plan import FaultPlan, FaultSpec
+from repro.wm.memory import WorkingMemory
+from repro.wm.storage import DurableStore, STORAGE_FAULT_SITES
+
+
+def memory_signature(memory: WorkingMemory) -> frozenset:
+    """Bit-level identity of a working memory: timetags *and* values.
+
+    Stronger than ``value_identity_set`` — recovery must reconstruct
+    the exact elements (recency ordering depends on timetags), not
+    just an equivalent value set.
+    """
+    return frozenset((w.timetag, w.identity()) for w in memory)
+
+
+@dataclass
+class CrashCase:
+    """One (seed, site) crash-recovery experiment."""
+
+    seed: int
+    site: str
+    fired: bool = False
+    crashed: bool = False
+    ops_applied: int = 0
+    ok: bool = True
+    detail: str = ""
+
+
+@dataclass
+class SweepResult:
+    """Aggregate of a crash-equivalence sweep."""
+
+    cases: list[CrashCase] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[CrashCase]:
+        return [c for c in self.cases if not c.ok]
+
+    @property
+    def consistent(self) -> bool:
+        return not self.failures
+
+    def sites_fired(self) -> dict[str, int]:
+        """How many cases actually hit each site (coverage check)."""
+        fired: dict[str, int] = {site: 0 for site in STORAGE_FAULT_SITES}
+        for case in self.cases:
+            if case.fired:
+                fired[case.site] = fired.get(case.site, 0) + 1
+        return fired
+
+
+def run_crash_case(
+    seed: int,
+    site: str,
+    directory: str | Path,
+    ops: int = 48,
+    segment_max_records: int = 5,
+    checkpoint_every: int = 9,
+    compact_every: int = 13,
+    durability: str = "batch",
+) -> CrashCase:
+    """Run one seeded op sequence, crash at ``site``, verify recovery.
+
+    The schedule is deterministic given ``seed``: mutations are drawn
+    from a seeded RNG, a checkpoint lands every ``checkpoint_every``-th
+    op and a compaction every ``compact_every``-th, and the fault spec
+    (``rate=1.0``, ``max_hits=1``, ``obj=site``) fires at the first
+    visit of the targeted window.
+    """
+    case = CrashCase(seed=seed, site=site)
+    rng = random.Random(seed)
+    memory = WorkingMemory()
+    plan = FaultPlan(
+        [FaultSpec("storage_fail", rate=1.0, obj=site, max_hits=1)],
+        seed=seed,
+    )
+    injector = plan.injector()
+    store = DurableStore(
+        memory,
+        directory,
+        injector,
+        durability=durability,
+        segment_max_records=segment_max_records,
+    )
+    states = [memory_signature(memory)]
+
+    def track(_delta) -> None:
+        states.append(memory_signature(memory))
+
+    memory.subscribe(track)
+    try:
+        for index in range(ops):
+            live = sorted(memory, key=lambda w: w.timetag)
+            if index and index % checkpoint_every == 0:
+                store.checkpoint()
+            elif index and index % compact_every == 0:
+                store.compact()
+            else:
+                roll = rng.random()
+                if roll < 0.5 or not live:
+                    memory.make("item", k=rng.randint(0, 4))
+                elif roll < 0.75:
+                    memory.remove(live[rng.randrange(len(live))])
+                else:
+                    memory.modify(
+                        live[rng.randrange(len(live))],
+                        {"k": rng.randint(0, 4)},
+                    )
+            case.ops_applied += 1
+    except StorageFailure:
+        case.crashed = True
+    finally:
+        memory.unsubscribe(track)
+        store.close()
+    case.fired = injector.total_injected > 0
+    expected = states[-1]
+
+    recovered, store2 = DurableStore.open(directory)
+    got = memory_signature(recovered)
+    store2.close()
+    if got != expected:
+        case.ok = False
+        case.detail = (
+            f"recovered {len(got)} elements != journalled prefix "
+            f"{len(expected)} (diff {len(got ^ expected)})"
+        )
+        return case
+    # Recovery must be idempotent: opening again lands on the same state.
+    recovered2, store3 = DurableStore.open(directory)
+    got2 = memory_signature(recovered2)
+    store3.close()
+    if got2 != expected:
+        case.ok = False
+        case.detail = "second recovery diverged from the first"
+    return case
+
+
+def crash_equivalence_sweep(
+    seeds: Iterable[int] = range(4),
+    sites: Sequence[str] = STORAGE_FAULT_SITES,
+    root: str | Path | None = None,
+    **case_kwargs,
+) -> SweepResult:
+    """Run :func:`run_crash_case` for every (seed, site) pair.
+
+    Uses a temporary directory per case under ``root`` (or a fresh
+    tempdir).  The sweep passes only when every case recovers the
+    journalled prefix *and* every site fired in at least one case —
+    a window the workload never reaches is an untested window.
+    """
+    result = SweepResult()
+    with tempfile.TemporaryDirectory(
+        dir=str(root) if root is not None else None,
+        prefix="storage-chaos-",
+    ) as base:
+        for seed in seeds:
+            for index, site in enumerate(sites):
+                directory = Path(base) / f"seed{seed}-site{index}"
+                result.cases.append(
+                    run_crash_case(seed, site, directory, **case_kwargs)
+                )
+    return result

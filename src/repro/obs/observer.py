@@ -110,6 +110,15 @@ class Observer:
         self._retry_delay = m.histogram(
             "retry.backoff_seconds", TIME_BUCKETS
         )
+        self._ckpt_seconds = m.histogram(
+            "storage.checkpoint_seconds", TIME_BUCKETS
+        )
+        self._compact_seconds = m.histogram(
+            "storage.compaction_seconds", TIME_BUCKETS
+        )
+        self._recovery_seconds = m.histogram(
+            "storage.recovery_seconds", TIME_BUCKETS
+        )
 
     def clock(self) -> float:
         return self.trace.clock()
@@ -371,6 +380,95 @@ class Observer:
             self.trace.emit(
                 "match.batch", size=size, shards=shards,
                 merge_seconds=merge_seconds,
+            )
+
+    # -- durable storage -------------------------------------------------------------------
+
+    def checkpoint_completed(
+        self, elements: int, lsn: int, truncated: int, seconds: float
+    ) -> None:
+        """The durable store landed a snapshot and truncated the WAL."""
+        with self._mutex:
+            self.metrics.counter("storage.checkpoints").inc()
+            self.metrics.counter(
+                "storage.segments_truncated"
+            ).inc(truncated)
+            self._ckpt_seconds.observe(seconds)
+        if self._trace_on:
+            self.trace.emit(
+                "storage.checkpoint", elements=elements, lsn=lsn,
+                truncated=truncated, seconds=seconds,
+            )
+        if self.spans is not None:
+            now = self.spans.clock()
+            self.spans.record(
+                "storage.checkpoint", start=now - seconds, end=now,
+                elements=elements, lsn=lsn, truncated=truncated,
+            )
+
+    def compaction_completed(
+        self,
+        records_before: int,
+        records_after: int,
+        segments_merged: int,
+        seconds: float,
+    ) -> None:
+        """Sealed WAL segments were merged and cancelling pairs dropped."""
+        with self._mutex:
+            self.metrics.counter("storage.compactions").inc()
+            self.metrics.counter("storage.records_compacted").inc(
+                max(0, records_before - records_after)
+            )
+            self._compact_seconds.observe(seconds)
+        if self._trace_on:
+            self.trace.emit(
+                "storage.compaction", records_before=records_before,
+                records_after=records_after, segments=segments_merged,
+                seconds=seconds,
+            )
+        if self.spans is not None:
+            now = self.spans.clock()
+            self.spans.record(
+                "storage.compaction", start=now - seconds, end=now,
+                records_before=records_before,
+                records_after=records_after, segments=segments_merged,
+            )
+
+    def segment_rotated(
+        self, segment: str, records: int, bytes_: int
+    ) -> None:
+        """The active WAL segment was sealed and a successor opened."""
+        with self._mutex:
+            self.metrics.counter("storage.rotations").inc()
+        if self._trace_on:
+            self.trace.emit(
+                "storage.rotate", segment=segment, records=records,
+                bytes=bytes_,
+            )
+
+    def recovery_completed(
+        self,
+        elements: int,
+        replayed: int,
+        shadowed: int,
+        segments: int,
+        seconds: float,
+    ) -> None:
+        """A store recovered a working memory from disk."""
+        with self._mutex:
+            self.metrics.counter("storage.recoveries").inc()
+            self._recovery_seconds.observe(seconds)
+        if self._trace_on:
+            self.trace.emit(
+                "storage.recovery", elements=elements, replayed=replayed,
+                shadowed=shadowed, segments=segments, seconds=seconds,
+            )
+        if self.spans is not None:
+            now = self.spans.clock()
+            self.spans.record(
+                "storage.recovery", start=now - seconds, end=now,
+                elements=elements, replayed=replayed,
+                shadowed=shadowed, segments=segments,
             )
 
     # -- simulators ------------------------------------------------------------------------

@@ -25,7 +25,15 @@ from repro.wm.index import AttributeIndex
 from repro.wm.memory import WMDelta, WorkingMemory
 from repro.wm.undo import UndoLog
 from repro.wm.snapshot import WMSnapshot
-from repro.wm.storage import DurableStore, deserialize_wme, serialize_wme
+from repro.wm.storage import (
+    DURABILITY_MODES,
+    DurableStore,
+    RecoveryReport,
+    STORAGE_FAULT_SITES,
+    SegmentInfo,
+    deserialize_wme,
+    serialize_wme,
+)
 from repro.wm.query import Query
 
 __all__ = [
@@ -39,6 +47,10 @@ __all__ = [
     "UndoLog",
     "WMSnapshot",
     "DurableStore",
+    "DURABILITY_MODES",
+    "STORAGE_FAULT_SITES",
+    "SegmentInfo",
+    "RecoveryReport",
     "serialize_wme",
     "deserialize_wme",
     "Query",

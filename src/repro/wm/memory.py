@@ -213,6 +213,18 @@ class WorkingMemory:
 
     # -- locking helper ---------------------------------------------------------
 
+    def locked(self):
+        """Context manager holding the store's mutation lock.
+
+        A no-op context for non-thread-safe memories.  External
+        components that must observe an atomic (state, event-order)
+        pair — e.g. the durable store capturing a checkpoint — take
+        this lock *first* and their own lock second, mirroring the
+        mutation path (which holds this lock across delta publication),
+        so the two lock orders can never deadlock.
+        """
+        return self._maybe_locked()
+
     def _maybe_locked(self):
         if self._mutex is not None:
             return self._mutex

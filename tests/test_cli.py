@@ -456,3 +456,62 @@ class TestObsDiff:
             ["obs", "diff", str(a), str(tmp_path / "absent.json")]
         ) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestStorageCommands:
+    @staticmethod
+    def _seed_store(directory):
+        from repro.wm import DurableStore, WorkingMemory
+
+        wm = WorkingMemory()
+        store = DurableStore(wm, directory, segment_max_records=3)
+        for i in range(7):
+            temp = wm.make("item", i=i)
+            if i % 2:
+                wm.remove(temp)
+        store.close()
+        return wm
+
+    def test_inspect_lists_segments(self, tmp_path, capsys):
+        self._seed_store(tmp_path)
+        assert main(["storage", "inspect", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint: none" in out
+        assert "wal-" in out
+        assert "total: 10 WAL records" in out
+
+    def test_inspect_json(self, tmp_path, capsys):
+        self._seed_store(tmp_path)
+        assert main(["storage", "inspect", str(tmp_path), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["total_wal_records"] == 10
+        assert len(info["segments"]) >= 3
+
+    def test_checkpoint_truncates(self, tmp_path, capsys):
+        self._seed_store(tmp_path)
+        assert main(["storage", "checkpoint", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpointed 4 elements at lsn 10" in out
+        assert main(["storage", "inspect", str(tmp_path), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["checkpoint"]["elements"] == 4
+        assert info["total_wal_records"] == 0
+
+    def test_compact_cancels_pairs(self, tmp_path, capsys):
+        self._seed_store(tmp_path)
+        assert main(["storage", "compact", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "6 cancelled" in out  # three add/remove pairs
+        assert main(["storage", "inspect", str(tmp_path), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["total_wal_records"] < 10
+
+    def test_chaos_sweep_passes(self, tmp_path, capsys):
+        code = main(["storage", "chaos", "--seeds", "1", "--ops", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovered the journalled prefix exactly" in out
+
+    def test_chaos_rejects_bad_args(self, capsys):
+        assert main(["storage", "chaos", "--seeds", "0"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -67,18 +67,27 @@ class TestJournalAndRecovery:
             for i in range(5):
                 wm.make("r", i=i)
             store.checkpoint()
-            wal = (tmp_path / "wal.jsonl").read_text()
-            assert wal == ""
+            # Every covered record is gone; only the fresh (empty)
+            # active segment remains.
+            records = [
+                line
+                for path in DurableStore.segment_paths(tmp_path)
+                for line in path.read_text().splitlines()
+                if line.strip()
+            ]
+            assert records == []
 
     def test_torn_final_wal_line_tolerated(self, tmp_path):
         wm = WorkingMemory()
-        with DurableStore(wm, tmp_path):
-            wm.make("order", id=1)
-            wm.make("order", id=2)
-        with open(tmp_path / "wal.jsonl", "a") as handle:
-            handle.write('{"lsn": 99, "kind": "add", "wme": {"rel')
-        recovered, store = DurableStore.open(tmp_path)
+        store = DurableStore(wm, tmp_path)
+        wm.make("order", id=1)
+        wm.make("order", id=2)
+        active = store.active_segment_path
         store.close()
+        with open(active, "a") as handle:
+            handle.write('{"lsn": 99, "kind": "add", "wme": {"rel')
+        recovered, store2 = DurableStore.open(tmp_path)
+        store2.close()
         assert len(recovered) == 2
 
     def test_new_elements_after_recovery_get_fresh_timetags(self, tmp_path):
@@ -122,7 +131,12 @@ class TestJournalAndRecovery:
         with DurableStore(wm, tmp_path):
             for i in range(4):
                 wm.make("r", i=i)
-        lines = (tmp_path / "wal.jsonl").read_text().splitlines()
+        lines = [
+            line
+            for path in DurableStore.segment_paths(tmp_path)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
         lsns = [json.loads(line)["lsn"] for line in lines]
         assert lsns == sorted(lsns)
         assert len(set(lsns)) == len(lsns)

@@ -55,12 +55,12 @@ def test_recovery_from_any_wal_truncation(tmp_path_factory, commands, cut_fracti
 
     memory.subscribe(track)
     _apply(memory, commands)
+    active = store.active_segment_path
     store.close()
 
-    wal_path = directory / "wal.jsonl"
-    payload = wal_path.read_bytes()
+    payload = active.read_bytes()
     cut = int(len(payload) * cut_fraction)
-    wal_path.write_bytes(payload[:cut])
+    active.write_bytes(payload[:cut])
 
     recovered, store2 = DurableStore.open(directory)
     store2.close()
@@ -84,7 +84,9 @@ def test_checkpoint_then_crash_recovers_at_least_checkpoint(
     memory.make("item", v=99)  # post-checkpoint write, WAL only
     store.close()
 
-    (directory / "wal.jsonl").write_bytes(b"")  # crash lost the WAL
+    # Crash lost every WAL segment.
+    for path in DurableStore.segment_paths(directory):
+        path.write_bytes(b"")
     recovered, store2 = DurableStore.open(directory)
     store2.close()
     assert recovered.value_identity_set() == checkpoint_state
@@ -109,3 +111,34 @@ def test_interrupted_checkpoint_leaves_recoverable_pair(tmp_path):
     recovered, store2 = DurableStore.open(tmp_path)
     store2.close()
     assert recovered.value_identity_set() == expected
+
+
+# -- crash-at-every-window equivalence (satellite: chaos sweep) ------------------------
+
+import pytest
+
+from repro.fault import run_crash_case
+from repro.wm.storage import STORAGE_FAULT_SITES
+
+
+@pytest.mark.parametrize("site", STORAGE_FAULT_SITES)
+def test_crash_at_site_recovers_journalled_prefix(tmp_path, site):
+    """Crashing at any storage window must recover bit-identical to
+    the journalled prefix (every acknowledged delta, nothing more)."""
+    case = run_crash_case(seed=1, site=site, directory=tmp_path)
+    assert case.ok, case.detail
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    site=st.sampled_from(STORAGE_FAULT_SITES),
+)
+@settings(max_examples=25, deadline=None)
+def test_crash_equivalence_property(tmp_path_factory, seed, site):
+    """Property form of the sweep: arbitrary seeds, arbitrary windows —
+    recovery always lands on the journalled prefix and is idempotent."""
+    directory = tmp_path_factory.mktemp("chaos")
+    case = run_crash_case(
+        seed=seed, site=site, directory=directory, ops=32
+    )
+    assert case.ok, case.detail
