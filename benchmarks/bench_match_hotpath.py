@@ -1,0 +1,272 @@
+"""Match hot-path benchmark: compiled closures vs the interpreted seed.
+
+The condition-compilation layer (``repro.lang.compile``) replaces the
+seed's per-WME interpreted test walks with precompiled closures, caches
+instantiation ordering keys, and batches each firing's WM deltas behind
+one match barrier.  This module measures the end-to-end effect and
+guards the equivalence contract:
+
+* end-to-end recognize-act cycle throughput, compiled vs interpreted,
+  on Miss Manners (the classic match-dominated workload) across the
+  matcher zoo — with a ≥2× floor on the match-heaviest configuration;
+* the critical-path ``match`` bucket share before/after, from the PR-4
+  span toolkit (the committed ``obs report`` evidence);
+* micro throughput of the alpha/beta probes themselves;
+* bit-identical conflict sets between the two evaluator families.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the guest counts and skips the
+full-mode floor assertions (CI smoke lane).
+
+Results land in ``BENCH_match_hotpath.json`` via the conftest recorder.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import nullcontext
+
+from conftest import report
+
+from repro.engine.interpreter import Interpreter
+from repro.engine.parallel import ParallelEngine
+from repro.lang.ast import ConditionElement, ConstantTest, VariableTest
+from repro.lang.compile import interpreted_conditions
+from repro.match import NaiveMatcher, ReteMatcher
+from repro.obs import Observer
+from repro.analysis.critpath import cycle_breakdowns
+from repro.wm.element import WME
+from repro.workloads.manners import (
+    build_manners_memory,
+    build_manners_rules,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Guests per configuration; Manners match cost grows superlinearly.
+GUESTS_NAIVE = 6 if SMOKE else 16
+GUESTS_INCREMENTAL = 8 if SMOKE else 24
+GUESTS_OBS = 6 if SMOKE else 12
+PROBE_ROUNDS = 2_000 if SMOKE else 20_000
+
+
+def _run_manners(
+    matcher: str, n_guests: int, interpreted: bool
+) -> tuple[float, object]:
+    """One full Manners run; returns (cycles/sec, RunResult).
+
+    The whole construct-and-run sits inside the mode context:
+    condition elements cache their evaluators on first use, so the
+    interpreted runs must build *and* match under the flag.
+    """
+    mode = interpreted_conditions() if interpreted else nullcontext()
+    with mode:
+        memory = build_manners_memory(n_guests=n_guests, seed=7)
+        engine = Interpreter(
+            build_manners_rules(), memory, matcher=matcher, strategy="lex"
+        )
+        start = time.perf_counter()
+        result = engine.run(max_cycles=100_000)
+        elapsed = time.perf_counter() - start
+    assert result.stop_reason in ("quiescent", "halt")
+    return result.cycles / elapsed, result
+
+
+def _firing_sequence(result) -> list[str]:
+    return [f.rule_name for f in result.firings]
+
+
+def test_cycle_throughput_match_heavy_naive():
+    """The ≥2× gate, on the configuration the match phase dominates.
+
+    The naive matcher re-walks every condition against the whole store
+    per delta — the purest measure of per-probe evaluation cost, and
+    the paper's match-dominated regime.
+    """
+    interp_rate, interp_result = _run_manners(
+        "naive", GUESTS_NAIVE, interpreted=True
+    )
+    compiled_rate, compiled_result = _run_manners(
+        "naive", GUESTS_NAIVE, interpreted=False
+    )
+    # End-to-end equivalence: same cycles, same firing sequence.
+    assert compiled_result.cycles == interp_result.cycles
+    assert _firing_sequence(compiled_result) == _firing_sequence(
+        interp_result
+    )
+    speedup = compiled_rate / interp_rate
+    report(
+        "end-to-end cycle throughput, naive matcher",
+        [
+            ("guests", "", GUESTS_NAIVE),
+            ("interpreted cycles/s", "", round(interp_rate, 1)),
+            ("compiled cycles/s", "", round(compiled_rate, 1)),
+            ("speedup", ">= 2.0", round(speedup, 2)),
+            ("cycles", "", compiled_result.cycles),
+        ],
+    )
+    if not SMOKE:
+        assert speedup >= 2.0, (
+            f"compiled/interpreted throughput {speedup:.2f}x "
+            f"below the 2x floor"
+        )
+
+
+def test_cycle_throughput_incremental_matchers():
+    """Advisory rows: the incremental matchers and partitioned shards."""
+    rows = []
+    for matcher in ("rete", "treat", "partitioned:rete:4"):
+        interp_rate, interp_result = _run_manners(
+            matcher, GUESTS_INCREMENTAL, interpreted=True
+        )
+        compiled_rate, compiled_result = _run_manners(
+            matcher, GUESTS_INCREMENTAL, interpreted=False
+        )
+        assert compiled_result.cycles == interp_result.cycles
+        assert _firing_sequence(compiled_result) == _firing_sequence(
+            interp_result
+        )
+        rows.append(
+            (
+                f"{matcher} speedup",
+                "> 1.0",
+                round(compiled_rate / interp_rate, 2),
+            )
+        )
+        rows.append(
+            (f"{matcher} cycles/s", "", round(compiled_rate, 1))
+        )
+    report(
+        "incremental matchers",
+        [("guests", "", GUESTS_INCREMENTAL)] + rows,
+    )
+
+
+def _match_share(interpreted: bool) -> tuple[float, float]:
+    """(match-bucket share, makespan) of an observed ParallelEngine run."""
+    mode = interpreted_conditions() if interpreted else nullcontext()
+    with mode:
+        memory = build_manners_memory(n_guests=GUESTS_OBS, seed=7)
+        observer = Observer(trace_capacity=200_000)
+        engine = ParallelEngine(
+            build_manners_rules(),
+            memory,
+            matcher="partitioned:rete:4",
+            observer=observer,
+        )
+        engine.run(max_waves=100_000)
+    breakdowns = cycle_breakdowns(observer.spans.spans())
+    total = sum(b.duration for b in breakdowns)
+    match = sum(b.buckets.get("match", 0.0) for b in breakdowns)
+    return (match / total if total else 0.0), total
+
+
+def test_match_bucket_shrinks():
+    """The PR-4 critical-path report: the match bucket before/after."""
+    interp_share, interp_total = _match_share(interpreted=True)
+    compiled_share, compiled_total = _match_share(interpreted=False)
+    report(
+        "critical-path match bucket, partitioned:rete:4",
+        [
+            ("guests", "", GUESTS_OBS),
+            (
+                "interpreted match share",
+                "",
+                round(interp_share, 3),
+            ),
+            ("compiled match share", "", round(compiled_share, 3)),
+            (
+                "interpreted cycle time (s)",
+                "",
+                round(interp_total, 4),
+            ),
+            ("compiled cycle time (s)", "", round(compiled_total, 4)),
+            (
+                "match time ratio",
+                "< 1.0",
+                round(
+                    (compiled_share * compiled_total)
+                    / (interp_share * interp_total or 1.0),
+                    3,
+                ),
+            ),
+        ],
+    )
+    if not SMOKE:
+        # Absolute match time must shrink; share may shift as other
+        # buckets shrink too.
+        assert compiled_share * compiled_total < (
+            interp_share * interp_total
+        )
+
+
+def test_probe_micro_throughput():
+    """Raw alpha/beta probe rates on a representative element."""
+    element = ConditionElement(
+        "guest",
+        (
+            ConstantTest("sex", "m"),
+            VariableTest("name", "g"),
+            VariableTest("hobby", "h"),
+        ),
+    )
+    wmes = [
+        WME.make(
+            "guest", name=f"g{i}", sex="m" if i % 2 else "f", hobby=i % 5
+        )
+        for i in range(50)
+    ]
+
+    def _rate(alpha, beta) -> float:
+        start = time.perf_counter()
+        for _ in range(PROBE_ROUNDS // 10):
+            for wme in wmes:
+                if alpha(wme):
+                    beta(wme, {"h": 1})
+        return (PROBE_ROUNDS // 10 * len(wmes)) / (
+            time.perf_counter() - start
+        )
+
+    from repro.lang.compile import (
+        compile_alpha,
+        compile_beta,
+        interpreted_alpha,
+        interpreted_beta,
+    )
+
+    interp = _rate(interpreted_alpha(element), interpreted_beta(element))
+    compiled = _rate(compile_alpha(element), compile_beta(element))
+    report(
+        "single-element probe throughput",
+        [
+            ("interpreted probes/s", "", round(interp)),
+            ("compiled probes/s", "", round(compiled)),
+            ("speedup", "> 1.0", round(compiled / interp, 2)),
+        ],
+    )
+    assert compiled > interp
+
+
+def test_conflict_sets_bit_identical():
+    """Both evaluator families yield identical conflict sets (shared
+    store, so identical timetags — bit-identical, not just similar)."""
+    memory = build_manners_memory(n_guests=8, seed=5)
+    compiled = ReteMatcher(memory)
+    compiled.add_productions(build_manners_rules())
+    compiled.attach()
+    with interpreted_conditions():
+        interpreted = NaiveMatcher(memory)
+        interpreted.add_productions(build_manners_rules())
+        interpreted.attach()
+    compiled_ids = {i.identity() for i in compiled.conflict_set}
+    interp_ids = {i.identity() for i in interpreted.conflict_set}
+    assert compiled_ids == interp_ids
+    memory.make("guest", name="probe", sex="f")
+    memory.make("hobby", name="probe", h="h1")
+    assert {i.identity() for i in compiled.conflict_set} == {
+        i.identity() for i in interpreted.conflict_set
+    }
+    report(
+        "equivalence",
+        [("conflict-set identity", "bit-identical", "bit-identical")],
+    )

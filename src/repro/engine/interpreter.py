@@ -13,6 +13,7 @@ forever.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Iterable
 
 from repro.engine.actions import ActionExecutor
@@ -142,9 +143,16 @@ class Interpreter:
         return self.strategy.select(candidates)
 
     def fire(self, instantiation: Instantiation) -> bool:
-        """Execute one instantiation; returns False when it halted."""
+        """Execute one instantiation; returns False when it halted.
+
+        RHS execution runs inside ``matcher.batch()`` so a multi-action
+        RHS publishes all its WM deltas through one match barrier
+        (one partitioned flush per firing instead of one per action).
+        Nothing consults the conflict set until the next ``select``.
+        """
         self.conflict_set.mark_fired(instantiation)
-        outcome = self.executor.execute(instantiation)
+        with getattr(self.matcher, "batch", nullcontext)():
+            outcome = self.executor.execute(instantiation)
         self.result.firings.append(
             FiringRecord.from_instantiation(
                 instantiation, self.result.cycles

@@ -31,6 +31,7 @@ Theorem 2's conclusion.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, Literal
 
@@ -419,7 +420,12 @@ class ParallelEngine:
         undo = UndoLog(self.memory).attach()
         try:
             self.matcher.conflict_set.mark_fired(instantiation)
-            outcome = self.executor.execute(instantiation)
+            # Batch the RHS's WM deltas behind one match barrier; the
+            # act phase is single-threaded, and the conflict set is
+            # next consulted at the following slot's membership check
+            # (after the batch has flushed).
+            with getattr(self.matcher, "batch", nullcontext)():
+                outcome = self.executor.execute(instantiation)
             if self.fault is not None:
                 self.fault.crash_point(txn)
         except FiringCrashed:
@@ -542,7 +548,8 @@ class ParallelEngine:
             undo = UndoLog(self.memory).attach()
             try:
                 self.matcher.conflict_set.mark_fired(instantiation)
-                outcome = self.executor.execute(instantiation)
+                with getattr(self.matcher, "batch", nullcontext)():
+                    outcome = self.executor.execute(instantiation)
             except Exception:
                 undo.detach()
                 undone = undo.rollback()

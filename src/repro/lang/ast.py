@@ -168,40 +168,76 @@ class ConditionElement:
     negated: bool = False
 
     # -- classification helpers used by the matchers ---------------------------
+    #
+    # The test-list partitions are immutable functions of ``tests``, but
+    # they used to be re-filtered on every call — and ``alpha_matches``
+    # called two of them per WME probe.  They are now computed once and
+    # cached on the instance (``object.__setattr__`` sidesteps the
+    # frozen-dataclass guard; non-field attributes do not participate in
+    # dataclass equality or hashing).
+
+    def _partition(self) -> tuple:
+        constants = []
+        constant_preds = []
+        variables = []
+        variable_preds = []
+        for test in self.tests:
+            if isinstance(test, ConstantTest):
+                constants.append(test)
+            elif isinstance(test, VariableTest):
+                variables.append(test)
+            elif test.operand_is_variable:
+                variable_preds.append(test)
+            else:
+                constant_preds.append(test)
+        parts = (
+            tuple(constants),
+            tuple(constant_preds),
+            tuple(variables),
+            tuple(variable_preds),
+        )
+        object.__setattr__(self, "_parts", parts)
+        return parts
 
     def constant_tests(self) -> tuple[ConstantTest, ...]:
         """Tests resolvable without any variable context (alpha tests)."""
-        return tuple(t for t in self.tests if isinstance(t, ConstantTest))
+        try:
+            return self._parts[0]
+        except AttributeError:
+            return self._partition()[0]
 
     def constant_predicates(self) -> tuple[PredicateTest, ...]:
         """Predicate tests against literals (also alpha-level)."""
-        return tuple(
-            t
-            for t in self.tests
-            if isinstance(t, PredicateTest) and not t.operand_is_variable
-        )
+        try:
+            return self._parts[1]
+        except AttributeError:
+            return self._partition()[1]
 
     def variable_tests(self) -> tuple[VariableTest, ...]:
         """Variable bind/equality tests (beta-level joins)."""
-        return tuple(t for t in self.tests if isinstance(t, VariableTest))
+        try:
+            return self._parts[2]
+        except AttributeError:
+            return self._partition()[2]
 
     def variable_predicates(self) -> tuple[PredicateTest, ...]:
         """Predicate tests whose operand is a variable (beta-level)."""
-        return tuple(
-            t
-            for t in self.tests
-            if isinstance(t, PredicateTest) and t.operand_is_variable
-        )
+        try:
+            return self._parts[3]
+        except AttributeError:
+            return self._partition()[3]
 
     def variables(self) -> frozenset[str]:
         """All variable names mentioned by this condition element."""
+        try:
+            return self._variables
+        except AttributeError:
+            pass
         names = {t.variable for t in self.variable_tests()}
-        names.update(
-            t.operand
-            for t in self.tests
-            if isinstance(t, PredicateTest) and t.operand_is_variable
-        )
-        return frozenset(names)  # type: ignore[arg-type]
+        names.update(str(t.operand) for t in self.variable_predicates())
+        result = frozenset(names)
+        object.__setattr__(self, "_variables", result)
+        return result
 
     def alpha_key(self) -> tuple:
         """Hashable key identifying the alpha pattern for node sharing.
@@ -210,27 +246,45 @@ class ConditionElement:
         node in the Rete network, regardless of which productions they
         belong to or whether they are negated.
         """
-        return (
+        try:
+            return self._alpha_key
+        except AttributeError:
+            pass
+        key = (
             self.relation,
             self.constant_tests(),
             self.constant_predicates(),
         )
+        object.__setattr__(self, "_alpha_key", key)
+        return key
 
     # -- evaluation --------------------------------------------------------------
+    #
+    # Evaluation delegates to the compiled closures (repro.lang.compile):
+    # one alpha and one beta closure per element, built on first use and
+    # cached.  The matchers bind the closures directly at their hot
+    # sites; these methods remain the convenient (and equivalent) entry
+    # points for everything else.
+
+    def compiled(self):
+        """The element's :class:`~repro.lang.compile.CompiledCondition`.
+
+        Built lazily on first use and cached; honors
+        :func:`repro.lang.compile.interpreted_conditions` at build time.
+        """
+        try:
+            return self._compiled
+        except AttributeError:
+            pass
+        from repro.lang.compile import build_evaluators
+
+        compiled = build_evaluators(self)
+        object.__setattr__(self, "_compiled", compiled)
+        return compiled
 
     def alpha_matches(self, wme: WME) -> bool:
         """True when ``wme`` passes the relation and constant tests."""
-        if wme.relation != self.relation:
-            return False
-        for test in self.constant_tests():
-            if test.attribute not in wme or wme[test.attribute] != test.value:
-                return False
-        for pred in self.constant_predicates():
-            if pred.attribute not in wme:
-                return False
-            if not _compare(pred.op, wme[pred.attribute], pred.operand):
-                return False
-        return True
+        return self.compiled().alpha(wme)
 
     def beta_matches(
         self, wme: WME, bindings: Bindings
@@ -241,28 +295,7 @@ class ConditionElement:
         succeed, or ``None`` on failure.  ``alpha_matches`` is assumed
         to have been checked already.
         """
-        extended = dict(bindings)
-        for test in self.variable_tests():
-            if test.attribute not in wme:
-                return None
-            value = wme[test.attribute]
-            if test.variable in extended:
-                if extended[test.variable] != value:
-                    return None
-            else:
-                extended[test.variable] = value
-        for pred in self.variable_predicates():
-            if pred.attribute not in wme:
-                return None
-            operand = extended.get(str(pred.operand))
-            if operand is None and str(pred.operand) not in extended:
-                raise ValidationError(
-                    f"predicate {pred} references unbound variable "
-                    f"<{pred.operand}>"
-                )
-            if not _compare(pred.op, wme[pred.attribute], operand):
-                return None
-        return extended
+        return self.compiled().beta(wme, bindings)
 
     def matches(
         self, wme: WME, bindings: Bindings | None = None
@@ -271,9 +304,12 @@ class ConditionElement:
 
         Convenience for the naive matcher and for tests.
         """
-        if not self.alpha_matches(wme):
-            return None
-        return self.beta_matches(wme, bindings or {})
+        return self.compiled().match(wme, bindings)
+
+    def __reduce__(self):
+        # Cached partitions/closures are derived state; pickle only the
+        # defining fields so closures never hit the wire.
+        return (ConditionElement, (self.relation, self.tests, self.negated))
 
     def __str__(self) -> str:
         inner = " ".join(str(t) for t in self.tests)

@@ -1,0 +1,363 @@
+"""Condition compilation: closures instead of interpreted test walks.
+
+The match phase dominates cycle time (Section 5's sweeps; the
+critical-path reports attribute most of each cycle to the ``match``
+bucket), and the seed evaluated every condition element by *walking*
+its test list per WME probe — re-filtering the tests into
+constant/variable partitions, re-looking the predicate operator up in a
+dict, and re-scanning the WME's attribute tuple for every single test.
+
+This module compiles each :class:`~repro.lang.ast.ConditionElement`
+once, at matcher-construction time, into a :class:`CompiledCondition`
+holding exactly two closures:
+
+* ``alpha(wme) -> bool`` — the relation + constant-test +
+  constant-predicate check (the alpha-network filter), specialized to
+  the element's actual test shape (relation-only and constants-only
+  elements get dedicated, branch-free closures);
+* ``beta(wme, bindings) -> dict | None`` — the variable bind/join tests
+  and variable-operand predicates, over precomputed ``(attribute,
+  variable)`` / ``(attribute, comparator, operand)`` tuples and the
+  WME's cached attribute map.
+
+Both closures are pure functions of the (immutable) element, so they
+are built once and cached on the element itself; every matcher — naive,
+Rete, TREAT, cond-relations, and the partitioned matcher's shards —
+binds them directly at its hot sites.
+
+Equivalence contract
+--------------------
+``alpha``/``beta`` are bit-compatible with the seed's interpreted
+walks: same accept/reject decisions, same extended-bindings dicts, the
+same ``ValidationError`` on a predicate referencing an unbound variable
+(unreachable for validated productions —
+:meth:`~repro.lang.production.Production.validate` now rejects such
+rules at load time — but preserved for bare condition elements), and
+``False``/``None`` on cross-type comparisons.  The seed walks survive
+as :func:`interpreted_alpha` / :func:`interpreted_beta`, used by the
+equivalence property tests and by the hot-path benchmark's
+before/after comparison; :func:`interpreted_conditions` switches
+freshly compiled elements onto them wholesale so a whole engine run
+can be A/B'd.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.errors import ValidationError
+from repro.wm.element import Scalar, WME
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lang.ast import ConditionElement
+
+#: Sentinel distinguishing "attribute absent" from a stored ``None``.
+_MISSING = object()
+
+AlphaEvaluator = Callable[[WME], bool]
+BetaEvaluator = Callable[[WME, "Bindings"], "dict[str, Scalar] | None"]
+
+#: When true, :func:`build_evaluators` hands out the seed's interpreted
+#: walks instead of compiled closures.  Consulted at *build* time: an
+#: element caches its evaluators on first use, so the flag must be set
+#: before the element is ever evaluated (wrap the whole
+#: construct-and-run, as the hot-path benchmark does).
+_MODE = {"interpreted": False}
+
+
+@contextmanager
+def interpreted_conditions() -> Iterator[None]:
+    """Evaluate conditions with the seed's interpreted walks.
+
+    A/B harness for the hot-path benchmark and the equivalence suite.
+    Affects only condition elements *first evaluated* inside the
+    block (evaluators are cached per element).
+    """
+    previous = _MODE["interpreted"]
+    _MODE["interpreted"] = True
+    try:
+        yield
+    finally:
+        _MODE["interpreted"] = previous
+
+
+class CompiledCondition:
+    """One condition element's precompiled evaluators and test layout.
+
+    Attributes
+    ----------
+    alpha, beta:
+        The two closures described in the module docstring.
+    match:
+        Convenience composition: ``beta(wme, bindings)`` when
+        ``alpha(wme)`` passes, else ``None``.
+    constant_equalities:
+        ``(attribute, value)`` pairs from the constant tests — the
+        index-probe keys the naive/TREAT candidate selectors use.
+    variable_items:
+        ``(attribute, variable)`` pairs from the variable tests — used
+        to extend index probes with already-bound join equalities.
+    mode:
+        ``"compiled"`` or ``"interpreted"`` (which family of
+        evaluators this instance carries).
+    """
+
+    __slots__ = (
+        "element",
+        "mode",
+        "alpha",
+        "beta",
+        "match",
+        "constant_equalities",
+        "variable_items",
+    )
+
+    def __init__(
+        self,
+        element: "ConditionElement",
+        mode: str,
+        alpha: AlphaEvaluator,
+        beta: BetaEvaluator,
+    ) -> None:
+        self.element = element
+        self.mode = mode
+        self.alpha = alpha
+        self.beta = beta
+        self.constant_equalities = tuple(
+            (t.attribute, t.value) for t in element.constant_tests()
+        )
+        self.variable_items = tuple(
+            (t.attribute, t.variable) for t in element.variable_tests()
+        )
+
+        def match(
+            wme: WME,
+            bindings=None,
+            *,
+            _alpha=alpha,
+            _beta=beta,
+        ):
+            if not _alpha(wme):
+                return None
+            return _beta(wme, bindings if bindings is not None else {})
+
+        self.match = match
+
+
+def build_evaluators(element: "ConditionElement") -> CompiledCondition:
+    """Build the evaluator pair for ``element``, honoring the mode flag."""
+    if _MODE["interpreted"]:
+        return CompiledCondition(
+            element,
+            "interpreted",
+            interpreted_alpha(element),
+            interpreted_beta(element),
+        )
+    return CompiledCondition(
+        element, "compiled", compile_alpha(element), compile_beta(element)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Compiled closures
+# ---------------------------------------------------------------------------
+
+
+def compile_alpha(element: "ConditionElement") -> AlphaEvaluator:
+    """Compile the relation + constant-test check into one closure."""
+    from repro.lang.ast import _PREDICATES
+
+    relation = element.relation
+    const_items = tuple(
+        (t.attribute, t.value) for t in element.constant_tests()
+    )
+    pred_items = tuple(
+        (t.attribute, _PREDICATES[t.op], t.operand)
+        for t in element.constant_predicates()
+    )
+
+    if not const_items and not pred_items:
+
+        def alpha_relation_only(wme: WME, *, _relation=relation) -> bool:
+            return wme.relation == _relation
+
+        return alpha_relation_only
+
+    if not pred_items:
+
+        def alpha_constants(
+            wme: WME,
+            *,
+            _relation=relation,
+            _items=const_items,
+            _missing=_MISSING,
+        ) -> bool:
+            if wme.relation != _relation:
+                return False
+            mapping = wme.mapping()
+            for attribute, expected in _items:
+                if mapping.get(attribute, _missing) != expected:
+                    return False
+            return True
+
+        return alpha_constants
+
+    def alpha_full(
+        wme: WME,
+        *,
+        _relation=relation,
+        _items=const_items,
+        _preds=pred_items,
+        _missing=_MISSING,
+    ) -> bool:
+        if wme.relation != _relation:
+            return False
+        mapping = wme.mapping()
+        for attribute, expected in _items:
+            if mapping.get(attribute, _missing) != expected:
+                return False
+        for attribute, compare, operand in _preds:
+            value = mapping.get(attribute, _missing)
+            if value is _missing:
+                return False
+            try:
+                if not compare(value, operand):
+                    return False
+            except TypeError:
+                # Ordering across unlike types is False (seed semantics).
+                return False
+        return True
+
+    return alpha_full
+
+
+def compile_beta(element: "ConditionElement") -> BetaEvaluator:
+    """Compile the variable bind/join tests into one closure."""
+    from repro.lang.ast import _PREDICATES
+
+    var_items = tuple(
+        (t.attribute, t.variable) for t in element.variable_tests()
+    )
+    pred_items = tuple(
+        (t.attribute, _PREDICATES[t.op], str(t.operand), t)
+        for t in element.variable_predicates()
+    )
+
+    if not var_items and not pred_items:
+
+        def beta_copy(wme: WME, bindings) -> dict[str, Scalar]:
+            return dict(bindings)
+
+        return beta_copy
+
+    def beta(
+        wme: WME,
+        bindings,
+        *,
+        _vars=var_items,
+        _preds=pred_items,
+        _missing=_MISSING,
+    ) -> dict[str, Scalar] | None:
+        mapping = wme.mapping()
+        extended = dict(bindings)
+        for attribute, variable in _vars:
+            value = mapping.get(attribute, _missing)
+            if value is _missing:
+                return None
+            prior = extended.get(variable, _missing)
+            if prior is _missing:
+                extended[variable] = value
+            elif prior != value:
+                return None
+        for attribute, compare, operand_name, test in _preds:
+            value = mapping.get(attribute, _missing)
+            if value is _missing:
+                return None
+            operand = extended.get(operand_name, _missing)
+            if operand is _missing:
+                raise ValidationError(
+                    f"predicate {test} references unbound variable "
+                    f"<{operand_name}>"
+                )
+            try:
+                if not compare(value, operand):
+                    return None
+            except TypeError:
+                return None
+        return extended
+
+    return beta
+
+
+# ---------------------------------------------------------------------------
+# The seed's interpreted walks (equivalence oracle + benchmark baseline)
+# ---------------------------------------------------------------------------
+
+
+def interpreted_alpha(element: "ConditionElement") -> AlphaEvaluator:
+    """The seed's per-probe interpreted alpha walk, verbatim.
+
+    Re-filters the test list on every probe and scans the WME's
+    attribute tuple per test — deliberately, so the hot-path benchmark
+    measures the compiled closures against the true seed baseline.
+    """
+    from repro.lang.ast import ConstantTest, PredicateTest, _compare
+
+    def alpha(wme: WME, *, _element=element) -> bool:
+        if wme.relation != _element.relation:
+            return False
+        for test in tuple(
+            t for t in _element.tests if isinstance(t, ConstantTest)
+        ):
+            if test.attribute not in wme or wme[test.attribute] != test.value:
+                return False
+        for pred in tuple(
+            t
+            for t in _element.tests
+            if isinstance(t, PredicateTest) and not t.operand_is_variable
+        ):
+            if pred.attribute not in wme:
+                return False
+            if not _compare(pred.op, wme[pred.attribute], pred.operand):
+                return False
+        return True
+
+    return alpha
+
+
+def interpreted_beta(element: "ConditionElement") -> BetaEvaluator:
+    """The seed's per-probe interpreted beta walk, verbatim."""
+    from repro.lang.ast import PredicateTest, VariableTest, _compare
+
+    def beta(wme: WME, bindings, *, _element=element):
+        extended = dict(bindings)
+        for test in tuple(
+            t for t in _element.tests if isinstance(t, VariableTest)
+        ):
+            if test.attribute not in wme:
+                return None
+            value = wme[test.attribute]
+            if test.variable in extended:
+                if extended[test.variable] != value:
+                    return None
+            else:
+                extended[test.variable] = value
+        for pred in tuple(
+            t
+            for t in _element.tests
+            if isinstance(t, PredicateTest) and t.operand_is_variable
+        ):
+            if pred.attribute not in wme:
+                return None
+            operand = extended.get(str(pred.operand))
+            if operand is None and str(pred.operand) not in extended:
+                raise ValidationError(
+                    f"predicate {pred} references unbound variable "
+                    f"<{pred.operand}>"
+                )
+            if not _compare(pred.op, wme[pred.attribute], operand):
+                return None
+        return extended
+
+    return beta

@@ -13,8 +13,10 @@ run:
   only duplicate firings).
 * ``single-use-variable`` is *not* flagged when the variable feeds the
   RHS — only truly dead bindings are reported.
-* ``negation-unbound`` — a negated element using variables bound
-  nowhere (always evaluates the same way; usually a mistake).
+
+(Unbound variable-predicate operands — including in negated elements —
+are no longer a lint finding: :meth:`repro.lang.production.Production.
+validate` rejects them at load time.)
 
 Findings are advisory: :func:`lint_program` returns them, it never
 raises.
@@ -62,7 +64,6 @@ def lint_program(
     for production in productions:
         findings.extend(_lint_variables(production))
         findings.extend(_lint_unmatchable(production, produced))
-        findings.extend(_lint_negation_unbound(production))
         signature = (production.lhs,)
         if signature in lhs_signatures:
             findings.append(
@@ -148,26 +149,6 @@ def _lint_unmatchable(
                     "unmatchable-rule",
                     f"positive condition on relation "
                     f"{element.relation!r}, which nothing produces",
-                )
-            )
-    return findings
-
-
-def _lint_negation_unbound(production: Production) -> list[Finding]:
-    findings: list[Finding] = []
-    bound = production.lhs_variables()
-    for element in production.negative_elements():
-        dangling = {
-            str(p.operand)
-            for p in element.variable_predicates()
-        } - bound
-        if dangling:
-            findings.append(
-                Finding(
-                    production.name,
-                    "negation-unbound",
-                    f"negated ({element.relation} ...) compares against "
-                    f"unbound variable(s) {sorted(dangling)}",
                 )
             )
     return findings

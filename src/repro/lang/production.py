@@ -58,9 +58,11 @@ class Production:
     def validate(self) -> None:
         """Raise :class:`ValidationError` on structural problems.
 
-        Checks: non-empty LHS with ≥1 positive element; element
-        designators in range and pointing at positive elements; every
-        RHS variable bound by the LHS or an earlier ``bind``.
+        Checks: non-empty LHS with ≥1 positive element; every variable
+        predicate operand bound by an earlier positive element or its
+        own element; element designators in range and pointing at
+        positive elements; every RHS variable bound by the LHS or an
+        earlier ``bind``.
         """
         if not self.lhs:
             raise ValidationError(f"production {self.name!r} has an empty LHS")
@@ -69,6 +71,30 @@ class Production:
                 f"production {self.name!r}: all condition elements are "
                 f"negated; at least one positive element is required"
             )
+        # A variable predicate operand must be bound by the time its
+        # element is evaluated — by a variable test in an earlier
+        # *positive* element, or by one in the same element (variable
+        # tests run before predicates).  This used to surface as a
+        # per-WME ValidationError at match time, so whether a bad rule
+        # errored depended on which WMEs arrived (and the matchers
+        # genuinely disagreed on rules with forward references: TREAT's
+        # retraction path evaluates with full-instantiation bindings).
+        # Reject once, at load.
+        bound_so_far: set[str] = set()
+        for element in self.lhs:
+            local = {t.variable for t in element.variable_tests()}
+            available = bound_so_far | local
+            for pred in element.variable_predicates():
+                name = str(pred.operand)
+                if name not in available:
+                    raise ValidationError(
+                        f"production {self.name!r}: condition {element} "
+                        f"predicate {pred} references variable <{name}> "
+                        f"not bound by an earlier positive condition "
+                        f"element"
+                    )
+            if not element.negated:
+                bound_so_far |= local
         positives = self.positive_indices()
         bound = self.lhs_variables()
         for action in self.rhs:

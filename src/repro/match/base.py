@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Protocol, runtime_checkable
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Protocol, runtime_checkable
 
 from repro.lang.production import Production
 from repro.match.conflict_set import ConflictSet
@@ -98,6 +99,20 @@ class BaseMatcher:
     def feed(self, delta) -> None:
         """Process one WM delta on behalf of a driving matcher."""
         self._on_delta(delta)
+
+    @contextmanager
+    def batch(self) -> Iterator["BaseMatcher"]:
+        """Group WM deltas behind one match barrier (no-op by default).
+
+        :class:`~repro.match.partitioned.PartitionedMatcher` overrides
+        this to buffer deltas published inside the block and replay
+        them to every shard together on exit.  The base implementation
+        matches incrementally as usual, so single-threaded engine
+        drive loops can wrap RHS execution in ``matcher.batch()``
+        unconditionally.  Not thread-safe — only for callers that own
+        the matcher's delta stream.
+        """
+        yield self
 
     def rebuild(self) -> None:
         """Recompute all matches from the current store contents."""

@@ -39,9 +39,8 @@ class AlphaRelation:
     def __init__(self, pattern: ConditionElement) -> None:
         self.pattern = pattern
         self.rows: dict[Timetag, WME] = {}
-
-    def accepts(self, wme: WME) -> bool:
-        return self.pattern.alpha_matches(wme)
+        # Bind the compiled alpha closure once; every insert probes it.
+        self.accepts = pattern.compiled().alpha
 
     def insert(self, wme: WME) -> bool:
         if self.accepts(wme):
@@ -159,16 +158,17 @@ class CondRelationMatcher(BaseMatcher):
             return
         element = production.lhs[index]
         alpha = alphas[index]
+        beta = element.compiled().beta
         if element.negated:
             for wme in alpha:
-                if element.beta_matches(wme, bindings) is not None:
+                if beta(wme, bindings) is not None:
                     return
             yield from self._extend(
                 production, alphas, index + 1, matched, bindings
             )
             return
         for wme in alpha:
-            extended = element.beta_matches(wme, bindings)
+            extended = beta(wme, bindings)
             if extended is not None:
                 yield from self._extend(
                     production,

@@ -40,6 +40,24 @@ class Instantiation:
     wmes: tuple[WME, ...]
     bindings_items: tuple[tuple[str, Scalar], ...] = field(default=())
 
+    def __post_init__(self) -> None:
+        # Identity, hash, and the LEX/MEA ordering keys are immutable
+        # functions of the fields, but were rebuilt (and re-sorted) on
+        # every conflict-set lookup and strategy comparison.  Compute
+        # them once here; ``object.__setattr__`` sidesteps the frozen
+        # guard and non-field attributes stay out of dataclass
+        # semantics.
+        timetags = tuple(w.timetag for w in self.wmes)
+        identity = (self.production.name, timetags)
+        recency = tuple(sorted(timetags, reverse=True))
+        object.__setattr__(self, "_timetags", timetags)
+        object.__setattr__(self, "_identity", identity)
+        object.__setattr__(self, "_hash", hash(identity))
+        object.__setattr__(self, "_recency_key", recency)
+        object.__setattr__(
+            self, "_mea_key", (timetags[0] if timetags else 0, *recency)
+        )
+
     @staticmethod
     def build(
         production: Production,
@@ -61,43 +79,43 @@ class Instantiation:
         return self.production.name
 
     def timetags(self) -> tuple[int, ...]:
-        """Timetags of the matched WMEs, in LHS order."""
-        return tuple(w.timetag for w in self.wmes)
+        """Timetags of the matched WMEs, in LHS order (cached)."""
+        return self._timetags
 
     def recency_key(self) -> tuple[int, ...]:
         """Timetags sorted descending — the LEX recency ordering.
 
         LEX compares instantiations by their sorted-descending timetag
         vectors, lexicographically; larger means more recent, i.e.
-        preferred.
+        preferred.  Cached at construction: strategy comparisons and
+        the partitioned merge call this per candidate per cycle.
         """
-        return tuple(sorted((w.timetag for w in self.wmes), reverse=True))
+        return self._recency_key
 
     def mea_key(self) -> tuple[int, ...]:
         """MEA ordering key: first-element recency, then LEX.
 
         MEA gives absolute priority to the recency of the WME matching
         the *first* condition element (the "means-ends" goal element),
-        breaking ties with LEX.
+        breaking ties with LEX.  Cached at construction.
         """
-        first = self.wmes[0].timetag if self.wmes else 0
-        return (first, *self.recency_key())
+        return self._mea_key
 
     def mentions(self, wme: WME) -> bool:
         """True when ``wme`` is one of the matched elements."""
-        return any(w.timetag == wme.timetag for w in self.wmes)
+        return wme.timetag in self._timetags
 
     def identity(self) -> tuple[str, tuple[int, ...]]:
         """Equality/hashing identity: rule name + matched timetags."""
-        return (self.production.name, self.timetags())
+        return self._identity
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Instantiation):
             return NotImplemented
-        return self.identity() == other.identity()
+        return self._identity == other._identity
 
     def __hash__(self) -> int:
-        return hash(self.identity())
+        return self._hash
 
     def __str__(self) -> str:
         tags = ",".join(str(t) for t in self.timetags())

@@ -53,8 +53,9 @@ def _extend(
             return
         yield from _extend(production, memory, index + 1, matched, bindings)
         return
+    match = element.compiled().match
     for wme in _candidates(element, memory, bindings):
-        extended = element.matches(wme, bindings)
+        extended = match(wme, bindings)
         if extended is not None:
             yield from _extend(
                 production, memory, index + 1, matched + (wme,), extended
@@ -67,8 +68,9 @@ def _exists_match(
     bindings: Mapping[str, Scalar],
 ) -> bool:
     """Existential check for negated elements."""
+    match = element.compiled().match
     for wme in _candidates(element, memory, bindings):
-        if element.matches(wme, bindings) is not None:
+        if match(wme, bindings) is not None:
             return True
     return False
 
@@ -82,14 +84,14 @@ def _candidates(
 
     Uses constant equality tests, plus variable tests whose variable is
     already bound (they are equalities at this point), to narrow the
-    scan via the store's attribute index.
+    scan via the store's attribute index.  The ``(attribute, value)``
+    pairs come precomputed from the element's compiled form.
     """
-    equalities: list[tuple[str, Scalar]] = [
-        (t.attribute, t.value) for t in element.constant_tests()
-    ]
-    for test in element.variable_tests():
-        if test.variable in bindings:
-            equalities.append((test.attribute, bindings[test.variable]))
+    compiled = element.compiled()
+    equalities = list(compiled.constant_equalities)
+    for attribute, variable in compiled.variable_items:
+        if variable in bindings:
+            equalities.append((attribute, bindings[variable]))
     return memory.select(element.relation, equalities)
 
 

@@ -34,10 +34,9 @@ class AlphaMemory:
         self.pattern = pattern
         self.items: dict[int, WME] = {}
         self.successors: list["RightActivatable"] = []
-
-    def accepts(self, wme: WME) -> bool:
-        """Constant-test check for ``wme``."""
-        return self.pattern.alpha_matches(wme)
+        #: Compiled constant-test check, bound once — the alpha
+        #: network probes every memory on every WM delta.
+        self.accepts = pattern.compiled().alpha
 
     def activate(self, wme: WME) -> None:
         """Insert ``wme`` and right-activate the successors."""

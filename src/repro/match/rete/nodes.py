@@ -162,6 +162,8 @@ class JoinNode:
         self.parent = parent
         self.alpha = alpha
         self.element = element
+        #: Compiled join test, bound once for the activation loops.
+        self._beta = element.compiled().beta
         self.memory = BetaMemory(network)
         parent.children.append(self)
         alpha.successors.append(self)
@@ -169,18 +171,24 @@ class JoinNode:
     # -- activations -----------------------------------------------------------
 
     def on_token_added(self, token: Token) -> None:
+        beta = self._beta
+        add_match = self.memory.add_match
+        bindings = token.bindings
         for wme in self.alpha:
-            extended = self.element.beta_matches(wme, token.bindings)
+            extended = beta(wme, bindings)
             if extended is not None:
-                self.memory.add_match(token, wme, extended)
+                add_match(token, wme, extended)
 
     def on_wme_added(self, wme: WME) -> None:
+        beta = self._beta
+        add_match = self.memory.add_match
+        skip_blocked = isinstance(self.parent, NegativeNode)
         for token in list(self.parent.tokens):
-            if isinstance(self.parent, NegativeNode) and token.is_blocked():
+            if skip_blocked and token.is_blocked():
                 continue
-            extended = self.element.beta_matches(wme, token.bindings)
+            extended = beta(wme, token.bindings)
             if extended is not None:
-                self.memory.add_match(token, wme, extended)
+                add_match(token, wme, extended)
 
     def on_wme_removed(self, wme: WME) -> None:
         # Token deletion is driven centrally by the network via the
@@ -211,6 +219,8 @@ class NegativeNode(TokenStore):
         self.parent = parent
         self.alpha = alpha
         self.element = element
+        #: Compiled join test, bound once for the activation loops.
+        self._beta = element.compiled().beta
         parent.children.append(self)
         alpha.successors.append(self)
 
@@ -219,8 +229,9 @@ class NegativeNode(TokenStore):
     def on_token_added(self, token: Token) -> None:
         own = Token(token, None, dict(token.bindings), self)
         self._store(own)
+        beta = self._beta
         for wme in self.alpha:
-            if self.element.beta_matches(wme, own.bindings) is not None:
+            if beta(wme, own.bindings) is not None:
                 own.blockers[wme.timetag] = wme
                 self.network.register_blocker(wme, own)
         if not own.is_blocked():
@@ -229,8 +240,9 @@ class NegativeNode(TokenStore):
     # -- right activations -----------------------------------------------------------
 
     def on_wme_added(self, wme: WME) -> None:
+        beta = self._beta
         for token in list(self.tokens):
-            if self.element.beta_matches(wme, token.bindings) is None:
+            if beta(wme, token.bindings) is None:
                 continue
             was_blocked = token.is_blocked()
             token.blockers[wme.timetag] = wme

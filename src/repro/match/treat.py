@@ -56,9 +56,10 @@ def _extend_fixed(
         yield Instantiation.build(production, matched, bindings)
         return
     element = production.lhs[index]
+    match = element.compiled().match
     if element.negated:
         for wme in memory.select(element.relation):
-            if element.matches(wme, bindings) is not None:
+            if match(wme, bindings) is not None:
                 return
         yield from _extend_fixed(
             production, memory, index + 1, matched, bindings,
@@ -68,15 +69,14 @@ def _extend_fixed(
     if index == fixed_index:
         candidates = [fixed_wme]
     else:
-        equalities = [
-            (t.attribute, t.value) for t in element.constant_tests()
-        ]
-        for test in element.variable_tests():
-            if test.variable in bindings:
-                equalities.append((test.attribute, bindings[test.variable]))
+        compiled = element.compiled()
+        equalities = list(compiled.constant_equalities)
+        for attribute, variable in compiled.variable_items:
+            if variable in bindings:
+                equalities.append((attribute, bindings[variable]))
         candidates = memory.select(element.relation, equalities)
     for wme in candidates:
-        extended = element.matches(wme, bindings)
+        extended = match(wme, bindings)
         if extended is not None:
             yield from _extend_fixed(
                 production, memory, index + 1, matched + (wme,), extended,
@@ -120,7 +120,7 @@ class TreatMatcher(BaseMatcher):
     def _on_add(self, wme: WME) -> None:
         for production in self._productions.values():
             for index, element in enumerate(production.lhs):
-                if not element.alpha_matches(wme):
+                if not element.compiled().alpha(wme):
                     continue
                 if element.negated:
                     self._invalidate(production, index, wme)
@@ -133,9 +133,9 @@ class TreatMatcher(BaseMatcher):
 
     def _invalidate(self, production: Production, index: int, wme: WME) -> None:
         """Retract instantiations whose negated element now matches ``wme``."""
-        element = production.lhs[index]
+        match = production.lhs[index].compiled().match
         for instantiation in self.conflict_set.for_rule(production.name):
-            if element.matches(wme, instantiation.bindings) is not None:
+            if match(wme, instantiation.bindings) is not None:
                 self.conflict_set.remove(instantiation)
 
     def _on_remove(self, wme: WME) -> None:
@@ -148,7 +148,8 @@ class TreatMatcher(BaseMatcher):
         # recompute the affected rules (TREAT's conservative case).
         for production in self._productions.values():
             if any(
-                ce.negated and ce.alpha_matches(wme) for ce in production.lhs
+                ce.negated and ce.compiled().alpha(wme)
+                for ce in production.lhs
             ):
                 self.join_count += 1
                 current = set(match_production(production, self.memory))

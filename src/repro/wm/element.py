@@ -111,6 +111,26 @@ class WME:
         """Return the attribute/value pairs as a fresh ``dict``."""
         return dict(self.items)
 
+    def mapping(self) -> dict[str, Scalar]:
+        """The attribute/value pairs as a cached ``dict``.
+
+        The compiled condition closures look attributes up by hash
+        instead of scanning ``items``; the dict is built once per
+        element and shared, so callers must not mutate it.  (The
+        first-call race under threads is benign: both sides build the
+        same dict.)
+        """
+        try:
+            return self._mapping
+        except AttributeError:
+            mapping = dict(self.items)
+            object.__setattr__(self, "_mapping", mapping)
+            return mapping
+
+    def __reduce__(self):
+        # The cached mapping is derived state; pickle only the fields.
+        return (WME, (self.relation, self.items, self.timetag))
+
     # -- derivation ----------------------------------------------------------
 
     def replaced(self, changes: Mapping[str, Scalar]) -> "WME":

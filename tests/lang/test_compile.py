@@ -1,0 +1,229 @@
+"""The compiled-condition layer: closures ≡ the seed's interpreted walks.
+
+Hypothesis drives randomized condition elements against randomized WMEs
+and bindings, asserting the compiled alpha/beta closures agree with the
+interpreted oracle on every outcome: acceptance, the extended bindings
+dict, rejection, and the unbound-variable ``ValidationError``.
+"""
+
+from __future__ import annotations
+
+import pytest
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.errors import ValidationError
+from repro.lang.ast import (
+    ConditionElement,
+    ConstantTest,
+    PredicateTest,
+    VariableTest,
+)
+from repro.lang.compile import (
+    CompiledCondition,
+    compile_alpha,
+    compile_beta,
+    interpreted_alpha,
+    interpreted_beta,
+    interpreted_conditions,
+)
+from repro.wm.element import WME
+
+_ATTRS = ["a", "b", "c"]
+_VARS = ["x", "y"]
+_OPS = ["=", "<>", "<", "<=", ">", ">="]
+
+# Mixed-type scalars on purpose: ordering predicates across unlike
+# types must be False/None in both evaluator families (TypeError path).
+_scalar = st.one_of(
+    st.integers(-3, 3),
+    st.sampled_from(["red", "blue", ""]),
+    st.booleans(),
+    st.none(),
+)
+
+_test = st.one_of(
+    st.builds(ConstantTest, st.sampled_from(_ATTRS), _scalar),
+    st.builds(VariableTest, st.sampled_from(_ATTRS), st.sampled_from(_VARS)),
+    st.builds(
+        PredicateTest,
+        st.sampled_from(_ATTRS),
+        st.sampled_from(_OPS),
+        _scalar,
+        st.just(False),
+    ),
+    st.builds(
+        PredicateTest,
+        st.sampled_from(_ATTRS),
+        st.sampled_from(_OPS),
+        st.sampled_from(_VARS),
+        st.just(True),
+    ),
+)
+
+_element = st.builds(
+    ConditionElement,
+    st.sampled_from(["r1", "r2"]),
+    st.lists(_test, max_size=5).map(tuple),
+    st.booleans(),
+)
+
+_wme = st.builds(
+    lambda relation, values: WME.make(relation, values),
+    st.sampled_from(["r1", "r2"]),
+    st.dictionaries(st.sampled_from(_ATTRS), _scalar, max_size=3),
+)
+
+_bindings = st.dictionaries(st.sampled_from(_VARS), _scalar, max_size=2)
+
+
+def _beta_outcome(beta, wme, bindings):
+    """Normalize a beta evaluation to a comparable value."""
+    try:
+        return ("ok", beta(wme, dict(bindings)))
+    except ValidationError as exc:
+        return ("error", str(exc))
+
+
+class TestCompiledVsInterpreted:
+    @given(element=_element, wme=_wme)
+    @settings(max_examples=300, deadline=None)
+    def test_alpha_agrees(self, element, wme):
+        assert compile_alpha(element)(wme) == interpreted_alpha(element)(wme)
+
+    @given(element=_element, wme=_wme, bindings=_bindings)
+    @settings(max_examples=300, deadline=None)
+    def test_beta_agrees(self, element, wme, bindings):
+        compiled = _beta_outcome(compile_beta(element), wme, bindings)
+        interpreted = _beta_outcome(interpreted_beta(element), wme, bindings)
+        assert compiled == interpreted
+
+    @given(element=_element, wme=_wme, bindings=_bindings)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_entry_point_agrees(self, element, wme, bindings):
+        def full(alpha, beta):
+            if not alpha(wme):
+                return ("ok", None)
+            return _beta_outcome(beta, wme, bindings)
+
+        assert full(
+            compile_alpha(element), compile_beta(element)
+        ) == full(interpreted_alpha(element), interpreted_beta(element))
+
+    @given(element=_element, wme=_wme, bindings=_bindings)
+    @settings(max_examples=100, deadline=None)
+    def test_element_methods_match_oracle(self, element, wme, bindings):
+        # The element's own (compiled-delegating) methods agree with
+        # the interpreted oracle end to end.
+        alpha = interpreted_alpha(element)
+        beta = interpreted_beta(element)
+        assert element.alpha_matches(wme) == alpha(wme)
+        if element.alpha_matches(wme):
+            assert _beta_outcome(element.beta_matches, wme, bindings) == (
+                _beta_outcome(beta, wme, bindings)
+            )
+
+
+class TestCompiledCondition:
+    def test_cached_on_element(self):
+        element = ConditionElement("r", (ConstantTest("a", 1),))
+        assert element.compiled() is element.compiled()
+        assert element.compiled().mode == "compiled"
+
+    def test_constant_equalities_and_variable_items(self):
+        element = ConditionElement(
+            "r",
+            (
+                ConstantTest("a", 1),
+                VariableTest("b", "x"),
+                PredicateTest("c", ">", 2),
+            ),
+        )
+        compiled = element.compiled()
+        assert compiled.constant_equalities == (("a", 1),)
+        assert compiled.variable_items == (("b", "x"),)
+
+    def test_none_valued_attribute_binds(self):
+        # The _MISSING sentinel distinguishes absent attributes from
+        # stored None: a None value must bind, not raise or reject.
+        element = ConditionElement("r", (VariableTest("a", "x"),))
+        wme = WME.make("r", a=None)
+        assert element.compiled().beta(wme, {}) == {"x": None}
+
+    def test_unbound_predicate_operand_still_raises_per_probe(self):
+        # Bare elements (no Production wrapper) keep the runtime guard.
+        element = ConditionElement(
+            "r", (PredicateTest("a", ">", "ghost", True),)
+        )
+        wme = WME.make("r", a=1)
+        with pytest.raises(ValidationError, match="ghost"):
+            element.compiled().beta(wme, {})
+
+    def test_operand_bound_to_none_does_not_raise(self):
+        element = ConditionElement(
+            "r", (PredicateTest("a", ">", "x", True),)
+        )
+        wme = WME.make("r", a=1)
+        # Seed semantics: a variable bound to None is bound; the
+        # comparison is attempted and TypeError rejects quietly.
+        assert element.compiled().beta(wme, {"x": None}) is None
+
+    def test_memoized_partitions_are_stable(self):
+        element = ConditionElement(
+            "r",
+            (
+                ConstantTest("a", 1),
+                VariableTest("b", "x"),
+                PredicateTest("c", ">", 0),
+                PredicateTest("d", "<", "x", True),
+            ),
+        )
+        assert element.constant_tests() is element.constant_tests()
+        assert element.constant_predicates() is element.constant_predicates()
+        assert element.variable_tests() is element.variable_tests()
+        assert element.variable_predicates() is element.variable_predicates()
+        assert element.alpha_key() is element.alpha_key()
+        assert element.variables() is element.variables()
+
+    def test_caches_do_not_leak_into_equality_or_pickle(self):
+        import pickle
+
+        left = ConditionElement("r", (ConstantTest("a", 1),))
+        right = ConditionElement("r", (ConstantTest("a", 1),))
+        left.compiled()  # populate caches on one side only
+        left.alpha_key()
+        assert left == right
+        assert hash(left) == hash(right)
+        clone = pickle.loads(pickle.dumps(left))
+        assert clone == left
+
+    def test_wme_mapping_cached_and_picklable(self):
+        import pickle
+
+        wme = WME.make("r", a=1, b="z")
+        assert wme.mapping() is wme.mapping()
+        assert wme.mapping() == {"a": 1, "b": "z"}
+        clone = pickle.loads(pickle.dumps(wme))
+        assert clone == wme and clone.timetag == wme.timetag
+
+
+class TestInterpretedMode:
+    def test_context_switches_freshly_built_elements(self):
+        with interpreted_conditions():
+            element = ConditionElement("r", (ConstantTest("a", 1),))
+            assert element.compiled().mode == "interpreted"
+            assert element.alpha_matches(WME.make("r", a=1))
+        # Cached: stays interpreted after the block...
+        assert element.compiled().mode == "interpreted"
+        # ...while new elements compile again.
+        fresh = ConditionElement("r", (ConstantTest("a", 1),))
+        assert fresh.compiled().mode == "compiled"
+
+    def test_interpreted_mode_same_results(self):
+        wme = WME.make("r", a=2, b=2)
+        tests = (VariableTest("a", "x"), VariableTest("b", "x"))
+        with interpreted_conditions():
+            interp = ConditionElement("r", tests)
+            interp_result = interp.matches(wme)
+        compiled = ConditionElement("r", tests)
+        assert compiled.matches(wme) == interp_result == {"x": 2}

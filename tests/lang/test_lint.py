@@ -1,5 +1,8 @@
 """Tests for the rule-program linter."""
 
+import pytest
+
+from repro.errors import ValidationError
 from repro.lang import RuleBuilder, parse_program
 from repro.lang.builder import gt, var
 from repro.lang.lint import Finding, format_findings, lint_program
@@ -98,19 +101,21 @@ class TestFindings:
         assert shadowed[0].rule == "second"
         assert "first" in shadowed[0].message
 
-    def test_negation_unbound(self):
-        rules = parse_program(
-            "(p r (a ^id <x>) -(b ^v > <ghost>) --> (remove 1))"
-        )
-        findings = lint_program(rules, known_relations=["a", "b"])
-        assert "negation-unbound" in codes(findings)
+    def test_negation_unbound_rejected_at_load(self):
+        # Formerly an advisory "negation-unbound" lint finding (and a
+        # per-WME match-time error); now Production.validate rejects
+        # the rule when it is parsed, before any WME arrives.
+        with pytest.raises(ValidationError, match="ghost"):
+            parse_program(
+                "(p r (a ^id <x>) -(b ^v > <ghost>) --> (remove 1))"
+            )
 
     def test_negation_with_bound_variable_ok(self):
         rules = parse_program(
             "(p r (a ^id <x>) -(b ^v > <x>) --> (remove 1))"
         )
         findings = lint_program(rules, known_relations=["a", "b"])
-        assert "negation-unbound" not in codes(findings)
+        assert codes(findings) == []
 
     def test_multiple_findings_accumulate(self):
         rules = parse_program(

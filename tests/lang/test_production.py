@@ -59,6 +59,43 @@ class TestValidation:
         assert p.positive_indices() == (0,)
 
 
+class TestUnboundPredicateOperands:
+    """Malformed rules fail at load, not per-WME at match time.
+
+    The seed raised ValidationError inside ``beta_matches`` — so
+    whether a bad rule errored depended on which WMEs arrived, and
+    TREAT's retraction path (which evaluates with full-instantiation
+    bindings) could disagree with Rete/naive on forward references.
+    """
+
+    def test_unbound_operand_rejected_at_load(self):
+        with pytest.raises(ValidationError, match="ghost"):
+            rule("(p x (a ^v > <ghost>) --> (halt))")
+
+    def test_forward_reference_rejected_at_load(self):
+        # <y> is bound by the SECOND element; the first cannot see it.
+        with pytest.raises(ValidationError, match="<y>"):
+            rule("(p x (a ^v > <y>) (b ^w <y>) --> (halt))")
+
+    def test_negated_element_binding_not_visible_downstream(self):
+        # Negated elements bind nothing outside themselves.
+        with pytest.raises(ValidationError, match="<y>"):
+            rule("(p x (a ^v 1) -(b ^w <y>) (c ^z > <y>) --> (halt))")
+
+    def test_same_element_binding_is_visible(self):
+        # Variable tests evaluate before predicates within an element.
+        p = rule("(p x (a ^v <n> ^w > <n>) --> (remove 1))")
+        assert p.name == "x"
+
+    def test_negated_element_may_use_own_binding(self):
+        p = rule("(p x (a ^v <n>) -(b ^w <m> ^z > <m>) --> (remove 1))")
+        assert p.name == "x"
+
+    def test_earlier_positive_binding_is_visible(self):
+        p = rule("(p x (a ^v <n>) (b ^w > <n>) --> (remove 1))")
+        assert p.name == "x"
+
+
 class TestStructureQueries:
     def test_positive_and_negative_elements(self):
         p = rule("(p x (a ^v 1) -(b ^w 2) (c ^u 3) --> (remove 1))")

@@ -66,3 +66,53 @@ class TestOrderingKeys:
         text = str(_inst(_rule("my-rule"), 4))
         assert "my-rule" in text
         assert "4" in text
+
+
+class TestCachedKeys:
+    """The keys are computed once at construction, not per call.
+
+    LEX/MEA strategy comparisons and conflict-set hashing call these on
+    every cycle; re-sorting or rebuilding tuples per call was a
+    measurable slice of the match-select hot path.
+    """
+
+    def test_keys_are_cached_objects(self):
+        inst = _inst(_rule(), 3, 9, 1)
+        assert inst.timetags() is inst.timetags()
+        assert inst.recency_key() is inst.recency_key()
+        assert inst.mea_key() is inst.mea_key()
+        assert inst.identity() is inst.identity()
+
+    def test_hash_stable_and_consistent_with_identity(self):
+        rule = _rule()
+        inst = _inst(rule, 1, 2)
+        assert hash(inst) == hash(inst)
+        assert hash(inst) == hash(_inst(rule, 1, 2))
+        assert hash(inst) == hash(inst.identity())
+
+    def test_key_values_unchanged_by_caching(self):
+        inst = _inst(_rule(), 3, 9, 1)
+        assert inst.timetags() == (3, 9, 1)
+        assert inst.recency_key() == (9, 3, 1)
+        assert inst.mea_key() == (3, 9, 3, 1)
+        assert inst.identity() == ("r", (3, 9, 1))
+
+    def test_hot_path_is_allocation_free(self):
+        # The cached accessors must not build fresh objects per call:
+        # repeated calls return the very same tuples and never trip a
+        # sort.  tracemalloc pins the no-allocation claim.
+        import tracemalloc
+
+        inst = _inst(_rule(), 5, 2, 8)
+        inst.recency_key(), inst.mea_key(), inst.identity()  # warm
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        for _ in range(1000):
+            inst.recency_key()
+            inst.mea_key()
+            inst.identity()
+            inst.timetags()
+            hash(inst)
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert after - before < 1024
