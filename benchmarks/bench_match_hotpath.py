@@ -1,18 +1,25 @@
-"""Match hot-path benchmark: compiled closures vs the interpreted seed.
+"""Match hot-path benchmark: token layouts and compiled closures vs the
+interpreted seed.
 
 The condition-compilation layer (``repro.lang.compile``) replaces the
 seed's per-WME interpreted test walks with precompiled closures, caches
 instantiation ordering keys, and batches each firing's WM deltas behind
-one match barrier.  This module measures the end-to-end effect and
-guards the equivalence contract:
+one match barrier; the slotted token layer replaces per-join binding
+dicts with fixed-width slot tuples keyed by a per-production variable
+index.  This module measures the end-to-end effects and guards the
+equivalence contracts:
 
 * end-to-end recognize-act cycle throughput, compiled vs interpreted,
   on Miss Manners (the classic match-dominated workload) across the
   matcher zoo — with a ≥2× floor on the match-heaviest configuration;
+* end-to-end cycle throughput, slotted vs dict tokens, with a ≥1.2×
+  floor on at least two matchers;
+* per-probe allocation counts (tracemalloc): the slotted join fast path
+  must allocate nothing where the dict layout copied per extension;
 * the critical-path ``match`` bucket share before/after, from the PR-4
   span toolkit (the committed ``obs report`` evidence);
 * micro throughput of the alpha/beta probes themselves;
-* bit-identical conflict sets between the two evaluator families.
+* bit-identical conflict sets between evaluator families and layouts.
 
 ``REPRO_BENCH_SMOKE=1`` shrinks the guest counts and skips the
 full-mode floor assertions (CI smoke lane).
@@ -24,6 +31,7 @@ from __future__ import annotations
 
 import os
 import time
+import tracemalloc
 from contextlib import nullcontext
 
 from conftest import report
@@ -31,7 +39,12 @@ from conftest import report
 from repro.engine.interpreter import Interpreter
 from repro.engine.parallel import ParallelEngine
 from repro.lang.ast import ConditionElement, ConstantTest, VariableTest
-from repro.lang.compile import interpreted_conditions
+from repro.lang.compile import (
+    VariableIndex,
+    compile_beta_slots,
+    dict_tokens,
+    interpreted_conditions,
+)
 from repro.match import NaiveMatcher, ReteMatcher
 from repro.obs import Observer
 from repro.analysis.critpath import cycle_breakdowns
@@ -48,19 +61,32 @@ GUESTS_NAIVE = 6 if SMOKE else 16
 GUESTS_INCREMENTAL = 8 if SMOKE else 24
 GUESTS_OBS = 6 if SMOKE else 12
 PROBE_ROUNDS = 2_000 if SMOKE else 20_000
+ALLOC_PROBES = 1_000
+#: Best-of-N repeats for the slotted-vs-dict throughput rates — one
+#: Manners run is tens of milliseconds, so single-shot ratios are
+#: scheduler noise.
+REPEATS = 1 if SMOKE else 5
+
+_MODES = {
+    "slotted": nullcontext,
+    "dict": dict_tokens,
+    "interpreted": interpreted_conditions,
+}
 
 
 def _run_manners(
-    matcher: str, n_guests: int, interpreted: bool
+    matcher: str, n_guests: int, mode: str
 ) -> tuple[float, object]:
     """One full Manners run; returns (cycles/sec, RunResult).
 
-    The whole construct-and-run sits inside the mode context:
-    condition elements cache their evaluators on first use, so the
-    interpreted runs must build *and* match under the flag.
+    ``mode`` is ``"slotted"`` (the default token layout), ``"dict"``
+    (compiled closures over binding dicts — the PR 7 baseline) or
+    ``"interpreted"`` (the seed's test walks).  The whole
+    construct-and-run sits inside the mode context: condition elements
+    and productions cache their evaluators/plans on first use, so each
+    mode's run must build *and* match under its flag.
     """
-    mode = interpreted_conditions() if interpreted else nullcontext()
-    with mode:
+    with _MODES[mode]():
         memory = build_manners_memory(n_guests=n_guests, seed=7)
         engine = Interpreter(
             build_manners_rules(), memory, matcher=matcher, strategy="lex"
@@ -84,10 +110,10 @@ def test_cycle_throughput_match_heavy_naive():
     the paper's match-dominated regime.
     """
     interp_rate, interp_result = _run_manners(
-        "naive", GUESTS_NAIVE, interpreted=True
+        "naive", GUESTS_NAIVE, "interpreted"
     )
     compiled_rate, compiled_result = _run_manners(
-        "naive", GUESTS_NAIVE, interpreted=False
+        "naive", GUESTS_NAIVE, "slotted"
     )
     # End-to-end equivalence: same cycles, same firing sequence.
     assert compiled_result.cycles == interp_result.cycles
@@ -117,10 +143,10 @@ def test_cycle_throughput_incremental_matchers():
     rows = []
     for matcher in ("rete", "treat", "partitioned:rete:4"):
         interp_rate, interp_result = _run_manners(
-            matcher, GUESTS_INCREMENTAL, interpreted=True
+            matcher, GUESTS_INCREMENTAL, "interpreted"
         )
         compiled_rate, compiled_result = _run_manners(
-            matcher, GUESTS_INCREMENTAL, interpreted=False
+            matcher, GUESTS_INCREMENTAL, "slotted"
         )
         assert compiled_result.cycles == interp_result.cycles
         assert _firing_sequence(compiled_result) == _firing_sequence(
@@ -142,10 +168,137 @@ def test_cycle_throughput_incremental_matchers():
     )
 
 
-def _match_share(interpreted: bool) -> tuple[float, float]:
+def test_cycle_throughput_slotted_vs_dict_tokens():
+    """The ≥1.2× tokens gate: slotted tuples vs the PR 7 dict layout.
+
+    Both runs use the compiled closures; only the token representation
+    differs — per-join ``dict(bindings)`` copies vs fixed-slot tuples
+    with a no-copy join fast path.  The floor must hold on at least
+    two matchers.  Rete and cond clear it (their hot loops are token
+    extension); naive and treat are advisory — their cycles are
+    dominated by whole-store alpha scans and conflict-set retention
+    respectively, which no token layout can touch.  Rates are
+    best-of-``REPEATS`` since a single Manners run is tens of
+    milliseconds.
+    """
+    rows = []
+    speedups: dict[str, float] = {}
+    for matcher, guests in (
+        ("naive", GUESTS_NAIVE),
+        ("rete", GUESTS_INCREMENTAL),
+        ("treat", GUESTS_INCREMENTAL),
+        ("cond", GUESTS_INCREMENTAL),
+    ):
+        dict_rate = slot_rate = 0.0
+        for _ in range(REPEATS):
+            rate, dict_result = _run_manners(matcher, guests, "dict")
+            dict_rate = max(dict_rate, rate)
+            rate, slot_result = _run_manners(matcher, guests, "slotted")
+            slot_rate = max(slot_rate, rate)
+            assert slot_result.cycles == dict_result.cycles
+            assert _firing_sequence(slot_result) == _firing_sequence(
+                dict_result
+            )
+        speedups[matcher] = slot_rate / dict_rate
+        rows.append(
+            (f"{matcher} dict cycles/s", "", round(dict_rate, 1))
+        )
+        rows.append(
+            (f"{matcher} slotted cycles/s", "", round(slot_rate, 1))
+        )
+        rows.append(
+            (
+                f"{matcher} slotted/dict speedup",
+                ">= 1.2 on >= 2 matchers",
+                round(speedups[matcher], 2),
+            )
+        )
+    report(
+        "slotted vs dict token throughput",
+        [
+            ("naive guests", "", GUESTS_NAIVE),
+            ("incremental guests", "", GUESTS_INCREMENTAL),
+        ]
+        + rows,
+    )
+    if not SMOKE:
+        fast = sum(1 for s in speedups.values() if s >= 1.2)
+        assert fast >= 2, (
+            f"slotted/dict speedups {speedups} reach the 1.2x floor on "
+            f"only {fast} matcher(s); need two"
+        )
+
+
+def _probe_allocations(beta, wme, token) -> int:
+    """Net bytes allocated by ``ALLOC_PROBES`` beta probes whose
+    results are kept alive (so per-probe temporaries are counted).
+
+    The keep-alive slots are preallocated so list growth does not
+    pollute the measurement — only objects the probe itself builds
+    (dict copies, tuples) register."""
+    beta(wme, token)  # warm caches (wme.mapping, closure setup)
+    keep = [None] * ALLOC_PROBES
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    for i in range(ALLOC_PROBES):
+        keep[i] = beta(wme, token)
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del keep
+    return after - before
+
+
+def test_join_extension_allocation_counts():
+    """tracemalloc gate: no allocation on the slotted join fast path.
+
+    A join probe whose variables are already bound (the common case
+    deep in a beta chain) copied the whole bindings dict per probe
+    under the dict layout; the slotted closure hands back the incoming
+    tuple.  A probe that *does* bind still allocates, but a tuple, not
+    a dict.
+    """
+    element = ConditionElement("item", (VariableTest("k", "x"),))
+    wme = WME.make("item", k=1)
+    dict_beta = element.compiled().beta
+    index = VariableIndex((element,))
+    # in_width == width models the probe with <x> already bound (the
+    # retraction/full-match shape); in_width == 0 models first binding.
+    bound_beta = compile_beta_slots(element, index, 1, 1)
+    binding_beta = compile_beta_slots(element, index, 0, 1)
+
+    dict_bound = _probe_allocations(dict_beta, wme, {"x": 1})
+    slot_bound = _probe_allocations(bound_beta, wme, (1,))
+    dict_binding = _probe_allocations(dict_beta, wme, {})
+    slot_binding = _probe_allocations(binding_beta, wme, ())
+
+    per = ALLOC_PROBES
+    report(
+        "per-probe join allocation (bytes)",
+        [
+            ("probes", "", per),
+            ("dict, already bound", "", round(dict_bound / per, 1)),
+            (
+                "slotted, already bound",
+                "0 (no copy)",
+                round(slot_bound / per, 1),
+            ),
+            ("dict, first binding", "", round(dict_binding / per, 1)),
+            (
+                "slotted, first binding",
+                "< dict",
+                round(slot_binding / per, 1),
+            ),
+        ],
+    )
+    # The fast path returns the incoming tuple: zero per-probe bytes.
+    assert slot_bound < 1024
+    assert slot_bound < dict_bound
+    assert slot_binding < dict_binding
+
+
+def _match_share(mode: str) -> tuple[float, float]:
     """(match-bucket share, makespan) of an observed ParallelEngine run."""
-    mode = interpreted_conditions() if interpreted else nullcontext()
-    with mode:
+    with _MODES[mode]():
         memory = build_manners_memory(n_guests=GUESTS_OBS, seed=7)
         observer = Observer(trace_capacity=200_000)
         engine = ParallelEngine(
@@ -163,8 +316,8 @@ def _match_share(interpreted: bool) -> tuple[float, float]:
 
 def test_match_bucket_shrinks():
     """The PR-4 critical-path report: the match bucket before/after."""
-    interp_share, interp_total = _match_share(interpreted=True)
-    compiled_share, compiled_total = _match_share(interpreted=False)
+    interp_share, interp_total = _match_share("interpreted")
+    compiled_share, compiled_total = _match_share("slotted")
     report(
         "critical-path match bucket, partitioned:rete:4",
         [
@@ -248,25 +401,42 @@ def test_probe_micro_throughput():
 
 
 def test_conflict_sets_bit_identical():
-    """Both evaluator families yield identical conflict sets (shared
-    store, so identical timetags — bit-identical, not just similar)."""
+    """All evaluator families — slotted tokens, dict tokens, and the
+    interpreted walks — yield identical conflict sets (shared store,
+    so identical timetags: bit-identical, not just similar)."""
     memory = build_manners_memory(n_guests=8, seed=5)
-    compiled = ReteMatcher(memory)
-    compiled.add_productions(build_manners_rules())
-    compiled.attach()
+    slotted = ReteMatcher(memory)
+    slotted.add_productions(build_manners_rules())
+    slotted.attach()
+    with dict_tokens():
+        dicted = ReteMatcher(memory)
+        dicted.add_productions(build_manners_rules())
+        dicted.attach()
     with interpreted_conditions():
         interpreted = NaiveMatcher(memory)
         interpreted.add_productions(build_manners_rules())
         interpreted.attach()
-    compiled_ids = {i.identity() for i in compiled.conflict_set}
-    interp_ids = {i.identity() for i in interpreted.conflict_set}
-    assert compiled_ids == interp_ids
+
+    def _ids(matcher):
+        return {i.identity() for i in matcher.conflict_set}
+
+    assert _ids(slotted) == _ids(dicted) == _ids(interpreted)
     memory.make("guest", name="probe", sex="f")
     memory.make("hobby", name="probe", h="h1")
-    assert {i.identity() for i in compiled.conflict_set} == {
-        i.identity() for i in interpreted.conflict_set
+    assert _ids(slotted) == _ids(dicted) == _ids(interpreted)
+    # Bindings too, not just identities — the layouts store them
+    # differently but must materialize identical pairs.
+    slotted_bindings = {
+        i.identity(): i.bindings_items for i in slotted.conflict_set
     }
+    dict_bindings = {
+        i.identity(): i.bindings_items for i in dicted.conflict_set
+    }
+    assert slotted_bindings == dict_bindings
     report(
         "equivalence",
-        [("conflict-set identity", "bit-identical", "bit-identical")],
+        [
+            ("conflict-set identity", "bit-identical", "bit-identical"),
+            ("bindings items", "bit-identical", "bit-identical"),
+        ],
     )

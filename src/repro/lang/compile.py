@@ -25,6 +25,24 @@ are built once and cached on the element itself; every matcher — naive,
 Rete, TREAT, cond-relations, and the partitioned matcher's shards —
 binds them directly at its hot sites.
 
+Slotted token layouts
+---------------------
+The dict-shaped ``beta`` above still copies the whole bindings dict on
+every successful join extension — one allocation plus per-variable
+hashing per step of every join chain.  The *slotted* layer below
+removes that: a :class:`VariableIndex` built once per production maps
+each variable name to a fixed slot, tokens become plain tuples (one
+slot per variable, :data:`_MISSING` when unbound), and
+:func:`compile_beta_slots` emits closures that read/write slots by
+integer index, copying lazily — a pure join probe that binds nothing
+returns the incoming token object unchanged.  Matchers obtain a
+per-production :class:`SlottedPlan` (or its dict-token twin,
+:class:`DictPlan`) via :func:`build_token_plan`; the plan carries one
+:class:`SlottedStep` per condition element, compiled against the
+LHS-prefix widths so Rete's shared beta prefixes keep sharing (two
+productions with a common prefix assign identical slots to the
+prefix's variables).
+
 Equivalence contract
 --------------------
 ``alpha``/``beta`` are bit-compatible with the seed's interpreted
@@ -38,7 +56,10 @@ as :func:`interpreted_alpha` / :func:`interpreted_beta`, used by the
 equivalence property tests and by the hot-path benchmark's
 before/after comparison; :func:`interpreted_conditions` switches
 freshly compiled elements onto them wholesale so a whole engine run
-can be A/B'd.
+can be A/B'd.  The slotted layer obeys the same contract one level
+up: :func:`dict_tokens` forces dict-shaped plans, and the
+slotted-vs-dict property suite demands identical conflict sets *and*
+identical ``bindings_items`` across all four matchers.
 """
 
 from __future__ import annotations
@@ -51,6 +72,7 @@ from repro.wm.element import Scalar, WME
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.lang.ast import ConditionElement
+    from repro.lang.production import Production
 
 #: Sentinel distinguishing "attribute absent" from a stored ``None``.
 _MISSING = object()
@@ -58,12 +80,15 @@ _MISSING = object()
 AlphaEvaluator = Callable[[WME], bool]
 BetaEvaluator = Callable[[WME, "Bindings"], "dict[str, Scalar] | None"]
 
-#: When true, :func:`build_evaluators` hands out the seed's interpreted
-#: walks instead of compiled closures.  Consulted at *build* time: an
-#: element caches its evaluators on first use, so the flag must be set
-#: before the element is ever evaluated (wrap the whole
-#: construct-and-run, as the hot-path benchmark does).
-_MODE = {"interpreted": False}
+#: When ``interpreted`` is true, :func:`build_evaluators` hands out the
+#: seed's interpreted walks instead of compiled closures.  Consulted at
+#: *build* time: an element caches its evaluators on first use, so the
+#: flag must be set before the element is ever evaluated (wrap the
+#: whole construct-and-run, as the hot-path benchmark does).  When
+#: ``dict_tokens`` is true, :func:`build_token_plan` hands out
+#: dict-shaped plans instead of slotted ones — same build-time caveat,
+#: at the plan level (plans are cached per production per kind).
+_MODE = {"interpreted": False, "dict_tokens": False}
 
 
 @contextmanager
@@ -72,7 +97,9 @@ def interpreted_conditions() -> Iterator[None]:
 
     A/B harness for the hot-path benchmark and the equivalence suite.
     Affects only condition elements *first evaluated* inside the
-    block (evaluators are cached per element).
+    block (evaluators are cached per element).  Implies dict tokens:
+    the interpreted walks are dict-shaped, so plans built inside the
+    block are :class:`DictPlan`.
     """
     previous = _MODE["interpreted"]
     _MODE["interpreted"] = True
@@ -80,6 +107,30 @@ def interpreted_conditions() -> Iterator[None]:
         yield
     finally:
         _MODE["interpreted"] = previous
+
+
+@contextmanager
+def dict_tokens() -> Iterator[None]:
+    """Match with dict-shaped tokens (the PR-7 layout) instead of slots.
+
+    A/B harness for the slotted-vs-dict equivalence suite and the
+    hot-path benchmark.  Affects only productions whose token plan is
+    *first built* inside the block (plans are cached per production),
+    so wrap the whole construct-and-run.
+    """
+    previous = _MODE["dict_tokens"]
+    _MODE["dict_tokens"] = True
+    try:
+        yield
+    finally:
+        _MODE["dict_tokens"] = previous
+
+
+def plan_kind() -> str:
+    """The token-plan kind the current mode flags select."""
+    if _MODE["interpreted"] or _MODE["dict_tokens"]:
+        return "dict"
+    return "slotted"
 
 
 class CompiledCondition:
@@ -245,11 +296,15 @@ def compile_beta(element: "ConditionElement") -> BetaEvaluator:
     )
 
     if not var_items and not pred_items:
+        # A test-free element binds nothing, and no caller mutates a
+        # beta result before the next extension copies it anyway — so
+        # hand the incoming token back unchanged instead of allocating
+        # a fresh dict per probe (the allocation-count tests pin this).
 
-        def beta_copy(wme: WME, bindings) -> dict[str, Scalar]:
-            return dict(bindings)
+        def beta_pass(wme: WME, bindings) -> dict[str, Scalar]:
+            return bindings
 
-        return beta_copy
+        return beta_pass
 
     def beta(
         wme: WME,
@@ -288,6 +343,449 @@ def compile_beta(element: "ConditionElement") -> BetaEvaluator:
         return extended
 
     return beta
+
+
+# ---------------------------------------------------------------------------
+# Slotted token layouts
+# ---------------------------------------------------------------------------
+
+#: Token in the slotted layout: one slot per variable, ``_MISSING``
+#: when unbound.  Tokens grow along the LHS — at condition element
+#: ``i`` a token has ``VariableIndex.prefix_widths[i]`` slots.
+SlotToken = tuple
+SlottedBeta = Callable[[WME, SlotToken], "SlotToken | None"]
+
+
+class VariableIndex:
+    """Variable name → slot mapping for one production's LHS.
+
+    Slots are assigned in first-occurrence order walking the LHS left
+    to right (variable tests in test order, then variable-predicate
+    operands, per element), *including* negated elements: their local
+    variables get slots too — the existential probe binds them into a
+    discarded copy, so the slot simply stays :data:`_MISSING` in every
+    persisted token, exactly like the dict layout's discarded extended
+    dict.  Because the assignment is a pure function of the element
+    sequence, two productions sharing an LHS prefix assign identical
+    slots to the prefix's variables — which is what lets Rete's shared
+    beta prefixes keep sharing join nodes under the slotted layout.
+    """
+
+    __slots__ = (
+        "names",
+        "slots",
+        "width",
+        "empty",
+        "prefix_widths",
+        "_sorted_items",
+    )
+
+    def __init__(self, elements: "tuple[ConditionElement, ...]") -> None:
+        names: list[str] = []
+        seen: set[str] = set()
+        widths = [0]
+        for element in elements:
+            for test in element.variable_tests():
+                if test.variable not in seen:
+                    seen.add(test.variable)
+                    names.append(test.variable)
+            for pred in element.variable_predicates():
+                operand = str(pred.operand)
+                if operand not in seen:
+                    seen.add(operand)
+                    names.append(operand)
+            widths.append(len(names))
+        self.names = tuple(names)
+        self.slots = {name: slot for slot, name in enumerate(names)}
+        self.width = len(names)
+        #: The all-unbound token of full width (shared; tuples are
+        #: immutable so sharing is safe).
+        self.empty = (_MISSING,) * self.width
+        #: ``prefix_widths[i]`` = slots assigned by elements ``0..i-1``
+        #: — the token width entering element ``i``.
+        self.prefix_widths = tuple(widths)
+        #: ``(name, slot)`` pairs in name order, for materializing
+        #: sorted ``bindings_items`` without a per-call sort.
+        self._sorted_items = tuple(sorted(self.slots.items()))
+
+    @staticmethod
+    def for_production(production: "Production") -> "VariableIndex":
+        """The production's index, built once and cached on it."""
+        try:
+            return production._variable_index
+        except AttributeError:
+            pass
+        index = VariableIndex(production.lhs)
+        object.__setattr__(production, "_variable_index", index)
+        return index
+
+    def slot(self, name: str) -> int:
+        """The slot assigned to variable ``name`` (KeyError if absent)."""
+        return self.slots[name]
+
+    def __len__(self) -> int:
+        return self.width
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.slots
+
+    def bindings_items(
+        self, token: SlotToken
+    ) -> tuple[tuple[str, Scalar], ...]:
+        """The bound ``(name, value)`` pairs of a full-width token,
+        sorted by name — bit-identical to the dict layout's
+        ``tuple(sorted(bindings.items()))``."""
+        missing = _MISSING
+        return tuple(
+            (name, token[slot])
+            for name, slot in self._sorted_items
+            if token[slot] is not missing
+        )
+
+    def token_from_items(
+        self, items: "tuple[tuple[str, Scalar], ...]"
+    ) -> SlotToken:
+        """Rebuild a full-width token from ``bindings_items`` pairs."""
+        token = list(self.empty)
+        slots = self.slots
+        for name, value in items:
+            slot = slots.get(name)
+            if slot is not None:
+                token[slot] = value
+        return tuple(token)
+
+
+def compile_beta_slots(
+    element: "ConditionElement",
+    index: VariableIndex,
+    in_width: int,
+    out_width: int,
+) -> SlottedBeta:
+    """Compile the variable bind/join tests into a slot-aware closure.
+
+    The closure takes a token of ``in_width`` slots and returns one of
+    ``out_width`` slots (or ``None`` on rejection).  Slots in
+    ``[in_width, out_width)`` are this element's first occurrences;
+    they read as unbound without touching the (shorter) incoming
+    token.  The copy is lazy: a probe that binds nothing returns the
+    incoming token object itself (padded only when the widths differ)
+    — the join fast path allocates nothing.
+    """
+    from repro.lang.ast import _PREDICATES
+
+    slots = index.slots
+    var_items = tuple(
+        (t.attribute, slots[t.variable], slots[t.variable] < in_width)
+        for t in element.variable_tests()
+    )
+    pred_items = tuple(
+        (
+            t.attribute,
+            _PREDICATES[t.op],
+            slots[str(t.operand)],
+            slots[str(t.operand)] < in_width,
+            t,
+        )
+        for t in element.variable_predicates()
+    )
+    tail = (_MISSING,) * (out_width - in_width)
+
+    if not var_items and not pred_items:
+        if not tail:
+
+            def beta_pass_slots(wme: WME, token: SlotToken) -> SlotToken:
+                return token
+
+            return beta_pass_slots
+
+        def beta_pad_slots(
+            wme: WME, token: SlotToken, *, _tail=tail
+        ) -> SlotToken:
+            return token + _tail
+
+        return beta_pad_slots
+
+    def beta_slots(
+        wme: WME,
+        token: SlotToken,
+        *,
+        _vars=var_items,
+        _preds=pred_items,
+        _missing=_MISSING,
+        _tail=tail,
+    ) -> "SlotToken | None":
+        mapping = wme.mapping()
+        extended = None
+        for attribute, slot, in_token in _vars:
+            value = mapping.get(attribute, _missing)
+            if value is _missing:
+                return None
+            if extended is not None:
+                prior = extended[slot]
+            elif in_token:
+                prior = token[slot]
+            else:
+                prior = _missing
+            if prior is _missing:
+                if extended is None:
+                    extended = list(token)
+                    extended.extend(_tail)
+                extended[slot] = value
+            elif prior != value:
+                return None
+        for attribute, compare, slot, in_token, test in _preds:
+            value = mapping.get(attribute, _missing)
+            if value is _missing:
+                return None
+            if extended is not None:
+                operand = extended[slot]
+            elif in_token:
+                operand = token[slot]
+            else:
+                operand = _missing
+            if operand is _missing:
+                raise ValidationError(
+                    f"predicate {test} references unbound variable "
+                    f"<{test.operand}>"
+                )
+            try:
+                if not compare(value, operand):
+                    return None
+            except TypeError:
+                return None
+        if extended is None:
+            return token + _tail if _tail else token
+        return tuple(extended)
+
+    return beta_slots
+
+
+class SlottedStep:
+    """One condition element compiled against a production's slots.
+
+    ``beta``/``match`` take a token of ``in_width`` slots and return
+    one of ``out_width`` (the widths are the production index's prefix
+    widths at this LHS position).  ``full_match`` — negated elements
+    only — is the same test compiled against *full-width* tokens, for
+    TREAT's retraction re-match, which probes with complete
+    instantiation bindings rather than written-order prefixes.
+    """
+
+    __slots__ = (
+        "element",
+        "relation",
+        "negated",
+        "alpha",
+        "beta",
+        "match",
+        "full_match",
+        "probe_items",
+        "constant_equalities",
+        "in_width",
+        "out_width",
+        "tail",
+    )
+
+    def __init__(
+        self,
+        element: "ConditionElement",
+        index: VariableIndex,
+        in_width: int,
+        out_width: int,
+    ) -> None:
+        compiled = element.compiled()
+        self.element = element
+        self.relation = element.relation
+        self.negated = element.negated
+        self.alpha = compiled.alpha
+        self.constant_equalities = compiled.constant_equalities
+        self.in_width = in_width
+        self.out_width = out_width
+        self.tail = (_MISSING,) * (out_width - in_width)
+        beta = compile_beta_slots(element, index, in_width, out_width)
+        self.beta = beta
+        alpha = compiled.alpha
+
+        def match(
+            wme: WME, token: SlotToken, *, _alpha=alpha, _beta=beta
+        ) -> "SlotToken | None":
+            if not _alpha(wme):
+                return None
+            return _beta(wme, token)
+
+        self.match = match
+        if element.negated:
+            full_beta = compile_beta_slots(
+                element, index, index.width, index.width
+            )
+
+            def full_match(
+                wme: WME,
+                token: SlotToken,
+                *,
+                _alpha=alpha,
+                _beta=full_beta,
+            ) -> "SlotToken | None":
+                if not _alpha(wme):
+                    return None
+                return _beta(wme, token)
+
+            self.full_match = full_match
+        else:
+            self.full_match = None
+        #: ``(attribute, slot)`` pairs whose slot can be bound by an
+        #: earlier element — the index-probe keys (the slotted
+        #: counterpart of extending constant equalities with bound
+        #: variable tests).
+        slots = index.slots
+        self.probe_items = tuple(
+            (attribute, slots[variable])
+            for attribute, variable in compiled.variable_items
+            if slots[variable] < in_width
+        )
+
+    def probe_equalities(
+        self, token: SlotToken
+    ) -> list[tuple[str, Scalar]]:
+        """Constant equalities plus bound-variable join equalities."""
+        equalities = list(self.constant_equalities)
+        missing = _MISSING
+        for attribute, slot in self.probe_items:
+            value = token[slot]
+            if value is not missing:
+                equalities.append((attribute, value))
+        return equalities
+
+    def carry(self, token: SlotToken) -> SlotToken:
+        """Pass a token over this element unchanged, padded to
+        ``out_width`` (negated elements contribute no bindings but
+        still advance the prefix width)."""
+        return token + self.tail if self.tail else token
+
+
+class DictStep:
+    """Dict-token twin of :class:`SlottedStep` (the PR-7 layout).
+
+    Wraps the element's cached :class:`CompiledCondition` (or its
+    interpreted oracle, inside :func:`interpreted_conditions`) behind
+    the same step interface, so every matcher runs a single code path
+    and the layouts stay A/B-swappable.
+    """
+
+    __slots__ = (
+        "element",
+        "relation",
+        "negated",
+        "alpha",
+        "beta",
+        "match",
+        "full_match",
+        "probe_items",
+        "constant_equalities",
+    )
+
+    def __init__(self, element: "ConditionElement") -> None:
+        compiled = element.compiled()
+        self.element = element
+        self.relation = element.relation
+        self.negated = element.negated
+        self.alpha = compiled.alpha
+        self.beta = compiled.beta
+        self.match = compiled.match
+        # Dict tokens always carry the full bindings, so the
+        # written-order and retraction probes are the same closure.
+        self.full_match = compiled.match
+        self.probe_items = compiled.variable_items
+        self.constant_equalities = compiled.constant_equalities
+
+    def probe_equalities(self, token) -> list[tuple[str, Scalar]]:
+        equalities = list(self.constant_equalities)
+        for attribute, variable in self.probe_items:
+            if variable in token:
+                equalities.append((attribute, token[variable]))
+        return equalities
+
+    def carry(self, token):
+        return token
+
+
+#: Lazily imported to keep ``repro.lang`` importable without pulling
+#: the whole match package in (plans are only built by matchers).
+_INSTANTIATION = None
+
+
+def _instantiation_class():
+    global _INSTANTIATION
+    if _INSTANTIATION is None:
+        from repro.match.instantiation import Instantiation
+
+        _INSTANTIATION = Instantiation
+    return _INSTANTIATION
+
+
+class SlottedPlan:
+    """A production's slotted match plan: index + per-element steps."""
+
+    kind = "slotted"
+
+    __slots__ = ("production", "index", "steps", "_instantiation")
+
+    def __init__(self, production: "Production") -> None:
+        self.production = production
+        index = VariableIndex.for_production(production)
+        self.index = index
+        widths = index.prefix_widths
+        self.steps = tuple(
+            SlottedStep(element, index, widths[i], widths[i + 1])
+            for i, element in enumerate(production.lhs)
+        )
+        self._instantiation = _instantiation_class()
+
+    def empty_token(self) -> SlotToken:
+        return ()
+
+    def instantiate(self, wmes: tuple[WME, ...], token: SlotToken):
+        """A conflict-set instantiation from a full-width token —
+        ``bindings_items`` materializes lazily from the slot vector."""
+        return self._instantiation.from_slots(
+            self.production, wmes, token, self.index
+        )
+
+    def token_of(self, instantiation) -> SlotToken:
+        """The instantiation's full bindings as a full-width token."""
+        return instantiation.slot_token(self.index)
+
+
+class DictPlan:
+    """Dict-token twin of :class:`SlottedPlan`."""
+
+    kind = "dict"
+
+    __slots__ = ("production", "index", "steps", "_instantiation")
+
+    def __init__(self, production: "Production") -> None:
+        self.production = production
+        self.index = None
+        self.steps = tuple(DictStep(element) for element in production.lhs)
+        self._instantiation = _instantiation_class()
+
+    def empty_token(self) -> dict[str, Scalar]:
+        return {}
+
+    def instantiate(self, wmes: tuple[WME, ...], token):
+        return self._instantiation.build(self.production, wmes, token)
+
+    def token_of(self, instantiation):
+        return instantiation.bindings
+
+
+TokenPlan = SlottedPlan | DictPlan
+
+
+def build_token_plan(production: "Production") -> TokenPlan:
+    """The production's token plan for the active mode, cached per
+    production and layout kind (see :meth:`Production.token_plan`)."""
+    return production.token_plan(plan_kind())
 
 
 # ---------------------------------------------------------------------------

@@ -53,6 +53,12 @@ class Production:
     def __post_init__(self) -> None:
         self.validate()
 
+    def __reduce__(self):
+        # Compiled token plans and the variable index are cached on the
+        # instance via ``object.__setattr__``; rebuild from the AST so
+        # pickles never carry closures (mirrors WME.__reduce__).
+        return (Production, (self.name, self.lhs, self.rhs, self.priority))
+
     # -- validation -------------------------------------------------------------
 
     def validate(self) -> None:
@@ -117,6 +123,40 @@ class Production:
                 )
             if isinstance(action, BindAction):
                 bound = bound | {action.variable}
+        # Matchers check this flag at registration: a production built
+        # without going through validate() (e.g. via object.__new__)
+        # could carry forward references the compiled beta closures no
+        # longer guard per-WME.
+        object.__setattr__(self, "_validated", True)
+
+    # -- compiled match plans -----------------------------------------------------
+
+    def token_plan(self, kind: str | None = None):
+        """The production's token plan, built once per layout kind.
+
+        ``kind`` is ``"slotted"`` or ``"dict"``; ``None`` honors the
+        active compile-mode flags (:func:`repro.lang.compile.plan_kind`).
+        Plans cache per production, so every matcher registering the
+        same rule — including a partitioned outer matcher and its inner
+        shards — shares one compiled plan.
+        """
+        from repro.lang import compile as _compile
+
+        if kind is None:
+            kind = _compile.plan_kind()
+        try:
+            plans = self._token_plans
+        except AttributeError:
+            plans = {}
+            object.__setattr__(self, "_token_plans", plans)
+        plan = plans.get(kind)
+        if plan is None:
+            if kind == "dict":
+                plan = _compile.DictPlan(self)
+            else:
+                plan = _compile.SlottedPlan(self)
+            plans[kind] = plan
+        return plan
 
     # -- structure queries --------------------------------------------------------
 
@@ -177,6 +217,19 @@ class Production:
         lhs = "\n    ".join(str(ce) for ce in self.lhs)
         rhs = "\n    ".join(str(a) for a in self.rhs)
         return f"(p {self.name}\n    {lhs}\n  -->\n    {rhs})"
+
+
+def ensure_validated(production: Production) -> None:
+    """Raise :class:`ValidationError` unless ``production`` passed
+    :meth:`Production.validate`.
+
+    Matchers call this at registration.  The compiled beta closures
+    assume predicate operands are bound (load-time validation), so a
+    production smuggled past ``validate()`` must be rejected before it
+    reaches a join, not deep inside one.
+    """
+    if not getattr(production, "_validated", False):
+        production.validate()
 
 
 def check_unique_names(productions: Sequence[Production]) -> None:

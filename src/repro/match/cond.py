@@ -23,13 +23,14 @@ exposes.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from typing import Iterator
 
 from repro.lang.ast import ConditionElement
+from repro.lang.compile import TokenPlan
 from repro.lang.production import Production
 from repro.match.base import BaseMatcher
 from repro.match.instantiation import Instantiation
-from repro.wm.element import Scalar, Timetag, WME
+from repro.wm.element import Timetag, WME
 from repro.wm.memory import WMDelta, WorkingMemory
 
 
@@ -75,7 +76,7 @@ class CondRelationMatcher(BaseMatcher):
     # -- production management ---------------------------------------------------------
 
     def add_production(self, production: Production) -> None:
-        self._productions[production.name] = production
+        self._register(production)
         alphas: list[AlphaRelation] = []
         for element in production.lhs:
             key = element.alpha_key()
@@ -92,7 +93,7 @@ class CondRelationMatcher(BaseMatcher):
             self._recompute(production)
 
     def remove_production(self, name: str) -> None:
-        self._productions.pop(name, None)
+        self._unregister(name)
         self._production_alphas.pop(name, None)
         for instantiation in self.conflict_set.for_rule(name):
             self.conflict_set.remove(instantiation)
@@ -143,35 +144,38 @@ class CondRelationMatcher(BaseMatcher):
     ) -> Iterator[Instantiation]:
         """Join the alpha relations along the LHS (anti-join negations)."""
         self.join_count += 1
-        yield from self._extend(production, alphas, 0, (), {})
+        plan = self._plans[production.name]
+        yield from self._extend(plan, alphas, 0, (), plan.empty_token())
 
     def _extend(
         self,
-        production: Production,
+        plan: TokenPlan,
         alphas: list[AlphaRelation],
         index: int,
         matched: tuple[WME, ...],
-        bindings: Mapping[str, Scalar],
+        token,
     ) -> Iterator[Instantiation]:
-        if index == len(production.lhs):
-            yield Instantiation.build(production, matched, bindings)
+        if index == len(plan.steps):
+            yield plan.instantiate(matched, token)
             return
-        element = production.lhs[index]
+        step = plan.steps[index]
         alpha = alphas[index]
-        beta = element.compiled().beta
-        if element.negated:
+        # The alpha relation already filtered the constant tests, so
+        # the join probes run the beta closure alone.
+        beta = step.beta
+        if step.negated:
             for wme in alpha:
-                if beta(wme, bindings) is not None:
+                if beta(wme, token) is not None:
                     return
             yield from self._extend(
-                production, alphas, index + 1, matched, bindings
+                plan, alphas, index + 1, matched, step.carry(token)
             )
             return
         for wme in alpha:
-            extended = beta(wme, bindings)
+            extended = beta(wme, token)
             if extended is not None:
                 yield from self._extend(
-                    production,
+                    plan,
                     alphas,
                     index + 1,
                     matched + (wme,),

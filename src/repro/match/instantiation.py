@@ -9,18 +9,27 @@ Instantiations are value objects — equality is (production name,
 matched timetags) — so the conflict set can diff cheaply across cycles
 and the refraction rule ("don't fire the same instantiation twice") is
 a set-membership test.
+
+Bindings are stored in whichever form the matcher produced them: the
+dict layout passes sorted ``(name, value)`` pairs up front, the slotted
+layout passes the raw slot vector plus the production's
+:class:`~repro.lang.compile.VariableIndex` and ``bindings_items``
+materializes lazily on first access.  Identity, hashing, and ordering
+never touch bindings, so a conflict-set entry that is never fired never
+pays for materializing them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.lang.production import Production
 from repro.wm.element import Scalar, WME
 
+if TYPE_CHECKING:
+    from repro.lang.compile import SlotToken, VariableIndex
 
-@dataclass(frozen=True)
+
 class Instantiation:
     """One satisfied LHS.
 
@@ -31,32 +40,55 @@ class Instantiation:
     wmes:
         The WMEs matched by the *positive* condition elements, in LHS
         order (negated elements match absence, so contribute no WME).
-    bindings:
-        Variable bindings established by the match, stored as a sorted
-        tuple of pairs for hashability.
+    bindings_items:
+        Variable bindings established by the match, as a sorted tuple
+        of pairs (hashable form).  Prefer :meth:`build` /
+        :meth:`from_slots` over constructing directly.
     """
 
-    production: Production
-    wmes: tuple[WME, ...]
-    bindings_items: tuple[tuple[str, Scalar], ...] = field(default=())
+    __slots__ = (
+        "production",
+        "wmes",
+        "_bindings_items",
+        "_slot_token",
+        "_slot_index",
+        "_bindings",
+        "_timetags",
+        "_identity",
+        "_hash",
+        "_recency_key",
+        "_mea_key",
+    )
 
-    def __post_init__(self) -> None:
+    def __init__(
+        self,
+        production: Production,
+        wmes: tuple[WME, ...],
+        bindings_items: tuple[tuple[str, Scalar], ...] = (),
+    ) -> None:
+        self.production = production
+        self.wmes = wmes
+        self._bindings_items = tuple(bindings_items)
+        self._slot_token = None
+        self._slot_index = None
+        self._bindings = None
+        self._init_keys()
+
+    def _init_keys(self) -> None:
         # Identity, hash, and the LEX/MEA ordering keys are immutable
-        # functions of the fields, but were rebuilt (and re-sorted) on
-        # every conflict-set lookup and strategy comparison.  Compute
-        # them once here; ``object.__setattr__`` sidesteps the frozen
-        # guard and non-field attributes stay out of dataclass
-        # semantics.
+        # functions of (production, wmes); compute them once.
         timetags = tuple(w.timetag for w in self.wmes)
         identity = (self.production.name, timetags)
         recency = tuple(sorted(timetags, reverse=True))
-        object.__setattr__(self, "_timetags", timetags)
-        object.__setattr__(self, "_identity", identity)
-        object.__setattr__(self, "_hash", hash(identity))
-        object.__setattr__(self, "_recency_key", recency)
-        object.__setattr__(
-            self, "_mea_key", (timetags[0] if timetags else 0, *recency)
-        )
+        self._timetags = timetags
+        self._identity = identity
+        self._hash = hash(identity)
+        self._recency_key = recency
+        # -1, not 0: timetags are non-negative and a freshly recovered
+        # store legitimately starts at timetag 0, so 0 as the no-WMEs
+        # sentinel would tie an all-negated instantiation with one
+        # whose goal element matched timetag 0.
+        self._mea_key = (timetags[0] if timetags else -1, *recency)
 
     @staticmethod
     def build(
@@ -68,10 +100,64 @@ class Instantiation:
             production, wmes, tuple(sorted(bindings.items()))
         )
 
+    @classmethod
+    def from_slots(
+        cls,
+        production: Production,
+        wmes: tuple[WME, ...],
+        token: "SlotToken",
+        index: "VariableIndex",
+    ) -> "Instantiation":
+        """Build from a full-width slot token without materializing the
+        sorted pairs — they are derived lazily on first access."""
+        inst = cls.__new__(cls)
+        inst.production = production
+        inst.wmes = wmes
+        inst._bindings_items = None
+        inst._slot_token = token
+        inst._slot_index = index
+        inst._bindings = None
+        inst._init_keys()
+        return inst
+
+    @property
+    def bindings_items(self) -> tuple[tuple[str, Scalar], ...]:
+        """The bindings as a sorted tuple of pairs (lazy, cached)."""
+        items = self._bindings_items
+        if items is None:
+            items = self._slot_index.bindings_items(self._slot_token)
+            self._bindings_items = items
+        return items
+
     @property
     def bindings(self) -> dict[str, Scalar]:
-        """The variable bindings as a fresh dict."""
-        return dict(self.bindings_items)
+        """The variable bindings as a dict (cached — treat as frozen).
+
+        TREAT's retraction re-match reads this once per surviving
+        instantiation per delta; rebuilding the dict each access made
+        retraction allocation-bound.  Callers that mutate (the RHS
+        ``bind`` action) copy first.
+        """
+        cached = self._bindings
+        if cached is None:
+            cached = dict(self.bindings_items)
+            self._bindings = cached
+        return cached
+
+    def slot_token(self, index: "VariableIndex") -> "SlotToken":
+        """The bindings as a full-width token of ``index``'s layout.
+
+        Free when the instantiation was built by the slotted path with
+        the same index; otherwise rebuilt (and cached) from the pairs.
+        """
+        token = self._slot_token
+        if token is not None and self._slot_index is index:
+            return token
+        token = index.token_from_items(self.bindings_items)
+        if self._slot_token is None:
+            self._slot_token = token
+            self._slot_index = index
+        return token
 
     @property
     def rule_name(self) -> str:
@@ -97,7 +183,8 @@ class Instantiation:
 
         MEA gives absolute priority to the recency of the WME matching
         the *first* condition element (the "means-ends" goal element),
-        breaking ties with LEX.  Cached at construction.
+        breaking ties with LEX.  Cached at construction; ``-1`` marks
+        the no-positive-WMEs case (real timetags are non-negative).
         """
         return self._mea_key
 
@@ -109,6 +196,14 @@ class Instantiation:
         """Equality/hashing identity: rule name + matched timetags."""
         return self._identity
 
+    def __reduce__(self):
+        # Materialize the pairs so pickles carry plain data, never the
+        # slot index (whose plan closures don't pickle).
+        return (
+            Instantiation,
+            (self.production, self.wmes, self.bindings_items),
+        )
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Instantiation):
             return NotImplemented
@@ -116,6 +211,12 @@ class Instantiation:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"Instantiation(production={self.production.name!r}, "
+            f"timetags={self._timetags!r})"
+        )
 
     def __str__(self) -> str:
         tags = ",".join(str(t) for t in self.timetags())

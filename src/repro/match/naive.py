@@ -15,84 +15,86 @@ within it.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from typing import Iterator
 
-from repro.lang.ast import ConditionElement
+from repro.lang.compile import TokenPlan, build_token_plan
 from repro.lang.production import Production
 from repro.match.base import BaseMatcher
 from repro.match.instantiation import Instantiation
-from repro.wm.element import Scalar, WME
+from repro.wm.element import WME
 from repro.wm.memory import WMDelta, WorkingMemory
 
 
 def match_production(
-    production: Production, memory: WorkingMemory
+    production: Production,
+    memory: WorkingMemory,
+    plan: TokenPlan | None = None,
 ) -> Iterator[Instantiation]:
     """Enumerate every instantiation of ``production`` against ``memory``.
 
     Pure function — the heart of the oracle.  Processes condition
     elements in written order, branching on positive elements and
-    pruning on negated ones.
+    pruning on negated ones.  ``plan`` carries the compiled per-element
+    steps and the token layout (slotted tuples by default, binding
+    dicts under :func:`repro.lang.compile.dict_tokens` /
+    :func:`~repro.lang.compile.interpreted_conditions`); omitted, the
+    production's cached plan for the active mode is used.
     """
-    yield from _extend(production, memory, 0, (), {})
+    if plan is None:
+        plan = build_token_plan(production)
+    yield from _extend(plan, memory, 0, (), plan.empty_token())
 
 
 def _extend(
-    production: Production,
+    plan: TokenPlan,
     memory: WorkingMemory,
     index: int,
     matched: tuple[WME, ...],
-    bindings: Mapping[str, Scalar],
+    token,
 ) -> Iterator[Instantiation]:
-    if index == len(production.lhs):
-        yield Instantiation.build(production, matched, bindings)
+    if index == len(plan.steps):
+        yield plan.instantiate(matched, token)
         return
-    element = production.lhs[index]
-    if element.negated:
-        if _exists_match(element, memory, bindings):
+    step = plan.steps[index]
+    if step.negated:
+        if _exists_match(step, memory, token):
             return
-        yield from _extend(production, memory, index + 1, matched, bindings)
+        yield from _extend(
+            plan, memory, index + 1, matched, step.carry(token)
+        )
         return
-    match = element.compiled().match
-    for wme in _candidates(element, memory, bindings):
-        extended = match(wme, bindings)
+    match = step.match
+    for wme in _candidates(step, memory, token):
+        extended = match(wme, token)
         if extended is not None:
             yield from _extend(
-                production, memory, index + 1, matched + (wme,), extended
+                plan, memory, index + 1, matched + (wme,), extended
             )
 
 
-def _exists_match(
-    element: ConditionElement,
-    memory: WorkingMemory,
-    bindings: Mapping[str, Scalar],
-) -> bool:
-    """Existential check for negated elements."""
-    match = element.compiled().match
-    for wme in _candidates(element, memory, bindings):
-        if match(wme, bindings) is not None:
+def _exists_match(step, memory: WorkingMemory, token) -> bool:
+    """Existential check for negated elements.
+
+    The extended token (carrying the negation's local bindings) is
+    discarded — locals are quantified within the element, so they never
+    escape into persisted tokens.
+    """
+    match = step.match
+    for wme in _candidates(step, memory, token):
+        if match(wme, token) is not None:
             return True
     return False
 
 
-def _candidates(
-    element: ConditionElement,
-    memory: WorkingMemory,
-    bindings: Mapping[str, Scalar],
-) -> list[WME]:
+def _candidates(step, memory: WorkingMemory, token) -> list[WME]:
     """Index-assisted candidate selection for one condition element.
 
     Uses constant equality tests, plus variable tests whose variable is
     already bound (they are equalities at this point), to narrow the
-    scan via the store's attribute index.  The ``(attribute, value)``
-    pairs come precomputed from the element's compiled form.
+    scan via the store's attribute index.  The step precomputes the
+    constant pairs and the (attribute, slot) probe items.
     """
-    compiled = element.compiled()
-    equalities = list(compiled.constant_equalities)
-    for attribute, variable in compiled.variable_items:
-        if variable in bindings:
-            equalities.append((attribute, bindings[variable]))
-    return memory.select(element.relation, equalities)
+    return memory.select(step.relation, step.probe_equalities(token))
 
 
 class NaiveMatcher(BaseMatcher):
@@ -104,27 +106,33 @@ class NaiveMatcher(BaseMatcher):
         self.recompute_count = 0
 
     def add_production(self, production: Production) -> None:
-        self._productions[production.name] = production
+        self._register(production)
         if self._attached:
             self._refresh_rule(production)
 
     def remove_production(self, name: str) -> None:
-        self._productions.pop(name, None)
+        self._unregister(name)
         for instantiation in self.conflict_set.for_rule(name):
             self.conflict_set.remove(instantiation)
 
     def rebuild(self) -> None:
         self.recompute_count += 1
         current: set[Instantiation] = set()
-        for production in self._productions.values():
-            current.update(match_production(production, self.memory))
+        for name, production in self._productions.items():
+            current.update(
+                match_production(production, self.memory, self._plans[name])
+            )
         for stale in self.conflict_set.members() - current:
             self.conflict_set.remove(stale)
         for fresh in current:
             self.conflict_set.add(fresh)
 
     def _refresh_rule(self, production: Production) -> None:
-        current = set(match_production(production, self.memory))
+        current = set(
+            match_production(
+                production, self.memory, self._plans[production.name]
+            )
+        )
         for stale in set(self.conflict_set.for_rule(production.name)) - current:
             self.conflict_set.remove(stale)
         for fresh in current:

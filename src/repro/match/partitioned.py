@@ -274,8 +274,12 @@ class PartitionedMatcher(BaseMatcher):
     def add_production(self, production: Production) -> None:
         if production.name in self._rule_shard:
             self.remove_production(production.name)
+        # Validate and plan before picking a shard — the inner matcher
+        # re-registers, but the outer guard keeps one token layout
+        # across all shards and rejects unvalidated productions even
+        # when a shard's inner matcher is a custom factory.
+        self._register(production)
         shard = self._pick_shard(production)
-        self._productions[production.name] = production
         self._rule_shard[production.name] = shard.index
         shard.load += self._cost(production)
         self._registered += 1
@@ -284,7 +288,8 @@ class PartitionedMatcher(BaseMatcher):
 
     def remove_production(self, name: str) -> None:
         index = self._rule_shard.pop(name, None)
-        production = self._productions.pop(name, None)
+        production = self._productions.get(name)
+        self._unregister(name)
         if index is None:
             return
         shard = self._shards[index]

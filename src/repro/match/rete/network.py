@@ -47,12 +47,22 @@ class ReteMatcher(BaseMatcher):
         If the matcher is attached, newly created alpha memories are
         back-filled from the live store, so existing WMEs immediately
         produce instantiations.
+
+        Sharing stays intact under the slotted token layout: slot
+        assignment is a pure function of the LHS element sequence, so
+        two productions sharing a prefix compile identical widths and
+        slots for it — the shared nodes' step closures are
+        interchangeable.
         """
         if production.name in self._pnodes:
             self.remove_production(production.name)
-        self._productions[production.name] = production
+        plan = self._register(production)
+        # The root token's payload is the layout's empty token; the
+        # base-class plan guard keeps the layout uniform per network.
+        self.top.root.data = plan.empty_token()
         current: TokenStore = self.top
-        for element in production.lhs:
+        for position, element in enumerate(production.lhs):
+            step = plan.steps[position]
             alpha = self.alpha.build_or_share(element)
             fresh_alpha = len(alpha) == 0 and self._attached
             if fresh_alpha:
@@ -67,17 +77,17 @@ class ReteMatcher(BaseMatcher):
                 )
                 continue
             if element.negated:
-                negative = NegativeNode(self.state, current, alpha, element)
+                negative = NegativeNode(self.state, current, alpha, step)
                 self._shared_nodes[share_key] = negative
                 self._prime(negative)
                 current = negative
             else:
-                join = JoinNode(self.state, current, alpha, element)
+                join = JoinNode(self.state, current, alpha, step)
                 self._shared_nodes[share_key] = join
                 self._prime(join)
                 current = join.memory
         pnode = ProductionNode(
-            self.state, current, production, self.conflict_set
+            self.state, current, plan, self.conflict_set
         )
         self._pnodes[production.name] = pnode
         self._prime(pnode)
@@ -88,7 +98,7 @@ class ReteMatcher(BaseMatcher):
         Simplification: interior nodes are left in place (they are
         shared and cheap); only the production node is deactivated.
         """
-        self._productions.pop(name, None)
+        self._unregister(name)
         pnode = self._pnodes.pop(name, None)
         if pnode is not None:
             pnode.retract_all()

@@ -1,9 +1,14 @@
 """Beta part of the Rete network: tokens and node classes.
 
 The design follows Doorenbos' formulation ("Production Matching for
-Large Learning Systems") adapted to carry explicit variable-binding
-dictionaries in tokens, which lets join tests reuse
-:meth:`~repro.lang.ast.ConditionElement.beta_matches` directly.
+Large Learning Systems") adapted to carry an explicit binding payload
+per token — a fixed-width slot tuple under the default slotted layout,
+or a variable-binding dict under :func:`repro.lang.compile.dict_tokens`
+/ ``interpreted_conditions()``.  Join tests are the per-element step
+closures from the production's token plan; because slot assignment is
+a pure function of the LHS prefix, productions sharing a prefix still
+share the join chain (identical widths and slots by induction from the
+dummy top node).
 
 Node taxonomy
 -------------
@@ -27,25 +32,27 @@ from __future__ import annotations
 
 from typing import Iterator, Protocol
 
-from repro.lang.ast import ConditionElement
-from repro.lang.production import Production
+from repro.lang.compile import DictStep, SlottedStep, TokenPlan
 from repro.match.conflict_set import ConflictSet
 from repro.match.instantiation import Instantiation
 from repro.match.rete.alpha import AlphaMemory
-from repro.wm.element import Scalar, WME
+from repro.wm.element import WME
 
 
 class Token:
     """One partial match: a path of WMEs through the join chain.
 
     ``wme`` is ``None`` for tokens created by negative nodes (absence
-    contributes no element) and for the dummy root token.
+    contributes no element) and for the dummy root token.  ``data`` is
+    the binding payload in the network's token layout — a slot tuple
+    whose width is the LHS prefix width at the token's depth, or a
+    binding dict.
     """
 
     __slots__ = (
         "parent",
         "wme",
-        "bindings",
+        "data",
         "node",
         "children",
         "blockers",
@@ -56,12 +63,12 @@ class Token:
         self,
         parent: "Token | None",
         wme: WME | None,
-        bindings: dict[str, Scalar],
+        data,
         node: "TokenStore | ProductionNode | None",
     ) -> None:
         self.parent = parent
         self.wme = wme
-        self.bindings = bindings
+        self.data = data
         self.node = node
         self.children: list[Token] = []
         #: WMEs currently matching a negated pattern (NegativeNode only).
@@ -125,21 +132,24 @@ class TokenStore:
 
 
 class DummyTopNode(TokenStore):
-    """Holds the single root token every match path starts from."""
+    """Holds the single root token every match path starts from.
+
+    The root token's ``data`` is the layout's empty token — set by the
+    matcher when the first production registers (``()`` for slot
+    tuples, ``{}`` for dicts; one network holds one layout).
+    """
 
     def __init__(self, network: "NetworkState") -> None:
         super().__init__(network)
-        self.root = Token(None, None, {}, self)
+        self.root = Token(None, None, (), self)
         self.tokens.append(self.root)
 
 
 class BetaMemory(TokenStore):
     """Stores the output tokens of one join node."""
 
-    def add_match(
-        self, parent: Token, wme: WME, bindings: dict[str, Scalar]
-    ) -> None:
-        token = Token(parent, wme, bindings, self)
+    def add_match(self, parent: Token, wme: WME, data) -> None:
+        token = Token(parent, wme, data, self)
         self._store(token)
         self.propagate(token)
 
@@ -148,7 +158,8 @@ class JoinNode:
     """Joins the parent store's tokens with an alpha memory.
 
     The join test is the condition element's variable tests/predicates,
-    evaluated against each token's accumulated bindings.
+    compiled into the step's beta closure for the network's token
+    layout and evaluated against each token's payload.
     """
 
     def __init__(
@@ -156,14 +167,15 @@ class JoinNode:
         network: "NetworkState",
         parent: TokenStore,
         alpha: AlphaMemory,
-        element: ConditionElement,
+        step: SlottedStep | DictStep,
     ) -> None:
         self.network = network
         self.parent = parent
         self.alpha = alpha
-        self.element = element
+        self.step = step
+        self.element = step.element
         #: Compiled join test, bound once for the activation loops.
-        self._beta = element.compiled().beta
+        self._beta = step.beta
         self.memory = BetaMemory(network)
         parent.children.append(self)
         alpha.successors.append(self)
@@ -173,9 +185,9 @@ class JoinNode:
     def on_token_added(self, token: Token) -> None:
         beta = self._beta
         add_match = self.memory.add_match
-        bindings = token.bindings
+        data = token.data
         for wme in self.alpha:
-            extended = beta(wme, bindings)
+            extended = beta(wme, data)
             if extended is not None:
                 add_match(token, wme, extended)
 
@@ -186,7 +198,7 @@ class JoinNode:
         for token in list(self.parent.tokens):
             if skip_blocked and token.is_blocked():
                 continue
-            extended = beta(wme, token.bindings)
+            extended = beta(wme, token.data)
             if extended is not None:
                 add_match(token, wme, extended)
 
@@ -213,25 +225,32 @@ class NegativeNode(TokenStore):
         network: "NetworkState",
         parent: TokenStore,
         alpha: AlphaMemory,
-        element: ConditionElement,
+        step: SlottedStep | DictStep,
     ) -> None:
         super().__init__(network)
         self.parent = parent
         self.alpha = alpha
-        self.element = element
+        self.step = step
+        self.element = step.element
         #: Compiled join test, bound once for the activation loops.
-        self._beta = element.compiled().beta
+        #: Blocker probes always evaluate against the *parent* token's
+        #: payload (the step's input width); the stored own token is
+        #: that payload carried past this element — padded with
+        #: ``_MISSING`` for the negation's local slots, which never
+        #: escape.
+        self._beta = step.beta
+        self._carry = step.carry
         parent.children.append(self)
         alpha.successors.append(self)
 
     # -- left activation ----------------------------------------------------------
 
     def on_token_added(self, token: Token) -> None:
-        own = Token(token, None, dict(token.bindings), self)
+        own = Token(token, None, self._carry(token.data), self)
         self._store(own)
         beta = self._beta
         for wme in self.alpha:
-            if beta(wme, own.bindings) is not None:
+            if beta(wme, token.data) is not None:
                 own.blockers[wme.timetag] = wme
                 self.network.register_blocker(wme, own)
         if not own.is_blocked():
@@ -242,7 +261,7 @@ class NegativeNode(TokenStore):
     def on_wme_added(self, wme: WME) -> None:
         beta = self._beta
         for token in list(self.tokens):
-            if beta(wme, token.bindings) is None:
+            if beta(wme, token.parent.data) is None:
                 continue
             was_blocked = token.is_blocked()
             token.blockers[wme.timetag] = wme
@@ -269,12 +288,13 @@ class ProductionNode:
         self,
         network: "NetworkState",
         parent: TokenStore,
-        production: Production,
+        plan: TokenPlan,
         conflict_set: ConflictSet,
     ) -> None:
         self.network = network
         self.parent = parent
-        self.production = production
+        self.plan = plan
+        self.production = plan.production
         self.conflict_set = conflict_set
         self.active = True
         parent.children.append(self)
@@ -282,11 +302,9 @@ class ProductionNode:
     def on_token_added(self, token: Token) -> None:
         if not self.active:
             return
-        own = Token(token, None, token.bindings, self)
+        own = Token(token, None, token.data, self)
         self.network.register_token(own)
-        own.instantiation = Instantiation.build(
-            self.production, token.wmes(), token.bindings
-        )
+        own.instantiation = self.plan.instantiate(token.wmes(), token.data)
         self.conflict_set.add(own.instantiation)
 
     def remove_token(self, token: Token) -> None:

@@ -20,13 +20,14 @@ The TREAT-vs-Rete trade (state kept vs join work redone) is measured by
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from typing import Iterator
 
+from repro.lang.compile import TokenPlan, build_token_plan
 from repro.lang.production import Production
 from repro.match.base import BaseMatcher
 from repro.match.instantiation import Instantiation
 from repro.match.naive import match_production
-from repro.wm.element import Scalar, WME
+from repro.wm.element import WME
 from repro.wm.memory import WMDelta, WorkingMemory
 
 
@@ -35,51 +36,51 @@ def match_with_fixed(
     memory: WorkingMemory,
     fixed_index: int,
     fixed_wme: WME,
+    plan: TokenPlan | None = None,
 ) -> Iterator[Instantiation]:
     """Instantiations of ``production`` using ``fixed_wme`` at LHS
     position ``fixed_index`` (0-based, must be a positive element)."""
+    if plan is None:
+        plan = build_token_plan(production)
     yield from _extend_fixed(
-        production, memory, 0, (), {}, fixed_index, fixed_wme
+        plan, memory, 0, (), plan.empty_token(), fixed_index, fixed_wme
     )
 
 
 def _extend_fixed(
-    production: Production,
+    plan: TokenPlan,
     memory: WorkingMemory,
     index: int,
     matched: tuple[WME, ...],
-    bindings: Mapping[str, Scalar],
+    token,
     fixed_index: int,
     fixed_wme: WME,
 ) -> Iterator[Instantiation]:
-    if index == len(production.lhs):
-        yield Instantiation.build(production, matched, bindings)
+    if index == len(plan.steps):
+        yield plan.instantiate(matched, token)
         return
-    element = production.lhs[index]
-    match = element.compiled().match
-    if element.negated:
-        for wme in memory.select(element.relation):
-            if match(wme, bindings) is not None:
+    step = plan.steps[index]
+    match = step.match
+    if step.negated:
+        for wme in memory.select(step.relation):
+            if match(wme, token) is not None:
                 return
         yield from _extend_fixed(
-            production, memory, index + 1, matched, bindings,
+            plan, memory, index + 1, matched, step.carry(token),
             fixed_index, fixed_wme,
         )
         return
     if index == fixed_index:
         candidates = [fixed_wme]
     else:
-        compiled = element.compiled()
-        equalities = list(compiled.constant_equalities)
-        for attribute, variable in compiled.variable_items:
-            if variable in bindings:
-                equalities.append((attribute, bindings[variable]))
-        candidates = memory.select(element.relation, equalities)
+        candidates = memory.select(
+            step.relation, step.probe_equalities(token)
+        )
     for wme in candidates:
-        extended = match(wme, bindings)
+        extended = match(wme, token)
         if extended is not None:
             yield from _extend_fixed(
-                production, memory, index + 1, matched + (wme,), extended,
+                plan, memory, index + 1, matched + (wme,), extended,
                 fixed_index, fixed_wme,
             )
 
@@ -93,20 +94,24 @@ class TreatMatcher(BaseMatcher):
         self.join_count = 0
 
     def add_production(self, production: Production) -> None:
-        self._productions[production.name] = production
+        plan = self._register(production)
         if self._attached:
-            for instantiation in match_production(production, self.memory):
+            for instantiation in match_production(
+                production, self.memory, plan
+            ):
                 self.conflict_set.add(instantiation)
 
     def remove_production(self, name: str) -> None:
-        self._productions.pop(name, None)
+        self._unregister(name)
         for instantiation in self.conflict_set.for_rule(name):
             self.conflict_set.remove(instantiation)
 
     def rebuild(self) -> None:
         self.conflict_set.clear()
-        for production in self._productions.values():
-            for instantiation in match_production(production, self.memory):
+        for name, production in self._productions.items():
+            for instantiation in match_production(
+                production, self.memory, self._plans[name]
+            ):
                 self.conflict_set.add(instantiation)
 
     # -- incremental delta handling ----------------------------------------------------
@@ -118,24 +123,35 @@ class TreatMatcher(BaseMatcher):
             self._on_remove(delta.wme)
 
     def _on_add(self, wme: WME) -> None:
-        for production in self._productions.values():
-            for index, element in enumerate(production.lhs):
-                if not element.compiled().alpha(wme):
+        for name, production in self._productions.items():
+            plan = self._plans[name]
+            for index, step in enumerate(plan.steps):
+                if not step.alpha(wme):
                     continue
-                if element.negated:
-                    self._invalidate(production, index, wme)
+                if step.negated:
+                    self._invalidate(production, plan, index, wme)
                 else:
                     self.join_count += 1
                     for instantiation in match_with_fixed(
-                        production, self.memory, index, wme
+                        production, self.memory, index, wme, plan
                     ):
                         self.conflict_set.add(instantiation)
 
-    def _invalidate(self, production: Production, index: int, wme: WME) -> None:
-        """Retract instantiations whose negated element now matches ``wme``."""
-        match = production.lhs[index].compiled().match
+    def _invalidate(
+        self, production: Production, plan: TokenPlan, index: int, wme: WME
+    ) -> None:
+        """Retract instantiations whose negated element now matches ``wme``.
+
+        The probe evaluates against the *full* instantiation bindings
+        (variables bound after the negated element are visible here, unlike
+        during written-order matching), so it uses the step's full-width
+        ``full_match`` and the instantiation's token — which the slotted
+        path hands back without rebuilding a bindings dict per probe.
+        """
+        match = plan.steps[index].full_match
+        token_of = plan.token_of
         for instantiation in self.conflict_set.for_rule(production.name):
-            if match(wme, instantiation.bindings) is not None:
+            if match(wme, token_of(instantiation)) is not None:
                 self.conflict_set.remove(instantiation)
 
     def _on_remove(self, wme: WME) -> None:
@@ -146,13 +162,15 @@ class TreatMatcher(BaseMatcher):
             self.conflict_set.remove(instantiation)
         # Removing a blocker of a negated element can create matches;
         # recompute the affected rules (TREAT's conservative case).
-        for production in self._productions.values():
+        for name, production in self._productions.items():
+            plan = self._plans[name]
             if any(
-                ce.negated and ce.compiled().alpha(wme)
-                for ce in production.lhs
+                step.negated and step.alpha(wme) for step in plan.steps
             ):
                 self.join_count += 1
-                current = set(match_production(production, self.memory))
+                current = set(
+                    match_production(production, self.memory, plan)
+                )
                 for stale in (
                     set(self.conflict_set.for_rule(production.name)) - current
                 ):

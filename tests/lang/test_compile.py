@@ -20,12 +20,20 @@ from repro.lang.ast import (
     VariableTest,
 )
 from repro.lang.compile import (
+    _MISSING,
     CompiledCondition,
+    DictPlan,
+    SlottedPlan,
+    VariableIndex,
+    build_token_plan,
     compile_alpha,
     compile_beta,
+    compile_beta_slots,
+    dict_tokens,
     interpreted_alpha,
     interpreted_beta,
     interpreted_conditions,
+    plan_kind,
 )
 from repro.wm.element import WME
 
@@ -205,6 +213,151 @@ class TestCompiledCondition:
         assert wme.mapping() == {"a": 1, "b": "z"}
         clone = pickle.loads(pickle.dumps(wme))
         assert clone == wme and clone.timetag == wme.timetag
+
+
+class TestTestFreeBetaFastPath:
+    """Satellite: a test-free element hands the incoming token back
+    unchanged — no per-probe dict copy."""
+
+    def test_returns_incoming_token_object(self):
+        element = ConditionElement("r", (ConstantTest("a", 1),))
+        beta = compile_beta(element)
+        token = {"x": 1}
+        assert beta(WME.make("r", a=1), token) is token
+
+    def test_no_allocations_per_probe(self):
+        import tracemalloc
+
+        element = ConditionElement("r", (ConstantTest("a", 1),))
+        beta = compile_beta(element)
+        wme = WME.make("r", a=1)
+        token = {"x": 1}
+        beta(wme, token)  # warm
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        for _ in range(1000):
+            beta(wme, token)
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert after - before < 1024
+
+    def test_slotted_fast_paths(self):
+        # Same-width pass returns the identical tuple; widening pads
+        # with _MISSING only.
+        element = ConditionElement("r", (ConstantTest("a", 1),))
+        index = VariableIndex((element,))
+        wme = WME.make("r", a=1)
+        passer = compile_beta_slots(element, index, 0, 0)
+        token = ()
+        assert passer(wme, token) is token
+        binder = ConditionElement("r", (VariableTest("b", "x"),))
+        index2 = VariableIndex((element, binder))
+        padder = compile_beta_slots(element, index2, 0, 1)
+        assert padder(wme, ()) == (_MISSING,)
+        # A join fast path that binds nothing new returns the incoming
+        # tuple object itself (no copy).
+        join = compile_beta_slots(binder, index2, 1, 1)
+        bound = (2,)
+        assert join(WME.make("r", b=2), bound) is bound
+
+
+class TestSlottedLayout:
+    def test_variable_index_first_occurrence_order(self):
+        lhs = (
+            ConditionElement(
+                "r", (VariableTest("a", "x"), VariableTest("b", "y"))
+            ),
+            ConditionElement(
+                "r",
+                (VariableTest("a", "y"), PredicateTest("b", ">", "z", True)),
+                negated=True,
+            ),
+            ConditionElement(
+                "r", (VariableTest("c", "z"), VariableTest("a", "x"))
+            ),
+        )
+        index = VariableIndex(lhs)
+        # Negation locals (z, via the predicate operand) get slots too.
+        assert index.names == ("x", "y", "z")
+        assert index.prefix_widths == (0, 2, 3, 3)
+        assert index.width == 3
+        assert index.empty == (_MISSING,) * 3
+        assert "z" in index and index.slot("z") == 2
+
+    def test_bindings_items_skips_missing_and_sorts(self):
+        element = ConditionElement(
+            "r", (VariableTest("a", "y"), VariableTest("b", "x"))
+        )
+        index = VariableIndex((element,))
+        assert index.names == ("y", "x")  # test order, not sorted
+        token = (5, _MISSING)
+        assert index.bindings_items(token) == (("y", 5),)
+        assert index.token_from_items((("y", 5),)) == (5, _MISSING)
+
+    def test_plan_kinds_honor_mode_contexts(self):
+        from repro.lang import RuleBuilder
+        from repro.lang.builder import var
+
+        rule = RuleBuilder("r").when("a", k=var("x")).remove(1).build()
+        assert plan_kind() == "slotted"
+        assert isinstance(build_token_plan(rule), SlottedPlan)
+        with dict_tokens():
+            assert plan_kind() == "dict"
+            assert isinstance(build_token_plan(rule), DictPlan)
+        with interpreted_conditions():
+            assert plan_kind() == "dict"
+        # Plans cache per production per kind.
+        assert build_token_plan(rule) is build_token_plan(rule)
+        with dict_tokens():
+            dict_plan = build_token_plan(rule)
+        with dict_tokens():
+            assert build_token_plan(rule) is dict_plan
+
+    def test_production_survives_pickle_without_plan_caches(self):
+        import pickle
+
+        from repro.lang import RuleBuilder
+        from repro.lang.builder import var
+
+        rule = RuleBuilder("r").when("a", k=var("x")).remove(1).build()
+        build_token_plan(rule)  # populate the plan cache
+        VariableIndex.for_production(rule)
+        clone = pickle.loads(pickle.dumps(rule))
+        assert clone == rule
+        assert not hasattr(clone, "_token_plans")
+
+    @given(element=_element, wme=_wme, bindings=_bindings)
+    @settings(max_examples=300, deadline=None)
+    def test_slotted_beta_agrees_with_dict_beta(
+        self, element, wme, bindings
+    ):
+        """The slotted closure and the dict closure accept/reject/raise
+        identically and produce the same bound pairs, for any incoming
+        bindings (modeled as a binder element providing x and y)."""
+        binder = ConditionElement(
+            "pre", (VariableTest("a", "x"), VariableTest("b", "y"))
+        )
+        index = VariableIndex((binder, element))
+        in_width = index.prefix_widths[1]
+        out_width = index.prefix_widths[2]
+        slotted = compile_beta_slots(element, index, in_width, out_width)
+        token = tuple(
+            bindings.get(name, _MISSING) for name in index.names[:in_width]
+        )
+
+        def _slot_outcome():
+            try:
+                result = slotted(wme, token)
+            except ValidationError as exc:
+                return ("error", str(exc))
+            if result is None:
+                return ("ok", None)
+            full = result + (_MISSING,) * (index.width - len(result))
+            return ("ok", dict(index.bindings_items(full)))
+
+        assert _slot_outcome() == _beta_outcome(
+            compile_beta(element), wme, bindings
+        )
 
 
 class TestInterpretedMode:

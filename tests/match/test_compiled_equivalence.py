@@ -1,5 +1,7 @@
 """Compiled matchers produce conflict sets bit-identical to the seed
-interpreted matchers on Manners.
+interpreted matchers on Manners — and the slotted token layout produces
+conflict sets *and bindings* bit-identical to the dict layout on
+randomized productions.
 
 All matchers attach to ONE shared working memory, so every matcher sees
 the same WMEs with the same timetags and "bit-identical" is literal:
@@ -8,13 +10,29 @@ structurally equivalent matches.  The interpreted matchers are built
 and attached inside :func:`interpreted_conditions` so their condition
 elements cache the seed's interpreted walks; both rule programs parse
 separately so the two evaluator families never share an element cache.
+The slotted-vs-dict suites additionally compare ``bindings_items`` per
+instantiation, since the slot layout changes how bindings are stored,
+not just how they are probed.
 """
 
 from __future__ import annotations
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import given, settings
 
-from repro.lang.compile import interpreted_conditions
+from repro.errors import MatchError, ValidationError
+from repro.lang import RuleBuilder
+from repro.lang.ast import (
+    ConditionElement,
+    ConstantTest,
+    PredicateTest,
+    RemoveAction,
+    VariableTest,
+)
+from repro.lang.builder import gt, var
+from repro.lang.compile import dict_tokens, interpreted_conditions
+from repro.lang.production import Production
 from repro.match import (
     CondRelationMatcher,
     NaiveMatcher,
@@ -117,3 +135,226 @@ def test_batched_deltas_equal_unbatched():
         for relation, values in ops:
             batch_store.make(relation, **values)
     assert _shape(plain) == _shape(batched)
+
+
+# ---------------------------------------------------------------------------
+# Slotted vs dict token layouts
+# ---------------------------------------------------------------------------
+
+_VARS = ("x", "y", "z")
+_RELATIONS = ("a", "b", "c")
+_ATTRS = ("k", "v")
+_OPS = (">", ">=", "<", "<=", "<>")
+
+
+@st.composite
+def _random_program(draw) -> list[Production]:
+    """Random valid productions: joins, negated CEs, constant and
+    variable-operand predicates, negation-local variables."""
+    rules = []
+    for r in range(draw(st.integers(1, 3))):
+        bound: set[str] = set()
+        lhs = []
+        for i in range(draw(st.integers(1, 3))):
+            negated = i > 0 and draw(st.booleans())
+            tests = []
+            local: set[str] = set()
+            for attr in _ATTRS:
+                choice = draw(st.integers(0, 3))
+                if choice == 0:
+                    continue
+                if choice == 1:
+                    tests.append(ConstantTest(attr, draw(st.integers(0, 2))))
+                elif choice == 2:
+                    name = draw(st.sampled_from(_VARS))
+                    tests.append(VariableTest(attr, name))
+                    local.add(name)
+                else:
+                    # Variable-operand predicates only against variables
+                    # already in scope (validate() rejects forward refs).
+                    pool = sorted(bound | local)
+                    op = draw(st.sampled_from(_OPS))
+                    if pool and draw(st.booleans()):
+                        operand = draw(st.sampled_from(pool))
+                        tests.append(PredicateTest(attr, op, operand, True))
+                    else:
+                        operand = draw(st.integers(0, 4))
+                        tests.append(PredicateTest(attr, op, operand, False))
+            lhs.append(
+                ConditionElement(
+                    draw(st.sampled_from(_RELATIONS)),
+                    tuple(tests),
+                    negated=negated,
+                )
+            )
+            if not negated:
+                bound |= local
+        rules.append(Production(f"r{r}", tuple(lhs), (RemoveAction(1),)))
+    return rules
+
+
+_wm_operation = st.one_of(
+    st.tuples(
+        st.just("add"),
+        st.sampled_from(_RELATIONS),
+        st.integers(0, 3),  # k
+        st.integers(0, 8),  # v
+    ),
+    st.tuples(st.just("remove"), st.integers(0, 30)),
+    st.tuples(st.just("modify"), st.integers(0, 30), st.integers(0, 3)),
+)
+
+
+def _bindings_by_identity(matcher) -> dict:
+    return {
+        inst.identity(): inst.bindings_items
+        for inst in matcher.conflict_set
+    }
+
+
+def _assert_layouts_agree(slotted: dict, dicted: dict) -> None:
+    for name in slotted:
+        left = _bindings_by_identity(slotted[name])
+        right = _bindings_by_identity(dicted[name])
+        assert left == right, f"{name} layouts diverged"
+
+
+@given(
+    program=_random_program(),
+    operations=st.lists(_wm_operation, max_size=12),
+)
+@settings(max_examples=40, deadline=None)
+def test_slotted_and_dict_tokens_bit_identical(program, operations):
+    """Satellite: slotted and dict tokens yield identical identities
+    AND identical ``bindings_items`` across all four matchers on
+    randomized productions (negated CEs, variable-predicate joins)."""
+    memory = WorkingMemory()
+    for relation in _RELATIONS:  # seed some matches before attach
+        memory.make(relation, k=1, v=1)
+    slotted = {
+        name: _attach(memory, factory, program)
+        for name, factory in _MATCHER_CLASSES.items()
+    }
+    with dict_tokens():
+        dicted = {
+            name: _attach(memory, factory, program)
+            for name, factory in _MATCHER_CLASSES.items()
+        }
+    _assert_layouts_agree(slotted, dicted)
+
+    for operation in operations:
+        if operation[0] == "add":
+            _, relation, k, v = operation
+            memory.make(relation, k=k, v=v)
+        elif operation[0] == "remove":
+            _, index = operation
+            live = sorted(memory, key=lambda w: w.timetag)
+            if live:
+                memory.remove(live[index % len(live)])
+        else:
+            _, index, new_k = operation
+            live = sorted(memory, key=lambda w: w.timetag)
+            if live:
+                memory.modify(live[index % len(live)], {"k": new_k})
+        _assert_layouts_agree(slotted, dicted)
+
+
+@pytest.mark.parametrize("name", sorted(_MATCHER_CLASSES))
+def test_slotted_bindings_cover_negation_and_variable_predicates(name):
+    """Deterministic spot-check: negation-local variables stay out of
+    the bindings, variable-predicate joins produce the same pairs."""
+    rules = [
+        RuleBuilder("chain")
+        .when("a", k=var("x"))
+        .when("b", k=var("x"), v=var("y"))
+        .when_not("c", k=var("y"), v=var("w"))  # w is negation-local
+        .remove(1)
+        .build(),
+        RuleBuilder("bigger")
+        .when("a", v=var("x"))
+        .when("b", v=gt(var("x")), k=var("z"))
+        .remove(1)
+        .build(),
+    ]
+    memory = WorkingMemory()
+    memory.make("a", k=1, v=2)
+    memory.make("b", k=1, v=5)
+    factory = _MATCHER_CLASSES[name]
+    slotted = _attach(memory, factory, rules)
+    with dict_tokens():
+        dicted = _attach(memory, factory, rules)
+    assert _bindings_by_identity(slotted) == _bindings_by_identity(dicted)
+    chain = [
+        i for i in slotted.conflict_set if i.rule_name == "chain"
+    ]
+    assert chain and all(
+        dict(i.bindings_items).keys() == {"x", "y"} for i in chain
+    ), "negation-local variable leaked into the bindings"
+    bigger = [
+        i for i in slotted.conflict_set if i.rule_name == "bigger"
+    ]
+    assert bigger and all(
+        dict(i.bindings_items) == {"x": 2, "z": 1} for i in bigger
+    )
+    # The negated element starts blocking; both layouts must retract.
+    memory.make("c", k=5, v=99)
+    assert _bindings_by_identity(slotted) == _bindings_by_identity(dicted)
+    assert not [
+        i for i in slotted.conflict_set if i.rule_name == "chain"
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Registration guards
+# ---------------------------------------------------------------------------
+
+
+def _forward_reference_production() -> Production:
+    """A production with an unbound predicate operand, built WITHOUT
+    going through ``Production.validate()``."""
+    element = ConditionElement(
+        "a", (PredicateTest("v", ">", "x", True),)
+    )
+    rule = object.__new__(Production)
+    object.__setattr__(rule, "name", "forward")
+    object.__setattr__(rule, "lhs", (element,))
+    object.__setattr__(rule, "rhs", (RemoveAction(1),))
+    object.__setattr__(rule, "priority", 0)
+    return rule
+
+
+@pytest.mark.parametrize("name", sorted(_MATCHER_CLASSES))
+def test_matchers_reject_unvalidated_productions(name):
+    """Satellite: the match-time ValidationError for unbound predicate
+    operands became unreachable for validated productions (PR 7 moved
+    the check to load time) — matchers must therefore reject a
+    production smuggled past validate() at registration, not deep in a
+    join once a triggering WME arrives."""
+    matcher = _MATCHER_CLASSES[name](WorkingMemory())
+    with pytest.raises(ValidationError, match="not bound"):
+        matcher.add_production(_forward_reference_production())
+    assert "forward" not in matcher.productions
+
+
+def test_partitioned_rejects_unvalidated_productions():
+    matcher = PartitionedMatcher(
+        WorkingMemory(), shards=2, inner="naive", backend="serial"
+    )
+    with pytest.raises(ValidationError, match="not bound"):
+        matcher.add_production(_forward_reference_production())
+    assert matcher.shard_of("forward") is None
+
+
+def test_matcher_rejects_mixed_token_layouts():
+    """One matcher holds one token layout: Rete shares join nodes
+    across productions, and a node compiled for slot tuples cannot
+    probe dict tokens."""
+    matcher = ReteMatcher(WorkingMemory())
+    matcher.add_production(
+        RuleBuilder("slotted-rule").when("a", k=var("x")).remove(1).build()
+    )
+    with dict_tokens():
+        with pytest.raises(MatchError, match="token"):
+            matcher.add_production(
+                RuleBuilder("dict-rule").when("b", k=var("x")).remove(1).build()
+            )

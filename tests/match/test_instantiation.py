@@ -59,8 +59,22 @@ class TestOrderingKeys:
         assert a.mea_key() > b.mea_key()
 
     def test_empty_wmes_mea_key(self):
+        # -1, not 0: timetags are non-negative, so the no-WMEs sentinel
+        # must sort strictly below any real first-element timetag.
         inst = Instantiation.build(_rule(), (), {})
-        assert inst.mea_key() == (0,)
+        assert inst.mea_key() == (-1,)
+
+    def test_empty_wmes_sorts_below_timetag_zero(self):
+        # A freshly recovered store legitimately hands out timetag 0;
+        # an instantiation whose goal element matched it must still
+        # outrank the all-negated (no-WMEs) instantiation under MEA.
+        rule = _rule()
+        grounded = _inst(rule, 0)
+        ungrounded = Instantiation.build(rule, (), {})
+        assert grounded.mea_key() > ungrounded.mea_key()
+        assert sorted(
+            [grounded, ungrounded], key=Instantiation.mea_key
+        ) == [ungrounded, grounded]
 
     def test_str_contains_rule_and_tags(self):
         text = str(_inst(_rule("my-rule"), 4))
@@ -116,3 +130,35 @@ class TestCachedKeys:
         after, _ = tracemalloc.get_traced_memory()
         tracemalloc.stop()
         assert after - before < 1024
+
+    def test_bindings_dict_is_cached(self):
+        # TREAT's retraction re-match reads .bindings once per
+        # surviving instantiation per delta; rebuilding the dict each
+        # access made retraction allocation-bound.
+        import tracemalloc
+
+        inst = _inst(_rule(), 7, bindings={"x": 1, "y": 2})
+        assert inst.bindings is inst.bindings
+        first = inst.bindings  # warm the cache
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        for _ in range(1000):
+            inst.bindings
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert after - before < 1024
+        assert first == {"x": 1, "y": 2}
+
+    def test_lazy_bindings_items_from_slots(self):
+        # The slotted path materializes the sorted pairs on demand and
+        # they match what the dict path would have produced.
+        from repro.lang.compile import VariableIndex
+
+        rule = _rule()
+        index = VariableIndex(rule.lhs)
+        wme = WME.make("item", {"v": 42}, timetag=3)
+        inst = Instantiation.from_slots(rule, (wme,), (42,), index)
+        assert inst.bindings_items == (("x", 42),)
+        assert inst.bindings == {"x": 42}
+        # Round-trip: the slot token is handed back without rebuilding.
+        assert inst.slot_token(index) == (42,)
