@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 #: Attribution buckets, in report order.
-CATEGORIES = ("lock_wait", "match", "acquire", "rhs", "other")
+CATEGORIES = ("lock_wait", "match", "acquire", "rhs", "storage", "other")
 
 
 def categorize(name: str) -> str:
@@ -49,6 +49,8 @@ def categorize(name: str) -> str:
         return "acquire"
     if name in ("firing", "rhs", "phase.act") or name.startswith("txn."):
         return "rhs"
+    if name.startswith("storage."):
+        return "storage"
     return "other"
 
 

@@ -35,8 +35,19 @@ Subcommands
     span dump for offline analysis.
 ``repro obs report RULES ...``
     Same run, reduced: per-cycle critical paths with lock-wait vs.
-    match vs. RHS attribution, the rule-(ii) abort attribution table,
-    and the lock-wait histogram summary.
+    match vs. RHS vs. storage attribution, the rule-(ii) abort
+    attribution table, and the lock-wait histogram summary.
+``repro obs profile RULES [--level sampled] [--top 10] ...``
+    Run with the always-on per-rule profiler and print the top-N
+    productions by self-time, split across match / lock-wait /
+    acquire / rhs buckets, with run-wall coverage.
+``repro obs health RULES [--fault-rate P] ...``
+    Run with the rolling-window health watchdog (abort-rate spike,
+    retry exhaustion, lock-wait share, WAL stall) and print the
+    verdict; exits 1 when the run ends red.
+``repro obs top RULES [--interval 0.5] ...``
+    Live view of a run: one snapshot line per interval with wave,
+    commit/abort totals, cycle p95 and health status.
 ``repro obs diff BENCH_a.json BENCH_b.json [--tolerance 0.15]``
     Compare two benchmark result files; exits non-zero when a wall
     time regressed or a measured quantity drifted beyond the
@@ -196,22 +207,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_observed(
+def _load_workload(
     args: argparse.Namespace,
-) -> tuple["obs.Observer", object]:
-    """Run ``args.rules`` under the wave-parallel engine with a live
-    observer attached; returns ``(observer, run_result)``."""
-    if args.capacity < 1:
-        raise ReproError(
-            f"--capacity must be >= 1, got {args.capacity}"
+) -> tuple[list, WorkingMemory]:
+    """Rules + working memory from a rule file or a named workload.
+
+    ``manners:N[:SEED]`` builds the Manners benchmark program with N
+    guests instead of reading a file — the shape the obs subcommands
+    use in CI smoke runs.
+    """
+    spec = args.rules
+    parts = spec.split(":")
+    if parts[0] == "manners" and all(p.isdigit() for p in parts[1:]) \
+            and len(parts) <= 3:
+        from repro.workloads.manners import (
+            build_manners_memory,
+            build_manners_rules,
         )
-    rules = parse_program(Path(args.rules).read_text(encoding="utf-8"))
+
+        if args.facts:
+            raise ReproError(
+                "--facts cannot be combined with the manners:N workload"
+            )
+        n_guests = int(parts[1]) if len(parts) > 1 else 8
+        seed = int(parts[2]) if len(parts) > 2 else 0
+        return build_manners_rules(), build_manners_memory(
+            n_guests, seed=seed
+        )
+    rules = parse_program(Path(spec).read_text(encoding="utf-8"))
     if not rules:
         raise ReproError("no productions found")
     memory = WorkingMemory()
     if args.facts:
         _load_facts(memory, Path(args.facts))
-    observer = obs.Observer(trace_capacity=args.capacity)
+    return rules, memory
+
+
+def _prepare_observed(
+    args: argparse.Namespace,
+) -> tuple["obs.Observer", ParallelEngine]:
+    """A live observer plus an engine wired to it, not yet run.
+
+    Honors the optional ``--level``/``--sample-rate``/``--sample-seed``
+    observability flags and (when the parser carries them) the chaos
+    fault flags, so health/profile runs can drive failure modes.
+    """
+    if args.capacity < 1:
+        raise ReproError(
+            f"--capacity must be >= 1, got {args.capacity}"
+        )
+    rules, memory = _load_workload(args)
+    observer = obs.Observer(
+        trace_capacity=args.capacity,
+        level=getattr(args, "level", "full"),
+        sample_rate=getattr(args, "sample_rate", 0.1),
+        sample_seed=getattr(args, "sample_seed", 0),
+    )
+    fault_rate = getattr(args, "fault_rate", 0.0)
+    injector = None
+    if fault_rate > 0:
+        kinds = _parse_fault_kinds(getattr(args, "fault_kinds", None))
+        injector = _make_chaos_injector(
+            getattr(args, "fault_seed", 0), fault_rate, kinds
+        )
+    retries = getattr(args, "retries", 1)
+    retry_policy = (
+        RetryPolicy(
+            max_attempts=retries, seed=getattr(args, "fault_seed", 0)
+        )
+        if retries > 1
+        else None
+    )
     engine = ParallelEngine(
         rules,
         memory,
@@ -222,9 +288,28 @@ def _run_observed(
         seed=args.seed,
         observer=observer,
         lock_stripes=args.lock_stripes,
+        retry_policy=retry_policy,
+        fault_injector=injector,
     )
+    return observer, engine
+
+
+def _run_observed(
+    args: argparse.Namespace,
+) -> tuple["obs.Observer", object]:
+    """Run ``args.rules`` under the wave-parallel engine with a live
+    observer attached; returns ``(observer, run_result)``."""
+    observer, engine = _prepare_observed(args)
     result = engine.run(max_waves=args.max_cycles)
     return observer, result
+
+
+def _require_spans(observer: "obs.Observer", what: str) -> None:
+    if observer.spans is None:
+        raise ReproError(
+            f"{what} needs span recording — use --level sampled or "
+            f"--level full (got {observer.level!r})"
+        )
 
 
 def _write_or_print(text: str, out: str | None) -> None:
@@ -265,15 +350,22 @@ def _cmd_obs_export(args: argparse.Namespace) -> int:
 
     observer, result = _run_observed(args)
     if args.format == "chrome":
+        _require_spans(observer, "--format chrome")
         payload = chrome_trace_json(observer.spans, indent=None)
     elif args.format == "prom":
         payload = prometheus_text(observer.metrics)
     else:  # jsonl
+        _require_spans(observer, "--format jsonl")
         payload = spans_json_lines(observer.spans)
+    spans_note = (
+        f"spans={len(observer.spans)} (dropped {observer.spans.dropped}, "
+        f"sampled out {observer.spans.sampled_out})"
+        if observer.spans is not None
+        else "spans=off"
+    )
     _write_or_print(payload.rstrip("\n"), args.out)
     print(
-        f"# format={args.format} spans={len(observer.spans)} "
-        f"(dropped {observer.spans.dropped}), stop={result.stop_reason}",
+        f"# format={args.format} {spans_note}, stop={result.stop_reason}",
         file=sys.stderr,
     )
     return 0
@@ -298,8 +390,8 @@ def _render_obs_report(observer, top: int = 10) -> str:
     )
     lines.append(
         f"  {'wave':>4} {'duration':>10} {'lock_wait':>10} "
-        f"{'match':>10} {'acquire':>10} {'rhs':>10} {'other':>10}  "
-        "dominant chain"
+        f"{'match':>10} {'acquire':>10} {'rhs':>10} {'storage':>10} "
+        f"{'other':>10}  dominant chain"
     )
     ranked = sorted(breakdowns, key=lambda b: -b.duration)[:top]
     for b in sorted(ranked, key=lambda b: b.wave):
@@ -310,6 +402,7 @@ def _render_obs_report(observer, top: int = 10) -> str:
             f"{b.buckets['match']:>10.6f} "
             f"{b.buckets['acquire']:>10.6f} "
             f"{b.buckets['rhs']:>10.6f} "
+            f"{b.buckets['storage']:>10.6f} "
             f"{b.buckets['other']:>10.6f}  {chain}"
         )
     if len(breakdowns) > top:
@@ -353,9 +446,94 @@ def _render_obs_report(observer, top: int = 10) -> str:
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     observer, result = _run_observed(args)
+    _require_spans(observer, "obs report")
     _write_or_print(_render_obs_report(observer, top=args.top), args.out)
     print(f"# stop={result.stop_reason}", file=sys.stderr)
     return 0
+
+
+def _cmd_obs_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import render_profile
+
+    observer, result = _run_observed(args)
+    snapshot = observer.profiler.snapshot()
+    _write_or_print(render_profile(snapshot, top_n=args.top), args.out)
+    coverage = snapshot["coverage"]
+    print(
+        f"# stop={result.stop_reason}"
+        + (f" coverage={coverage:.1%}" if coverage is not None else ""),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_obs_health(args: argparse.Namespace) -> int:
+    observer, result = _run_observed(args)
+    report = observer.health.evaluate()
+    if args.json:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        lines = [report.render()]
+        if observer.health.transitions:
+            lines.append("transitions:")
+            for ts, old, new in observer.health.transitions:
+                lines.append(f"  {ts:.6f}: {old} -> {new}")
+        payload = "\n".join(lines)
+    _write_or_print(payload, args.out)
+    print(
+        f"# stop={result.stop_reason} status={report.status}",
+        file=sys.stderr,
+    )
+    return 1 if report.status == obs.RED else 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    """Live snapshots during a run: one status line per interval."""
+    import threading
+    import time as time_module
+
+    if args.interval <= 0:
+        raise ReproError(
+            f"--interval must be positive, got {args.interval}"
+        )
+    observer, engine = _prepare_observed(args)
+    outcome: dict[str, object] = {}
+
+    def _drive() -> None:
+        try:
+            outcome["result"] = engine.run(max_waves=args.max_cycles)
+        except Exception as exc:  # surfaced after the sampling loop
+            outcome["error"] = exc
+
+    def _sample_line() -> str:
+        metrics = observer.metrics
+        waves = metrics.get("wave.count")
+        committed = metrics.get("firing.committed")
+        aborted = metrics.get("firing.aborted")
+        cycle_sketch = metrics.get("cycle.sketch_seconds")
+        p95 = cycle_sketch.quantile(0.95) if cycle_sketch else None
+        return (
+            f"waves={waves.value if waves else 0:>5} "
+            f"committed={committed.value if committed else 0:>6} "
+            f"aborted={aborted.value if aborted else 0:>5} "
+            f"cycle_p95={'%.6f' % p95 if p95 is not None else '-':>9} "
+            f"health={observer.health.status}"
+        )
+
+    thread = threading.Thread(target=_drive, daemon=True)
+    thread.start()
+    while thread.is_alive():
+        thread.join(timeout=args.interval)
+        if thread.is_alive():
+            print(_sample_line(), flush=True)
+    print(_sample_line(), flush=True)
+    if "error" in outcome:
+        raise ReproError(f"run failed: {outcome['error']}")
+    result = outcome.get("result")
+    stop = getattr(result, "stop_reason", "?")
+    print(f"# stop={stop} status={observer.health.status}",
+          file=sys.stderr)
+    return 1 if observer.health.status == obs.RED else 0
 
 
 def _cmd_obs_diff(args: argparse.Namespace) -> int:
@@ -848,8 +1026,34 @@ def build_parser() -> argparse.ArgumentParser:
     section5.set_defaults(handler=_cmd_section5)
 
     def add_observed_arguments(parser: argparse.ArgumentParser) -> None:
-        parser.add_argument("rules", help="rule file (OPS5-style DSL)")
+        parser.add_argument(
+            "rules",
+            help="rule file (OPS5-style DSL), or the built-in "
+            "workload shortcut manners:N[:SEED]",
+        )
         parser.add_argument("--facts", help="JSON-lines facts file")
+        parser.add_argument(
+            "--level",
+            choices=list(obs.LEVELS),
+            default="full",
+            help="observer cost tier: metrics (aggregates only), "
+            "trace (+ ring events), sampled (+ head-sampled spans), "
+            "full (everything; default)",
+        )
+        parser.add_argument(
+            "--sample-rate",
+            type=float,
+            default=0.1,
+            metavar="P",
+            help="fraction of traces the sampled level keeps "
+            "(default 0.1)",
+        )
+        parser.add_argument(
+            "--sample-seed",
+            type=int,
+            default=0,
+            help="seed for the deterministic head sampler",
+        )
         parser.add_argument(
             "--scheme",
             choices=["rc", "2pl", "c2pl"],
@@ -940,6 +1144,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="show the N most expensive cycles (default 10)",
     )
     obs_report.set_defaults(handler=_cmd_obs_report)
+
+    obs_profile = obs_sub.add_parser(
+        "profile",
+        help="run with the always-on profiler; print top-N rules by "
+        "self-time across match/lock-wait/acquire/rhs buckets",
+    )
+    add_observed_arguments(obs_profile)
+    add_fault_arguments(obs_profile)
+    obs_profile.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="show the N most expensive rules (default 10)",
+    )
+    obs_profile.set_defaults(handler=_cmd_obs_profile, level="sampled")
+
+    obs_health = obs_sub.add_parser(
+        "health",
+        help="run with the health watchdog; exit 1 when the run ends "
+        "red (abort spike, retry exhaustion, lock-wait share, WAL "
+        "stall)",
+    )
+    add_observed_arguments(obs_health)
+    add_fault_arguments(obs_health)
+    obs_health.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the health report as JSON instead of text",
+    )
+    obs_health.set_defaults(handler=_cmd_obs_health, level="sampled")
+
+    obs_top = obs_sub.add_parser(
+        "top",
+        help="run with live periodic snapshots: waves, commit/abort "
+        "totals, cycle p95 and health status per interval",
+    )
+    add_observed_arguments(obs_top)
+    add_fault_arguments(obs_top)
+    obs_top.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="seconds between snapshot lines (default 0.5)",
+    )
+    obs_top.set_defaults(handler=_cmd_obs_top, level="sampled")
 
     obs_diff = obs_sub.add_parser(
         "diff",

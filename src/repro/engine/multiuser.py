@@ -156,6 +156,33 @@ class MultiUserEngine(ParallelEngine):
             counts[self.user_of(record.rule_name)] += 1
         return counts
 
+    def profile_by_user(self) -> dict[str, dict[str, float]]:
+        """The observer's per-rule profile folded onto sessions.
+
+        Rolls every rule's self-time buckets up to the session that
+        owns it (the cost-attribution view of fairness: who *spent*
+        the wall, not just who committed).  Engine-level pseudo-rules
+        like ``(match)`` land under ``"(engine)"``.
+        """
+        snapshot = self.obs.profiler.snapshot() if self.obs.enabled else {
+            "rules": []
+        }
+        out: dict[str, dict[str, float]] = {}
+        for row in snapshot["rules"]:
+            user = self._owners.get(row["rule"], "(engine)")
+            bucket = out.setdefault(
+                user,
+                {"total_seconds": 0.0, "match": 0.0, "lock_wait": 0.0,
+                 "acquire": 0.0, "rhs": 0.0, "firings": 0},
+            )
+            bucket["total_seconds"] += row["total_seconds"]
+            bucket["match"] += row["match"]
+            bucket["lock_wait"] += row["lock_wait"]
+            bucket["acquire"] += row["acquire"]
+            bucket["rhs"] += row["rhs"]
+            bucket["firings"] += row["firings"]
+        return out
+
     def run(self, max_waves: int = 1_000) -> RunResult:
         """Run to quiescence; see :meth:`ParallelEngine.run`."""
         return super().run(max_waves=max_waves)

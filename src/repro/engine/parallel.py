@@ -236,12 +236,24 @@ class ParallelEngine:
         """Extra fields stamped on acquire/firing spans (overridable)."""
         return {}
 
-    def run_wave(self) -> WaveResult:
-        """Execute one wave; returns its summary."""
+    def run_wave(self, started_at: float | None = None) -> WaveResult:
+        """Execute one wave; returns its summary.
+
+        ``started_at`` backdates the cycle span to when the run loop
+        began this iteration's eligibility pre-check, so that match
+        work stays inside the cycle on the causal timeline.
+        """
         wave = WaveResult(wave=len(self.waves) + 1)
         obs = self.obs
         spans = obs.spans if obs.enabled else None
-        wave_start = obs.clock() if obs.enabled else 0.0
+        if spans is not None and spans.scope_dropped():
+            # The enclosing run's trace was sampled out: skip per-
+            # candidate span construction for the whole wave.
+            spans = None
+        if started_at is not None:
+            wave_start = started_at
+        else:
+            wave_start = obs.clock() if obs.enabled else 0.0
         cycle_span = None
         if spans is not None:
             cycle_span = spans.start(
@@ -262,6 +274,18 @@ class ParallelEngine:
                 obs.wave_started(wave.wave, len(candidates))
             slots = self._acquire_phase(wave, candidates, spans, cycle_span)
             self._act_phase(wave, slots, spans, cycle_span)
+            self.waves.append(wave)
+            # Fire wave_finished (and with it the health evaluation)
+            # while the cycle span is still open, so watchdog work is
+            # charged to the cycle on the causal timeline.
+            if obs.enabled:
+                obs.wave_finished(
+                    wave.wave,
+                    committed=len(wave.committed),
+                    aborted=len(wave.aborted),
+                    deferred=len(wave.deferred),
+                    duration=obs.clock() - wave_start,
+                )
         finally:
             if spans is not None:
                 spans.pop_scope(cycle_span)
@@ -270,15 +294,6 @@ class ParallelEngine:
                     aborted=len(wave.aborted),
                     deferred=len(wave.deferred),
                 )
-        self.waves.append(wave)
-        if obs.enabled:
-            obs.wave_finished(
-                wave.wave,
-                committed=len(wave.committed),
-                aborted=len(wave.aborted),
-                deferred=len(wave.deferred),
-                duration=obs.clock() - wave_start,
-            )
         return wave
 
     def _acquire_phase(
@@ -295,9 +310,11 @@ class ParallelEngine:
             spans.start("phase.acquire", parent=cycle_span)
             if spans is not None else None
         )
+        obs = self.obs
         for instantiation in candidates:
             txn = Transaction(rule_name=instantiation.production.name)
             acq = None
+            acq_start = obs.clock() if obs.enabled else 0.0
             if spans is not None:
                 acq = spans.start(
                     "acquire", parent=phase_span,
@@ -306,9 +323,10 @@ class ParallelEngine:
                 )
                 spans.bind(txn.txn_id, acq)
             reads = instantiation_read_objects(instantiation)
-            if self._fault_denies_locks(
+            denied_by_fault = self._fault_denies_locks(
                 txn, reads, self.scheme.condition_mode
-            ):
+            )
+            if denied_by_fault:
                 granted = False
             elif self._preclaims:
                 granted = self.scheme.try_preclaim(
@@ -333,13 +351,25 @@ class ParallelEngine:
                     # lands on the span holding the Rc locks.
                     acq.finish(granted=True)
             else:
-                # Footprint unavailable: defer to a later wave.
-                self.scheme.abort(txn, "condition lock denied")
+                # Footprint unavailable: defer to a later wave.  An
+                # injected denial keeps its own reason — it is a
+                # fault, not wave-protocol breathing, so the health
+                # monitor must count it as a failure.
+                self.scheme.abort(
+                    txn,
+                    "injected lock denial" if denied_by_fault
+                    else "condition lock denied",
+                )
                 wave.deferred.append(instantiation.production.name)
                 self._note_failure(instantiation, "condition-lock-denied")
                 if acq is not None:
                     acq.finish(granted=False)
                     spans.unbind(txn.txn_id)
+            if obs.enabled:
+                obs.acquire_finished(
+                    instantiation.production.name, txn.txn_id,
+                    obs.clock() - acq_start,
+                )
         if phase_span is not None:
             phase_span.finish(
                 candidates=len(candidates), granted=len(slots)
@@ -354,22 +384,30 @@ class ParallelEngine:
             spans.start("phase.act", parent=cycle_span)
             if spans is not None else None
         )
+        obs = self.obs
         try:
             for instantiation, txn in slots:
-                if spans is None:
-                    self._run_slot(wave, instantiation, txn)
-                    continue
-                firing = spans.start(
-                    "firing", parent=phase_span,
-                    rule=instantiation.production.name, txn=txn.txn_id,
-                    **self._span_fields(instantiation),
-                )
-                spans.bind(txn.txn_id, firing)
+                fire_start = obs.clock() if obs.enabled else 0.0
+                firing = None
+                if spans is not None:
+                    firing = spans.start(
+                        "firing", parent=phase_span,
+                        rule=instantiation.production.name,
+                        txn=txn.txn_id,
+                        **self._span_fields(instantiation),
+                    )
+                    spans.bind(txn.txn_id, firing)
                 try:
                     self._run_slot(wave, instantiation, txn)
                 finally:
-                    firing.finish()
-                    spans.unbind(txn.txn_id)
+                    if firing is not None:
+                        firing.finish()
+                        spans.unbind(txn.txn_id)
+                    if obs.enabled:
+                        obs.firing_finished(
+                            instantiation.production.name, txn.txn_id,
+                            obs.clock() - fire_start,
+                        )
         finally:
             if phase_span is not None:
                 phase_span.finish(slots=len(slots))
@@ -396,9 +434,10 @@ class ParallelEngine:
             self.abort_count += 1
             return
         writes = instantiation_write_objects(instantiation)
-        if self._fault_denies_locks(
+        denied_by_fault = self._fault_denies_locks(
             txn, writes, self.scheme.action_write_mode
-        ) or (
+        )
+        if denied_by_fault or (
             not self._preclaims
             and not self.scheme.try_lock_action(
                 txn, writes=sorted(writes, key=repr)
@@ -406,8 +445,13 @@ class ParallelEngine:
         ):
             # 2PL: blocked by another candidate's condition locks —
             # defer to a later wave.  (Under Rc only Ra/Wa block Wa,
-            # and none are held across candidates here.)
-            self.scheme.abort(txn, "action locks unavailable")
+            # and none are held across candidates here.)  Injected
+            # denials keep a distinct reason so health counts them.
+            self.scheme.abort(
+                txn,
+                "injected lock denial" if denied_by_fault
+                else "action locks unavailable",
+            )
             wave.deferred.append(instantiation.production.name)
             self._note_failure(instantiation, "action-lock-denied")
             return
@@ -477,7 +521,9 @@ class ParallelEngine:
         firing to guarantee progress — equivalent to shrinking that
         wave to width 1, still inside ``ES_single``.
         """
-        spans = self.obs.spans if self.obs.enabled else None
+        obs = self.obs
+        spans = obs.spans if obs.enabled else None
+        run_start = obs.clock() if obs.enabled else 0.0
         run_span = None
         if spans is not None:
             run_span = spans.start(
@@ -491,7 +537,14 @@ class ParallelEngine:
                 if self.result.halted:
                     self.result.stop_reason = "halt"
                     break
+                # The eligibility pre-check flushes pending match
+                # deltas — that is match work, charged to the
+                # profiler's (match) row (run_wave's own candidate
+                # ordering is covered by match_latency).
+                check_start = obs.clock() if obs.enabled else 0.0
                 candidates = self._eligible_candidates()
+                if obs.enabled:
+                    obs.match_prepass(obs.clock() - check_start)
                 if not candidates:
                     # With a retry policy, work may remain in the
                     # conflict set whose budget is exhausted — that is
@@ -502,7 +555,9 @@ class ParallelEngine:
                         else "quiescent"
                     )
                     break
-                wave = self.run_wave()
+                wave = self.run_wave(
+                    started_at=check_start if obs.enabled else None
+                )
                 self.result.cycles += 1
                 if not wave.committed and self._eligible_candidates():
                     self._fire_single()
@@ -514,6 +569,10 @@ class ParallelEngine:
                 run_span.finish(
                     cycles=self.result.cycles,
                     stop_reason=self.result.stop_reason,
+                )
+            if obs.enabled:
+                obs.run_finished(
+                    self.result.cycles, obs.clock() - run_start
                 )
         self.result.final_snapshot = WMSnapshot.capture(self.memory)
         return self.result
@@ -530,8 +589,11 @@ class ParallelEngine:
             return
         obs = self.obs
         spans = obs.spans if obs.enabled else None
+        if spans is not None and spans.scope_dropped():
+            spans = None
         instantiation = self.strategy.select(candidates)
         txn = Transaction(rule_name=instantiation.production.name)
+        fire_start = obs.clock() if obs.enabled else 0.0
         cycle_span = firing = None
         if spans is not None:
             cycle_span = spans.start(
@@ -574,8 +636,9 @@ class ParallelEngine:
             if firing is not None:
                 firing.annotate(status="committed")
             if obs.enabled:
-                obs.firing_committed(
-                    instantiation.production.name, len(self.waves)
+                obs.single_fire_committed(
+                    instantiation.production.name, len(self.waves),
+                    obs.clock() - fire_start,
                 )
             if outcome.halted:
                 self.result.halted = True
@@ -584,3 +647,8 @@ class ParallelEngine:
                 firing.finish()
                 cycle_span.finish()
                 spans.unbind(txn.txn_id)
+            if obs.enabled:
+                obs.firing_finished(
+                    instantiation.production.name, txn.txn_id,
+                    obs.clock() - fire_start,
+                )

@@ -212,6 +212,9 @@ class ThreadedWaveExecutor:
         cycle = self.waves_run
         obs = self.obs
         spans = obs.spans if obs.enabled else None
+        if spans is not None and spans.scope_dropped():
+            # Sampled-out run: skip span construction for the wave.
+            spans = None
         wave_start = obs.clock() if obs.enabled else 0.0
         cycle_span = None
         if spans is not None:
@@ -224,6 +227,7 @@ class ThreadedWaveExecutor:
         try:
             candidates = self.matcher.conflict_set.eligible()
             if obs.enabled:
+                obs.match_latency(obs.clock() - wave_start)
                 obs.wave_started(cycle, len(candidates))
             threads = [
                 threading.Thread(
@@ -259,7 +263,9 @@ class ThreadedWaveExecutor:
 
     def run(self, max_waves: int = 100) -> list[ThreadedWaveResult]:
         """Run waves until the conflict set drains (or ``max_waves``)."""
-        spans = self.obs.spans if self.obs.enabled else None
+        obs = self.obs
+        spans = obs.spans if obs.enabled else None
+        run_start = obs.clock() if obs.enabled else 0.0
         run_span = None
         if spans is not None:
             run_span = spans.start(
@@ -271,13 +277,19 @@ class ThreadedWaveExecutor:
         results: list[ThreadedWaveResult] = []
         try:
             for _ in range(max_waves):
-                if not self.matcher.conflict_set.eligible():
+                check_start = obs.clock() if obs.enabled else 0.0
+                eligible = self.matcher.conflict_set.eligible()
+                if obs.enabled:
+                    obs.match_prepass(obs.clock() - check_start)
+                if not eligible:
                     break
                 results.append(self.run_wave())
         finally:
             if run_span is not None:
                 spans.pop_scope(run_span)
                 run_span.finish(waves=len(results))
+            if obs.enabled:
+                obs.run_finished(len(results), obs.clock() - run_start)
         return results
 
     # -- deadlock detection ----------------------------------------------------------------
@@ -411,9 +423,22 @@ class ThreadedWaveExecutor:
         lock grants, faults, deadlock victimhood and rule-(ii) links
         land on the right firing even across OS threads.
         """
-        spans = self.obs.spans if self.obs.enabled else None
+        obs = self.obs
+        spans = obs.spans if obs.enabled else None
+        if spans is not None and spans.scope_dropped():
+            # Suppressed wave (sampled-out trace): a firing span here
+            # would be parentless and steal a fresh head decision.
+            spans = None
+        fire_start = obs.clock() if obs.enabled else 0.0
         if spans is None:
-            return self._attempt(instantiation, txn, result, cycle)
+            try:
+                return self._attempt(instantiation, txn, result, cycle)
+            finally:
+                if obs.enabled:
+                    obs.firing_finished(
+                        instantiation.production.name, txn.txn_id,
+                        obs.clock() - fire_start,
+                    )
         firing = spans.start(
             "firing", parent=parent,
             rule=instantiation.production.name, txn=txn.txn_id,
@@ -427,6 +452,10 @@ class ThreadedWaveExecutor:
         finally:
             firing.finish()
             spans.unbind(txn.txn_id)
+            obs.firing_finished(
+                instantiation.production.name, txn.txn_id,
+                obs.clock() - fire_start,
+            )
 
     def _attempt(
         self,

@@ -352,6 +352,7 @@ class PartitionedMatcher(BaseMatcher):
         shards = self._shards
         flush_span = None
         flush_start = 0.0
+        wall_start = time.perf_counter() if obs.enabled else 0.0
         if spans is not None:
             # Parent under the innermost scoped span — the engine's
             # phase.match while candidates are gathered, or its cycle
@@ -383,6 +384,9 @@ class PartitionedMatcher(BaseMatcher):
             for shard, seconds in zip(shards, durations):
                 obs.shard_match(shard.index, seconds, len(deltas))
             obs.match_batch(len(deltas), len(shards), merge_seconds)
+            obs.match_flush(
+                len(shards), time.perf_counter() - wall_start
+            )
 
     def _flush_spans(
         self, spans, flush_span, flush_start: float,

@@ -1,7 +1,11 @@
 """Observability: traces + metrics + causal spans for engines and locks.
 
-The measurement substrate behind the Section 5 evaluation.  Five
-pieces:
+The measurement substrate behind the Section 5 evaluation, and — as
+of the telemetry PR — an always-on production layer: head-sampled
+span trees (:mod:`repro.obs.sampling`), fixed-memory quantile
+sketches (:class:`QuantileSketch`), a per-rule self-time profiler
+(:mod:`repro.obs.profile`) and a rolling-window health watchdog
+(:mod:`repro.obs.health`).  Core pieces:
 
 * :mod:`repro.obs.trace` — immutable :class:`TraceEvent` records in a
   bounded ring buffer (:class:`TraceCollector`);
@@ -41,12 +45,20 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
+from repro.obs.health import (
+    GREEN,
+    HealthMonitor,
+    HealthReport,
+    RED,
+    YELLOW,
+)
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    QuantileSketch,
     TIME_BUCKETS,
 )
 from repro.obs.observer import (
@@ -55,6 +67,8 @@ from repro.obs.observer import (
     NullObserver,
     Observer,
 )
+from repro.obs.profile import RuleProfiler, render_profile
+from repro.obs.sampling import DroppedSpan, HeadSampler
 from repro.obs.spans import Span, SpanRecorder
 from repro.obs.trace import TraceCollector, TraceEvent
 
@@ -80,6 +94,8 @@ def enable(
     trace_capacity: int = 65_536,
     clock: Callable[[], float] | None = None,
     level: str = "full",
+    sample_rate: float = 0.1,
+    sample_seed: int = 0,
 ) -> Observer:
     """Create a live :class:`Observer` and make it the default.
 
@@ -87,7 +103,8 @@ def enable(
     observability before building engines/managers.
     """
     observer = Observer(
-        trace_capacity=trace_capacity, clock=clock, level=level
+        trace_capacity=trace_capacity, clock=clock, level=level,
+        sample_rate=sample_rate, sample_seed=sample_seed,
     )
     set_observer(observer)
     return observer
@@ -103,10 +120,13 @@ def observed(
     trace_capacity: int = 65_536,
     clock: Callable[[], float] | None = None,
     level: str = "full",
+    sample_rate: float = 0.1,
+    sample_seed: int = 0,
 ) -> Iterator[Observer]:
     """Scoped :func:`enable`: restores the previous default on exit."""
     observer = Observer(
-        trace_capacity=trace_capacity, clock=clock, level=level
+        trace_capacity=trace_capacity, clock=clock, level=level,
+        sample_rate=sample_rate, sample_seed=sample_seed,
     )
     previous = set_observer(observer)
     try:
@@ -119,6 +139,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "QuantileSketch",
     "MetricsRegistry",
     "TIME_BUCKETS",
     "COUNT_BUCKETS",
@@ -126,6 +147,15 @@ __all__ = [
     "TraceEvent",
     "Span",
     "SpanRecorder",
+    "HeadSampler",
+    "DroppedSpan",
+    "RuleProfiler",
+    "render_profile",
+    "HealthMonitor",
+    "HealthReport",
+    "GREEN",
+    "YELLOW",
+    "RED",
     "LEVELS",
     "Observer",
     "NullObserver",

@@ -205,7 +205,9 @@ def prometheus_text(
     Counters gain the conventional ``_total`` suffix; gauges also
     export their high watermark as ``<name>_max``; histograms export
     cumulative ``_bucket{le="..."}`` series plus ``_sum``/``_count``
-    (the shape ``histogram_quantile`` expects).
+    (the shape ``histogram_quantile`` expects); quantile sketches
+    export as Prometheus summaries — pre-computed
+    ``{quantile="..."}`` series plus ``_sum``/``_count``.
     """
     snapshot = (
         source.snapshot() if isinstance(source, MetricsRegistry) else source
@@ -236,6 +238,14 @@ def prometheus_text(
                 )
             cumulative += buckets.get("+inf", 0)
             lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{metric}_sum {_fmt_value(snap['sum'])}")
+            lines.append(f"{metric}_count {snap['count']}")
+        elif kind == "sketch":
+            lines.append(f"# TYPE {metric} summary")
+            for q, estimate in snap.get("quantiles", {}).items():
+                lines.append(
+                    f'{metric}{{quantile="{q}"}} {_fmt_value(estimate)}'
+                )
             lines.append(f"{metric}_sum {_fmt_value(snap['sum'])}")
             lines.append(f"{metric}_count {snap['count']}")
         else:  # pragma: no cover - future instrument types

@@ -19,28 +19,47 @@ The hot-path contract: components hold a reference to an observer and
 guard every hook call with ``if obs.enabled:``.  The default observer
 is :data:`NULL_OBSERVER` (``enabled = False``), so an uninstrumented
 run costs one attribute load and a falsy branch per site — nothing is
-allocated, stamped or counted (the < 5 % bench-regression budget in
-the observability issue).  A live observer's cost is tiered by
-``level``: ``"metrics"`` (counters/histograms only), ``"trace"``
-(+ ring-buffer events — the PR-1 behavior), ``"full"`` (+ spans, the
-default); ``benchmarks/bench_obs_overhead.py`` measures the tiers.
+allocated, stamped or counted.  A live observer's cost is tiered by
+``level``:
+
+* ``"metrics"`` — counters, histograms, quantile sketches, the
+  per-rule profiler and the health monitor (all aggregates);
+* ``"trace"``   — + ring-buffer trace events (the PR-1 behavior);
+* ``"sampled"`` — the always-on production tier: aggregates plus
+  head-sampled span trees (:mod:`repro.obs.sampling`) — a seeded
+  fraction of runs keeps its complete run→cycle→phase→firing
+  subtree, the rest cost one sentinel per would-be span.  The trace
+  ring stays off; health transitions still reach the trace.
+* ``"full"``    — everything, every span (the default).
+
+Every hook self-locks at the instrument it touches (counters,
+histograms and sketches carry their own locks), so there is no
+observer-wide mutex on the hot path; all instruments are pre-bound at
+construction so a hook never pays a registry lookup.
+``benchmarks/bench_obs_overhead.py`` measures the tiers.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, Iterable
 
+from repro.obs.health import (
+    BENIGN_ABORT_REASONS,
+    HealthMonitor,
+    HealthReport,
+)
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     MetricsRegistry,
     TIME_BUCKETS,
 )
+from repro.obs.profile import RuleProfiler
+from repro.obs.sampling import HeadSampler
 from repro.obs.spans import Span, SpanRecorder
 from repro.obs.trace import TraceCollector
 
 #: Observer cost tiers, cheapest first.
-LEVELS = ("metrics", "trace", "full")
+LEVELS = ("metrics", "trace", "sampled", "full")
 
 
 class Observer:
@@ -56,11 +75,17 @@ class Observer:
         pass a virtual clock when observing a discrete-event
         simulation.
     level:
-        ``"metrics"``, ``"trace"``, or ``"full"`` (default): how much
-        each hook records.  ``"full"`` is the only level with a
-        :attr:`spans` recorder.
+        ``"metrics"``, ``"trace"``, ``"sampled"``, or ``"full"``
+        (default): how much each hook records.  ``"sampled"`` and
+        ``"full"`` carry a :attr:`spans` recorder; only ``"sampled"``
+        attaches a head sampler to it.
     span_capacity:
         Ring size for the span recorder; defaults to ``trace_capacity``.
+    sample_rate:
+        Fraction of root spans the ``"sampled"`` level keeps
+        (ignored at other levels).
+    sample_seed:
+        Seed for the head sampler's deterministic decision stream.
     """
 
     enabled = True
@@ -71,6 +96,8 @@ class Observer:
         clock: Callable[[], float] | None = None,
         level: str = "full",
         span_capacity: int | None = None,
+        sample_rate: float = 0.1,
+        sample_seed: int = 0,
     ) -> None:
         if level not in LEVELS:
             raise ValueError(
@@ -84,18 +111,38 @@ class Observer:
                 capacity=trace_capacity, clock=clock
             )
         self._trace_on = level in ("trace", "full")
+        self.sampler: HeadSampler | None = None
         self.spans: SpanRecorder | None = None
-        if level == "full":
+        if level in ("sampled", "full"):
+            if level == "sampled":
+                self.sampler = HeadSampler(
+                    rate=sample_rate, seed=sample_seed
+                )
             self.spans = SpanRecorder(
                 capacity=(
                     span_capacity if span_capacity is not None
                     else trace_capacity
                 ),
                 clock=self.trace.clock,
+                sampler=self.sampler,
             )
+        # Shadow the ``clock`` method with the collector's underlying
+        # clock (usually ``time.perf_counter``): the engine reads the
+        # clock several times per firing, and the instance binding
+        # skips two Python frames per read.
+        self.clock = self.trace.clock
         self.metrics = MetricsRegistry()
-        self._mutex = threading.Lock()
+        self.profiler = RuleProfiler()
+        self.health = HealthMonitor(
+            clock=self.trace.clock,
+            on_transition=self._health_transition,
+        )
+        # Per-wave batches for the health window (plain ints, GIL-safe
+        # increments) so per-txn hooks never take the monitor lock.
+        self._health_commits = 0
+        self._health_aborts = 0
         m = self.metrics
+        # Pre-bound histograms (hot hooks never pay a registry lookup).
         self._lock_wait = m.histogram("lock.wait_seconds", TIME_BUCKETS)
         self._queue_depth = m.gauge("lock.queue_depth")
         self._wave_width = m.histogram("wave.width", COUNT_BUCKETS)
@@ -119,6 +166,40 @@ class Observer:
         self._recovery_seconds = m.histogram(
             "storage.recovery_seconds", TIME_BUCKETS
         )
+        # Quantile sketches: the always-on percentile instruments.
+        self._cycle_sketch = m.sketch("cycle.sketch_seconds")
+        self._lock_wait_sketch = m.sketch("lock.wait.sketch_seconds")
+        self._flush_sketch = m.sketch("match.flush.sketch_seconds")
+        self._firing_sketch = m.sketch("firing.sketch_seconds")
+        self._ckpt_sketch = m.sketch("storage.checkpoint.sketch_seconds")
+        self._compact_sketch = m.sketch(
+            "storage.compaction.sketch_seconds"
+        )
+        # Pre-bound counters.
+        self._c_lock_grants = m.counter("lock.grants")
+        self._c_lock_waits = m.counter("lock.waits")
+        self._c_lock_denials = m.counter("lock.denials")
+        self._c_lock_cancels = m.counter("lock.cancels")
+        self._c_txn_commits = m.counter("txn.commits")
+        self._c_txn_aborts = m.counter("txn.aborts")
+        self._c_rule_ii = m.counter("rc.rule_ii_aborts")
+        self._c_revalidated = m.counter("rc.revalidated")
+        self._c_waves = m.counter("wave.count")
+        self._c_fire_committed = m.counter("firing.committed")
+        self._c_fire_aborted = m.counter("firing.aborted")
+        self._c_fire_deferred = m.counter("firing.deferred")
+        self._c_rollbacks = m.counter("engine.rollbacks")
+        self._c_fault_injected = m.counter("fault.injected")
+        self._c_retry_attempts = m.counter("retry.attempts")
+        self._c_retry_exhausted = m.counter("retry.exhausted")
+        self._c_deadlock_victims = m.counter("deadlock.victims")
+        self._c_match_batches = m.counter("match.batches")
+        self._c_ckpts = m.counter("storage.checkpoints")
+        self._c_truncated = m.counter("storage.segments_truncated")
+        self._c_compactions = m.counter("storage.compactions")
+        self._c_compacted = m.counter("storage.records_compacted")
+        self._c_rotations = m.counter("storage.rotations")
+        self._c_recoveries = m.counter("storage.recoveries")
 
     def clock(self) -> float:
         return self.trace.clock()
@@ -126,15 +207,43 @@ class Observer:
     def _span_for_txn(self, txn_id: str) -> Span | None:
         return self.spans.for_txn(txn_id) if self.spans is not None else None
 
+    def _flush_health(self) -> None:
+        """Move batched commit/abort counts into the health window."""
+        commits, self._health_commits = self._health_commits, 0
+        aborts, self._health_aborts = self._health_aborts, 0
+        if commits:
+            self.health.record("firing.committed", commits)
+        if aborts:
+            self.health.record("firing.aborted", aborts)
+
+    def _health_transition(
+        self, old: str, new: str, report: HealthReport
+    ) -> None:
+        """Status changed: put the structured event on the trace.
+
+        Emits at every level (transitions are rare and are exactly the
+        evidence a post-mortem needs), tagged with the rule verdicts.
+        """
+        self.trace.emit(
+            "health.transition", old=old, new=new,
+            rules={r.name: r.status for r in report.results},
+        )
+
     # -- lock manager ----------------------------------------------------------------------
 
     def lock_granted(
         self, txn_id: str, obj: object, mode: str,
         waited: float, queued: bool,
     ) -> None:
-        with self._mutex:
-            self.metrics.counter("lock.grants").inc()
-            self._lock_wait.observe(waited)
+        self._c_lock_grants.inc()
+        self._lock_wait.observe(waited)
+        if waited > 0.0:
+            # The sketch tracks quantiles of waits that happened; the
+            # histogram above keeps the zero-wait grants so rates and
+            # counts still cover every grant.
+            self._lock_wait_sketch.observe(waited)
+            self.profiler.record_wait(txn_id, waited)
+            self.health.record("lock.wait_seconds", waited)
         if self._trace_on:
             self.trace.emit(
                 "lock.grant", txn=txn_id, obj=repr(obj), mode=mode,
@@ -153,9 +262,8 @@ class Observer:
     def lock_queued(
         self, txn_id: str, obj: object, mode: str, depth: int
     ) -> None:
-        with self._mutex:
-            self.metrics.counter("lock.waits").inc()
-            self._queue_depth.set(depth)
+        self._c_lock_waits.inc()
+        self._queue_depth.set(depth)
         if self._trace_on:
             self.trace.emit(
                 "lock.wait", txn=txn_id, obj=repr(obj), mode=mode,
@@ -165,8 +273,7 @@ class Observer:
     def lock_denied(
         self, txn_id: str, obj: object, mode: str, reason: str
     ) -> None:
-        with self._mutex:
-            self.metrics.counter("lock.denials").inc()
+        self._c_lock_denials.inc()
         if self._trace_on:
             self.trace.emit(
                 "lock.deny", txn=txn_id, obj=repr(obj), mode=mode,
@@ -179,8 +286,7 @@ class Observer:
             )
 
     def lock_cancelled(self, txn_id: str, obj: object, mode: str) -> None:
-        with self._mutex:
-            self.metrics.counter("lock.cancels").inc()
+        self._c_lock_cancels.inc()
         if self._trace_on:
             self.trace.emit(
                 "lock.cancel", txn=txn_id, obj=repr(obj), mode=mode
@@ -192,8 +298,12 @@ class Observer:
     # -- lock schemes ----------------------------------------------------------------------
 
     def txn_committed(self, txn_id: str, scheme: str) -> None:
-        with self._mutex:
-            self.metrics.counter("txn.commits").inc()
+        self._c_txn_commits.inc()
+        # Plain int += under the GIL; flushed into the health window
+        # once per wave so the hot path never takes the monitor lock.
+        # (The schemeless single-fire fallback reports through
+        # single_fire_committed instead — no txn commit fires there.)
+        self._health_commits += 1
         if self._trace_on:
             self.trace.emit("txn.commit", txn=txn_id, scheme=scheme)
         owner = self._span_for_txn(txn_id)
@@ -201,8 +311,11 @@ class Observer:
             owner.annotate(status="committed", scheme=scheme)
 
     def txn_aborted(self, txn_id: str, scheme: str, reason: str) -> None:
-        with self._mutex:
-            self.metrics.counter("txn.aborts").inc()
+        self._c_txn_aborts.inc()
+        # Deferrals and sibling-commit retractions are normal wave
+        # protocol, not failures: only real aborts feed the watchdog.
+        if reason not in BENIGN_ABORT_REASONS:
+            self._health_aborts += 1
         if self._trace_on:
             self.trace.emit(
                 "txn.abort", txn=txn_id, scheme=scheme, reason=reason
@@ -221,8 +334,7 @@ class Observer:
         the edge the abort-chain analysis walks.
         """
         objs = tuple(repr(o) for o in objs)
-        with self._mutex:
-            self.metrics.counter("rc.rule_ii_aborts").inc()
+        self._c_rule_ii.inc()
         if self._trace_on:
             self.trace.emit(
                 "rc.rule_ii_abort", victim=victim_id,
@@ -245,8 +357,7 @@ class Observer:
     def revalidation_spared(
         self, holder_id: str, committer_id: str
     ) -> None:
-        with self._mutex:
-            self.metrics.counter("rc.revalidated").inc()
+        self._c_revalidated.inc()
         if self._trace_on:
             self.trace.emit(
                 "rc.revalidated", holder=holder_id, committer=committer_id
@@ -258,8 +369,7 @@ class Observer:
     # -- engines ---------------------------------------------------------------------------
 
     def wave_started(self, wave: int, candidates: int) -> None:
-        with self._mutex:
-            self._wave_width.observe(candidates)
+        self._wave_width.observe(candidates)
         if self._trace_on:
             self.trace.emit("wave.start", wave=wave, candidates=candidates)
 
@@ -267,12 +377,13 @@ class Observer:
         self, wave: int, committed: int, aborted: int, deferred: int,
         duration: float,
     ) -> None:
-        with self._mutex:
-            m = self.metrics
-            m.counter("wave.count").inc()
-            m.counter("firing.committed").inc(committed)
-            m.counter("firing.aborted").inc(aborted)
-            m.counter("firing.deferred").inc(deferred)
+        self._c_waves.inc()
+        self._c_fire_committed.inc(committed)
+        self._c_fire_aborted.inc(aborted)
+        self._c_fire_deferred.inc(deferred)
+        self._cycle_sketch.observe(duration)
+        self._flush_health()
+        self.health.evaluate()
         if self._trace_on:
             self.trace.emit(
                 "wave.end", wave=wave, committed=committed,
@@ -283,9 +394,29 @@ class Observer:
         if self._trace_on:
             self.trace.emit("firing.commit", rule=rule, cycle=cycle)
 
+    def single_fire_committed(
+        self, rule: str, cycle: int, duration: float
+    ) -> None:
+        """The progress fallback committed one firing.
+
+        That path runs outside any wave and without a lock-scheme
+        transaction, so neither ``wave_finished`` nor ``txn_committed``
+        will ever see it — the commit count, the cycle-latency sample
+        and the health-window feed all land here instead (a chaos run
+        whose waves are all denied must not look idle to the monitor).
+        """
+        self._c_fire_committed.inc()
+        self._health_commits += 1
+        self._cycle_sketch.observe(duration)
+        self._flush_health()
+        self.health.evaluate()
+        if self._trace_on:
+            self.trace.emit(
+                "firing.commit", rule=rule, cycle=cycle, single=True
+            )
+
     def rollback(self, txn_id: str, undone: int) -> None:
-        with self._mutex:
-            self.metrics.counter("engine.rollbacks").inc()
+        self._c_rollbacks.inc()
         if self._trace_on:
             self.trace.emit("engine.rollback", txn=txn_id, undone=undone)
         owner = self._span_for_txn(txn_id)
@@ -293,8 +424,38 @@ class Observer:
             owner.event("engine.rollback", undone=undone)
 
     def match_latency(self, seconds: float) -> None:
-        with self._mutex:
-            self._match_latency.observe(seconds)
+        self._match_latency.observe(seconds)
+        self.profiler.record_match(seconds)
+
+    def match_prepass(self, seconds: float) -> None:
+        """Match work done outside a wave (the run loop's eligibility
+        check, which flushes pending deltas).  Profiler-only — the
+        ``engine.match_seconds`` histogram stays one sample per wave.
+        """
+        self.profiler.record_match(seconds)
+
+    # -- profiler feeds (span-close timings from the engines) ------------------------------
+
+    def acquire_finished(
+        self, rule: str, txn_id: str, seconds: float
+    ) -> None:
+        """A candidate's condition-lock acquisition closed."""
+        self.profiler.record_acquire(rule, txn_id, seconds)
+
+    def firing_finished(
+        self, rule: str, txn_id: str | None, seconds: float
+    ) -> None:
+        """One firing transaction closed (committed, aborted or
+        deferred) after ``seconds`` of wall time."""
+        self._firing_sketch.observe(seconds)
+        self.profiler.record_firing(rule, txn_id, seconds)
+
+    def run_finished(self, cycles: int, seconds: float) -> None:
+        """An engine run closed; wall time anchors profiler coverage."""
+        self.profiler.record_run(seconds)
+        self._flush_health()
+        if self._trace_on:
+            self.trace.emit("run.end", cycles=cycles, seconds=seconds)
 
     # -- robustness (faults / retries / deadlocks) -----------------------------------------
 
@@ -306,9 +467,8 @@ class Observer:
         With spans on, the fault annotates the span it fired inside
         (the bound acquire/firing span of ``txn_id``).
         """
-        with self._mutex:
-            self.metrics.counter("fault.injected").inc()
-            self.metrics.counter(f"fault.injected.{kind}").inc()
+        self._c_fault_injected.inc()
+        self.metrics.counter(f"fault.injected.{kind}").inc()
         if self._trace_on:
             self.trace.emit(
                 "fault.injected", kind=kind, txn=txn_id, site=site,
@@ -322,9 +482,8 @@ class Observer:
         self, rule: str, attempt: int, delay: float, reason: str
     ) -> None:
         """A timed-out/aborted firing is being re-driven after backoff."""
-        with self._mutex:
-            self.metrics.counter("retry.attempts").inc()
-            self._retry_delay.observe(delay)
+        self._c_retry_attempts.inc()
+        self._retry_delay.observe(delay)
         if self._trace_on:
             self.trace.emit(
                 "retry.attempt", rule=rule, attempt=attempt, delay=delay,
@@ -333,8 +492,8 @@ class Observer:
 
     def retry_exhausted(self, rule: str, attempts: int, reason: str) -> None:
         """A firing used up its retry budget and was abandoned."""
-        with self._mutex:
-            self.metrics.counter("retry.exhausted").inc()
+        self._c_retry_exhausted.inc()
+        self.health.record("retry.exhausted")
         if self._trace_on:
             self.trace.emit(
                 "retry.exhausted", rule=rule, attempts=attempts,
@@ -346,8 +505,7 @@ class Observer:
     ) -> None:
         """Deadlock detection chose and aborted a victim."""
         cycle = tuple(cycle)
-        with self._mutex:
-            self.metrics.counter("deadlock.victims").inc()
+        self._c_deadlock_victims.inc()
         if self._trace_on:
             self.trace.emit(
                 "deadlock.victim", victim=txn_id, cycle=cycle,
@@ -361,8 +519,7 @@ class Observer:
 
     def shard_match(self, shard: int, seconds: float, deltas: int) -> None:
         """One shard finished matching a delta batch."""
-        with self._mutex:
-            self._shard_match.observe(seconds)
+        self._shard_match.observe(seconds)
         if self._trace_on:
             self.trace.emit(
                 "match.shard", shard=shard, seconds=seconds, deltas=deltas
@@ -372,14 +529,21 @@ class Observer:
         self, size: int, shards: int, merge_seconds: float
     ) -> None:
         """A partitioned delta batch was matched and merged."""
-        with self._mutex:
-            self.metrics.counter("match.batches").inc()
-            self._batch_size.observe(size)
-            self._merge_time.observe(merge_seconds)
+        self._c_match_batches.inc()
+        self._batch_size.observe(size)
+        self._merge_time.observe(merge_seconds)
         if self._trace_on:
             self.trace.emit(
                 "match.batch", size=size, shards=shards,
                 merge_seconds=merge_seconds,
+            )
+
+    def match_flush(self, shards: int, seconds: float) -> None:
+        """A full partitioned flush (all shards + merge) completed."""
+        self._flush_sketch.observe(seconds)
+        if self._trace_on:
+            self.trace.emit(
+                "match.flush", shards=shards, seconds=seconds
             )
 
     # -- durable storage -------------------------------------------------------------------
@@ -388,12 +552,11 @@ class Observer:
         self, elements: int, lsn: int, truncated: int, seconds: float
     ) -> None:
         """The durable store landed a snapshot and truncated the WAL."""
-        with self._mutex:
-            self.metrics.counter("storage.checkpoints").inc()
-            self.metrics.counter(
-                "storage.segments_truncated"
-            ).inc(truncated)
-            self._ckpt_seconds.observe(seconds)
+        self._c_ckpts.inc()
+        self._c_truncated.inc(truncated)
+        self._ckpt_seconds.observe(seconds)
+        self._ckpt_sketch.observe(seconds)
+        self.health.record("storage.checkpoints")
         if self._trace_on:
             self.trace.emit(
                 "storage.checkpoint", elements=elements, lsn=lsn,
@@ -403,6 +566,7 @@ class Observer:
             now = self.spans.clock()
             self.spans.record(
                 "storage.checkpoint", start=now - seconds, end=now,
+                parent=self.spans.current(),
                 elements=elements, lsn=lsn, truncated=truncated,
             )
 
@@ -414,12 +578,10 @@ class Observer:
         seconds: float,
     ) -> None:
         """Sealed WAL segments were merged and cancelling pairs dropped."""
-        with self._mutex:
-            self.metrics.counter("storage.compactions").inc()
-            self.metrics.counter("storage.records_compacted").inc(
-                max(0, records_before - records_after)
-            )
-            self._compact_seconds.observe(seconds)
+        self._c_compactions.inc()
+        self._c_compacted.inc(max(0, records_before - records_after))
+        self._compact_seconds.observe(seconds)
+        self._compact_sketch.observe(seconds)
         if self._trace_on:
             self.trace.emit(
                 "storage.compaction", records_before=records_before,
@@ -430,6 +592,7 @@ class Observer:
             now = self.spans.clock()
             self.spans.record(
                 "storage.compaction", start=now - seconds, end=now,
+                parent=self.spans.current(),
                 records_before=records_before,
                 records_after=records_after, segments=segments_merged,
             )
@@ -438,8 +601,8 @@ class Observer:
         self, segment: str, records: int, bytes_: int
     ) -> None:
         """The active WAL segment was sealed and a successor opened."""
-        with self._mutex:
-            self.metrics.counter("storage.rotations").inc()
+        self._c_rotations.inc()
+        self.health.record("storage.rotations")
         if self._trace_on:
             self.trace.emit(
                 "storage.rotate", segment=segment, records=records,
@@ -455,9 +618,8 @@ class Observer:
         seconds: float,
     ) -> None:
         """A store recovered a working memory from disk."""
-        with self._mutex:
-            self.metrics.counter("storage.recoveries").inc()
-            self._recovery_seconds.observe(seconds)
+        self._c_recoveries.inc()
+        self._recovery_seconds.observe(seconds)
         if self._trace_on:
             self.trace.emit(
                 "storage.recovery", elements=elements, replayed=replayed,
@@ -467,6 +629,7 @@ class Observer:
             now = self.spans.clock()
             self.spans.record(
                 "storage.recovery", start=now - seconds, end=now,
+                parent=self.spans.current(),
                 elements=elements, replayed=replayed,
                 shadowed=shadowed, segments=segments,
             )
@@ -475,8 +638,7 @@ class Observer:
 
     def sim_event(self, ts: float, kind: str, **fields: object) -> None:
         """Virtual-time event from a discrete-event simulation."""
-        with self._mutex:
-            self.metrics.counter(f"{kind}.count").inc()
+        self.metrics.counter(f"{kind}.count").inc()
         if self._trace_on:
             self.trace.emit_at(ts, kind, **fields)
 
@@ -485,8 +647,7 @@ class Observer:
         buckets: tuple[float, ...] = TIME_BUCKETS,
     ) -> None:
         """Record a virtual-time duration into a named histogram."""
-        with self._mutex:
-            self.metrics.histogram(name, buckets).observe(value)
+        self.metrics.histogram(name, buckets).observe(value)
 
 
 def _noop(self, *args, **kwargs) -> None:
@@ -499,11 +660,12 @@ class NullObserver:
     ``enabled`` is False, so correctly guarded call sites never even
     invoke the hooks; the no-op methods are a safety net for unguarded
     (cold-path) calls.  ``spans`` is None, matching a live observer
-    below the ``"full"`` level.
+    below the ``"sampled"`` level.
     """
 
     enabled = False
     spans = None
+    sampler = None
 
     def clock(self) -> float:
         return 0.0

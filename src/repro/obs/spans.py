@@ -26,6 +26,13 @@ Design constraints (shared with the trace layer):
   virtual time never mix inside one span tree.
 * **Bounded memory.**  Started spans land in a ring; overflow drops
   the oldest and counts the loss (:attr:`SpanRecorder.dropped`).
+* **Head sampling.**  An optional
+  :class:`~repro.obs.sampling.HeadSampler` gates *root* spans: a
+  sampled-out root returns the recorder's shared
+  :class:`~repro.obs.sampling.DroppedSpan` sentinel, every child
+  started under it inherits the drop, and the loss is counted
+  exactly (:attr:`SpanRecorder.sampled_out`).  Kept traces record
+  their complete subtree — sampling never half-drops a tree.
 * **Causal links.**  A span can carry links to other spans — the
   rule-(ii) victim links to the committing Wa transaction's span
   (kind ``"rc_wa_abort"``), turning Table 4.1's commit-rule aborts
@@ -45,6 +52,7 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
+from repro.obs.sampling import DroppedSpan, HeadSampler
 from repro.obs.trace import _jsonable
 
 
@@ -183,18 +191,30 @@ class SpanRecorder:
         Monotonic time source; pass a virtual clock when recording a
         discrete-event simulation so spans share the simulator's
         timeline.
+    sampler:
+        Optional :class:`~repro.obs.sampling.HeadSampler`.  When set,
+        each *root* span (no parent) consumes one keep/drop decision;
+        dropped roots (and their descendants) return the shared
+        :attr:`dropped_span` sentinel and are counted in
+        :attr:`sampled_out` instead of entering the ring.
     """
 
     def __init__(
         self,
         capacity: int = 65_536,
         clock: Callable[[], float] = time.perf_counter,
+        sampler: HeadSampler | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.clock = clock
         self.dropped = 0
+        self.sampler = sampler
+        #: The shared sampled-out sentinel (identity marks the drop).
+        self.dropped_span = DroppedSpan()
+        #: Spans not recorded because their trace was sampled out.
+        self.sampled_out = 0
         self._mutex = threading.Lock()
         self._spans: deque[Span] = deque(maxlen=capacity)
         self._next_id = 0
@@ -223,7 +243,23 @@ class SpanRecorder:
         ts: float | None = None,
         **fields: object,
     ) -> Span:
-        """Open a span; ``parent`` may be a span, an id, or None."""
+        """Open a span; ``parent`` may be a span, an id, or None.
+
+        With a sampler attached, a parentless span consumes one head
+        decision; children of a sampled-out span (the
+        :class:`DroppedSpan` sentinel or its ``-1`` id) inherit the
+        drop.  The sentinel absorbs all mutation as no-ops, so call
+        sites never branch on the decision.
+        """
+        if isinstance(parent, DroppedSpan) or parent == -1:
+            # Single int += under the GIL; this is the hot dropped
+            # path and must not pay a lock per sampled-out child.
+            self.sampled_out += 1
+            return self.dropped_span
+        if parent is None and self.sampler is not None:
+            if not self.sampler.decide():
+                self.sampled_out += 1
+                return self.dropped_span
         if ts is None:
             ts = self.clock()
         if isinstance(parent, Span):
@@ -302,17 +338,35 @@ class SpanRecorder:
     # -- txn binding -------------------------------------------------------------------
 
     def bind(self, txn_id: str, span: Span) -> None:
-        """Route txn-keyed hooks (locks, faults, rule (ii)) to ``span``."""
-        with self._mutex:
-            self._txn_spans[txn_id] = span
+        """Route txn-keyed hooks (locks, faults, rule (ii)) to ``span``.
+
+        Binding a sampled-out sentinel is skipped: ``for_txn`` then
+        returns None and txn-keyed hooks short-circuit, which is both
+        correct (the trace is dropped) and cheap.
+        """
+        if isinstance(span, DroppedSpan):
+            return
+        # Single dict ops are GIL-atomic; no lock on these hot paths.
+        self._txn_spans[txn_id] = span
 
     def unbind(self, txn_id: str) -> None:
-        with self._mutex:
-            self._txn_spans.pop(txn_id, None)
+        self._txn_spans.pop(txn_id, None)
 
     def for_txn(self, txn_id: str) -> Span | None:
-        with self._mutex:
-            return self._txn_spans.get(txn_id)
+        return self._txn_spans.get(txn_id)
+
+    def scope_dropped(self) -> bool:
+        """True when the active scope's trace was sampled out.
+
+        Instrumented hot loops (the engine's per-candidate span
+        creation) use this once per wave to skip span construction
+        entirely inside a dropped trace, instead of building kwargs
+        for the sentinel to discard span by span.  Suppressed spans do
+        not count in :attr:`sampled_out` — that counter tracks spans
+        that actually reached the recorder.
+        """
+        scopes = self._scopes
+        return bool(scopes) and scopes[-1].span_id == -1
 
     # -- inspection --------------------------------------------------------------------
 
@@ -350,6 +404,7 @@ class SpanRecorder:
             self._txn_spans.clear()
             self._scopes.clear()
             self.dropped = 0
+            self.sampled_out = 0
 
     def __len__(self) -> int:
         with self._mutex:

@@ -29,23 +29,25 @@ import threading
 import time
 from collections import deque
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Callable, Iterator, NamedTuple
 
 
-@dataclass(frozen=True)
-class TraceEvent:
+class TraceEvent(NamedTuple):
     """One instrumented occurrence.
 
     ``kind`` is a dotted lowercase path (``"lock.grant"``,
     ``"wave.start"``, ``"rc.rule_ii_abort"``); ``fields`` carry the
     event-specific scalars (txn ids, object reprs, durations).
+
+    A named tuple rather than a frozen dataclass: construction is one
+    C call, and at the ``full`` observer level every hook builds one
+    of these, so the constructor is a hot path.
     """
 
     seq: int
     ts: float
     kind: str
-    fields: tuple[tuple[str, object], ...]
+    fields: tuple = ()
 
     def get(self, key: str, default: object = None) -> object:
         for name, value in self.fields:

@@ -263,3 +263,49 @@ class TestDiffBench:
         diff = diff_bench(a, b)
         (bad,) = diff.regressions
         assert bad.delta == float("inf")
+
+
+class TestStorageBucket:
+    """PR 6 storage spans attribute to their own critpath bucket."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["storage.checkpoint", "storage.compaction", "storage.rotate"],
+    )
+    def test_storage_span_names_map_to_storage(self, name):
+        assert categorize(name) == "storage"
+
+    def test_breakdown_carries_a_storage_bucket(self):
+        rec = SpanRecorder()
+        run = rec.record("run", start=0.0, end=10.0)
+        cycle = rec.record(
+            "cycle", start=0.0, end=10.0, parent=run, wave=1
+        )
+        rec.record("phase.match", start=0.0, end=2.0, parent=cycle)
+        act = rec.record("phase.act", start=2.0, end=6.0, parent=cycle)
+        firing = rec.record(
+            "firing", start=2.0, end=6.0, parent=act, rule="r", txn="t1"
+        )
+        # A checkpoint inside the firing window: deepest span wins.
+        rec.record(
+            "storage.checkpoint", start=5.0, end=6.0, parent=firing
+        )
+        rec.record(
+            "storage.compaction", start=6.0, end=9.0, parent=cycle
+        )
+        (breakdown,) = cycle_breakdowns(rec)
+        assert breakdown.buckets["storage"] == pytest.approx(4.0)
+        assert breakdown.buckets["rhs"] == pytest.approx(3.0)
+        assert breakdown.buckets["match"] == pytest.approx(2.0)
+        assert breakdown.buckets["other"] == pytest.approx(1.0)
+        assert sum(breakdown.buckets.values()) == pytest.approx(10.0)
+
+    def test_storage_dominant_cycle(self):
+        rec = SpanRecorder()
+        run = rec.record("run", start=0.0, end=4.0)
+        cycle = rec.record(
+            "cycle", start=0.0, end=4.0, parent=run, wave=1
+        )
+        rec.record("storage.compaction", start=0.0, end=3.0, parent=cycle)
+        (breakdown,) = cycle_breakdowns(rec)
+        assert breakdown.dominant == "storage"

@@ -134,3 +134,101 @@ class TestJsonLines:
 
     def test_blank_lines_ignored_on_load(self):
         assert load_spans_json_lines("\n\n") == []
+
+
+class TestPrometheusConformance:
+    """Golden-parse check: the whole exposition must be machine-readable
+    by the grammar Prometheus scrapers expect — `# TYPE` comments,
+    `name{label="v"} value` samples, cumulative monotone `le` buckets
+    ending in `+Inf`, and `_sum`/`_count` pairs for histograms and
+    summaries."""
+
+    def exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("firing.committed").inc(7)
+        registry.gauge("wave.width").set(4)
+        hist = registry.histogram("cycle.seconds", (0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        sketch = registry.sketch("lock.wait_seconds.q")
+        for value in range(1, 101):
+            sketch.observe(value / 100.0)
+        return prometheus_text(registry)
+
+    @staticmethod
+    def parse(text):
+        """A minimal scraper: {series_key: float} plus declared types."""
+        samples = {}
+        types = {}
+        for line in text.splitlines():
+            assert line == line.strip(), f"stray whitespace: {line!r}"
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ")
+                types[name] = kind
+                continue
+            assert not line.startswith("#"), f"unexpected comment {line!r}"
+            key, _, value = line.rpartition(" ")
+            assert key, f"sample without a name: {line!r}"
+            if "{" in key:
+                name, _, labels = key.partition("{")
+                assert labels.endswith("}")
+                for pair in labels[:-1].split(","):
+                    label, _, quoted = pair.partition("=")
+                    assert label.isidentifier(), line
+                    assert quoted.startswith('"') and quoted.endswith('"')
+            samples[key] = float(value)
+        return samples, types
+
+    def test_whole_exposition_parses(self):
+        samples, types = self.parse(self.exposition())
+        assert types["repro_firing_committed_total"] == "counter"
+        assert types["repro_wave_width"] == "gauge"
+        assert types["repro_cycle_seconds"] == "histogram"
+        assert types["repro_lock_wait_seconds_q"] == "summary"
+        assert samples["repro_firing_committed_total"] == 7.0
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        samples, _ = self.parse(self.exposition())
+        series = [
+            (key, value) for key, value in samples.items()
+            if key.startswith("repro_cycle_seconds_bucket")
+        ]
+        # Declared bounds in order, then the mandatory +Inf catch-all.
+        keys = [key for key, _ in series]
+        assert keys == [
+            'repro_cycle_seconds_bucket{le="0.01"}',
+            'repro_cycle_seconds_bucket{le="0.1"}',
+            'repro_cycle_seconds_bucket{le="1"}',
+            'repro_cycle_seconds_bucket{le="+Inf"}',
+        ]
+        counts = [value for _, value in series]
+        assert counts == sorted(counts), "le buckets must be cumulative"
+        assert counts == [1.0, 2.0, 3.0, 4.0]
+        assert samples["repro_cycle_seconds_count"] == 4.0
+        assert samples["repro_cycle_seconds_sum"] == pytest.approx(5.555)
+
+    def test_sketch_exports_as_summary_with_quantile_labels(self):
+        samples, _ = self.parse(self.exposition())
+        q = {
+            key: value for key, value in samples.items()
+            if key.startswith('repro_lock_wait_seconds_q{')
+        }
+        assert set(q) == {
+            'repro_lock_wait_seconds_q{quantile="0.5"}',
+            'repro_lock_wait_seconds_q{quantile="0.9"}',
+            'repro_lock_wait_seconds_q{quantile="0.95"}',
+            'repro_lock_wait_seconds_q{quantile="0.99"}',
+        }
+        # 100 observations fit the reservoir: quantiles are exact.
+        assert q['repro_lock_wait_seconds_q{quantile="0.5"}'] == 0.5
+        assert q['repro_lock_wait_seconds_q{quantile="0.99"}'] == 0.99
+        assert samples["repro_lock_wait_seconds_q_count"] == 100.0
+        assert samples["repro_lock_wait_seconds_q_sum"] == pytest.approx(
+            50.5
+        )
+
+    def test_empty_sketch_serializes_quantiles_as_nan(self):
+        registry = MetricsRegistry()
+        registry.sketch("idle")
+        text = prometheus_text(registry)
+        assert 'repro_idle{quantile="0.5"} NaN' in text.splitlines()

@@ -5,7 +5,12 @@ import threading
 
 import pytest
 
-from repro.obs import COUNT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs import (
+    COUNT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+)
 
 
 class TestCounter:
@@ -172,3 +177,129 @@ class TestConcurrency:
         with pytest.raises(AttributeError):
             counter.arbitrary = 1
         assert not hasattr(counter, "__dict__")
+
+
+class TestQuantileSketch:
+    def test_exact_quantiles_below_budget(self):
+        sketch = QuantileSketch("s", budget=512)
+        for v in range(1, 101):
+            sketch.observe(float(v))
+        # Reservoir holds everything: nearest-rank quantiles are exact.
+        assert sketch.quantile(0.5) == 50.0
+        assert sketch.quantile(0.95) == 95.0
+        assert sketch.quantile(0.99) == 99.0
+
+    def test_memory_is_fixed_past_budget(self):
+        sketch = QuantileSketch("s", budget=64)
+        for v in range(10_000):
+            sketch.observe(float(v))
+        assert len(sketch._values) == 64
+        assert sketch.count == 10_000
+
+    def test_estimates_stay_accurate_past_budget(self):
+        sketch = QuantileSketch("s", budget=512)
+        for v in range(1, 10_001):
+            sketch.observe(float(v))
+        # Rank-space standard error at k=512 is ~1 percentile point;
+        # allow 5 for a deterministic single draw.
+        assert sketch.quantile(0.5) == pytest.approx(5000, rel=0.10)
+        assert sketch.quantile(0.99) / 10_000 > 0.94
+
+    def test_deterministic_by_name(self):
+        a = QuantileSketch("same-name", budget=32)
+        b = QuantileSketch("same-name", budget=32)
+        c = QuantileSketch("other-name", budget=32)
+        for v in range(2_000):
+            a.observe(float(v))
+            b.observe(float(v))
+            c.observe(float(v))
+        assert a._values == b._values
+        assert a._values != c._values
+
+    def test_snapshot_shape(self):
+        sketch = QuantileSketch("s")
+        sketch.observe(1.0)
+        sketch.observe(3.0)
+        snap = sketch.snapshot()
+        assert snap["type"] == "sketch"
+        assert snap["count"] == 2
+        assert snap["sum"] == 4.0
+        assert snap["mean"] == 2.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 3.0
+        assert set(snap["quantiles"]) == {"0.5", "0.9", "0.95", "0.99"}
+        json.dumps(snap)
+
+    def test_empty_snapshot(self):
+        snap = QuantileSketch("s").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+        assert all(v is None for v in snap["quantiles"].values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantileSketch("s", budget=0)
+        with pytest.raises(ValueError):
+            QuantileSketch("s", quantiles=(0.5, 1.0))
+
+    def test_registry_factory_idempotent_and_typed(self):
+        registry = MetricsRegistry()
+        sketch = registry.sketch("lat")
+        assert registry.sketch("lat") is sketch
+        with pytest.raises(Exception):
+            registry.counter("lat")
+
+    def test_concurrent_observe_keeps_exact_totals(self):
+        sketch = QuantileSketch("s", budget=128)
+        _hammer(8, 2_000, lambda i: sketch.observe(float(i)))
+        assert sketch.count == 16_000
+        assert len(sketch._values) == 128
+
+
+class TestRegistryRaces:
+    """Registration-vs-snapshot races: the copy-on-write registry must
+    never let a reader see a half-registered instrument or raise from
+    a dict mutated mid-iteration."""
+
+    THREADS = 8
+    ITERS = 400
+
+    def test_register_while_snapshotting(self):
+        registry = MetricsRegistry()
+        registry.counter("warm")  # non-empty from the start
+
+        def work(index):
+            if index % 2 == 0:
+                # Writers: register fresh instruments and bump them.
+                n = work.counts[index] = work.counts.get(index, 0) + 1
+                registry.counter(f"c-{index}-{n}").inc()
+                registry.sketch(f"s-{index}-{n}").observe(1.0)
+            else:
+                # Readers: snapshot/names/get concurrently.
+                snap = registry.snapshot()
+                assert "warm" in snap
+                for name, data in snap.items():
+                    assert "type" in data, name
+                registry.names()
+                registry.get("warm").snapshot()
+
+        work.counts = {}
+        _hammer(self.THREADS, self.ITERS, work)
+        # Every writer registration landed exactly once.
+        snap = registry.snapshot()
+        writers = self.THREADS // 2
+        expected = 1 + 2 * writers * self.ITERS
+        assert len(snap) == expected
+        for index in range(0, self.THREADS, 2):
+            for n in range(1, self.ITERS + 1):
+                assert snap[f"c-{index}-{n}"]["value"] == 1
+
+    def test_get_or_create_single_instance_under_race(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def work(index):
+            seen.append(registry.counter("shared"))
+
+        _hammer(self.THREADS, 50, work)
+        assert len(set(map(id, seen))) == 1

@@ -515,3 +515,133 @@ class TestStorageCommands:
     def test_chaos_rejects_bad_args(self, capsys):
         assert main(["storage", "chaos", "--seeds", "0"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestObsProfile:
+    def test_profile_prints_ranked_table(self, capsys):
+        code = main(["obs", "profile", "manners:8"])
+        captured = capsys.readouterr()
+        assert code == 0
+        header = captured.out.splitlines()[0]
+        assert "coverage=" in header
+        assert "lock_wait" in captured.out
+        assert "(match)" in captured.out
+        assert "coverage=" in captured.err
+
+    def test_profile_writes_out_file(
+        self, conflict_rule_file, conflict_facts_file, tmp_path
+    ):
+        target = tmp_path / "profile.txt"
+        code = main(
+            ["obs", "profile", str(conflict_rule_file),
+             "--facts", str(conflict_facts_file),
+             "--strategy", "priority", "--out", str(target)]
+        )
+        assert code == 0
+        assert "rule" in target.read_text()
+
+    def test_top_n_limits_rows(self, capsys):
+        code = main(["obs", "profile", "manners:8", "--top", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # header + column row + separator + exactly one rule row
+        assert len(out.splitlines()) == 4
+
+
+class TestObsHealth:
+    def test_clean_run_is_green_and_exits_zero(self, capsys):
+        code = main(["obs", "health", "manners:8"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.startswith("health: GREEN")
+        assert "abort_rate" in captured.out
+        assert "status=green" in captured.err
+
+    def test_chaos_run_goes_red_and_exits_one(self, capsys):
+        code = main(
+            ["obs", "health", "manners:8",
+             "--fault-rate", "0.5", "--retries", "2",
+             "--fault-seed", "3"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.out.startswith("health: RED")
+        assert "transitions:" in captured.out
+        assert "green -> " in captured.out
+
+    def test_json_payload(self, capsys):
+        code = main(["obs", "health", "manners:8", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["status"] == "green"
+        assert {r["rule"] for r in doc["rules"]} == {
+            "abort_rate", "retry_exhaustion", "lock_wait_share",
+            "wal_stall",
+        }
+
+
+class TestObsTop:
+    def test_prints_final_snapshot_line(self, capsys):
+        code = main(["obs", "top", "manners:8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        final = out.splitlines()[-1]
+        assert "waves=" in final
+        assert "committed=" in final
+        assert "health=green" in final
+
+    def test_invalid_interval_rejected(self, capsys):
+        assert main(
+            ["obs", "top", "manners:8", "--interval", "0"]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestMannersShortcut:
+    def test_shortcut_with_seed(self, capsys):
+        code = main(["obs", "health", "manners:6:3"])
+        assert code == 0
+
+    def test_shortcut_rejects_facts_flag(self, tmp_path, capsys):
+        facts = tmp_path / "f.jsonl"
+        facts.write_text("")
+        assert main(
+            ["obs", "health", "manners:6", "--facts", str(facts)]
+        ) == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+
+class TestLevelGuards:
+    def test_span_export_requires_span_level(
+        self, conflict_rule_file, conflict_facts_file, capsys
+    ):
+        code = main(
+            ["obs", "export", str(conflict_rule_file),
+             "--facts", str(conflict_facts_file),
+             "--format", "chrome", "--level", "metrics"]
+        )
+        assert code == 2
+        assert "needs span recording" in capsys.readouterr().err
+
+    def test_prom_export_works_without_spans(
+        self, conflict_rule_file, conflict_facts_file, capsys
+    ):
+        code = main(
+            ["obs", "export", str(conflict_rule_file),
+             "--facts", str(conflict_facts_file),
+             "--format", "prom", "--level", "metrics"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro_firing_committed_total" in out
+
+    def test_report_requires_span_level(
+        self, conflict_rule_file, conflict_facts_file, capsys
+    ):
+        code = main(
+            ["obs", "report", str(conflict_rule_file),
+             "--facts", str(conflict_facts_file),
+             "--level", "metrics"]
+        )
+        assert code == 2
+        assert "needs span recording" in capsys.readouterr().err
