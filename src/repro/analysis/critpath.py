@@ -269,6 +269,90 @@ def coverage(spans: Iterable) -> float:
     return sum(b.duration for b in cycle_breakdowns(spans)) / total
 
 
+# -- shard attribution -------------------------------------------------------------------
+
+
+@dataclass
+class ShardAttribution:
+    """Where the partitioned matcher's shard time went across a run.
+
+    Built from ``match.flush`` spans.  Shard busy-times come from
+    per-shard ``match.shard`` child spans when the substrate emits
+    them (thread/serial on the wall clock), or from the
+    ``shard_seconds`` flush annotation the DES and **process**
+    substrates record instead — DES seconds are virtual charges, and
+    process seconds are worker self-times reported over IPC (they
+    overlap in parent wall time, so they can only ever be fields).
+    """
+
+    #: Finished ``match.flush`` spans observed.
+    flushes: int
+    #: shard index -> summed busy seconds (virtual or worker-reported).
+    shard_seconds: dict[int, float]
+    #: Σ flush-span durations (the parent-side cost of the barriers).
+    flush_wall: float
+    #: IPC payload bytes (process backend; 0 elsewhere).
+    ipc_bytes: int
+
+    @property
+    def busy(self) -> float:
+        """Total shard busy time across the run."""
+        return sum(self.shard_seconds.values())
+
+    @property
+    def imbalance(self) -> float:
+        """Busiest shard over mean shard busy time (1.0 = balanced)."""
+        if not self.shard_seconds:
+            return 1.0
+        values = list(self.shard_seconds.values())
+        mean = sum(values) / len(values)
+        if mean <= 0:
+            return 1.0
+        return max(values) / mean
+
+
+def shard_attribution(spans: Iterable) -> ShardAttribution | None:
+    """Reduce ``match.flush`` spans to per-shard busy time.
+
+    Returns None when the run used a monolithic matcher (no flush
+    spans) — callers skip the report section.
+    """
+    roots, by_id = build_tree(spans)
+    shard_seconds: dict[int, float] = {}
+    flushes = 0
+    flush_wall = 0.0
+    ipc_bytes = 0
+    for node in by_id.values():
+        if node.name != "match.flush" or node.end is None:
+            continue
+        flushes += 1
+        flush_wall += node.duration
+        ipc_bytes += int(node.fields.get("ipc_bytes_out", 0))
+        ipc_bytes += int(node.fields.get("ipc_bytes_in", 0))
+        annotated = node.fields.get("shard_seconds")
+        if annotated is not None:
+            for index, seconds in enumerate(annotated):
+                shard_seconds[index] = (
+                    shard_seconds.get(index, 0.0) + float(seconds)
+                )
+            continue
+        for child in node.children:
+            if child.name != "match.shard" or child.end is None:
+                continue
+            index = int(child.fields.get("shard", 0))
+            shard_seconds[index] = (
+                shard_seconds.get(index, 0.0) + child.duration
+            )
+    if not flushes:
+        return None
+    return ShardAttribution(
+        flushes=flushes,
+        shard_seconds=shard_seconds,
+        flush_wall=flush_wall,
+        ipc_bytes=ipc_bytes,
+    )
+
+
 # -- abort attribution -------------------------------------------------------------------
 
 

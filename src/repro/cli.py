@@ -83,6 +83,21 @@ from repro.lang import parse_program
 from repro.wm import WMSnapshot, WorkingMemory
 
 
+def _matcher_spec(value: str) -> str:
+    """Argparse type for ``--matcher``: validate at parse time.
+
+    A malformed spec (``partitioned:rete:4:prcess``) fails here with
+    the valid-backend list in the usage error, instead of falling
+    through to a default or blowing up mid-run.
+    """
+    from repro.engine.interpreter import parse_matcher_spec
+
+    try:
+        return parse_matcher_spec(value)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _load_facts(memory: WorkingMemory, path: Path) -> int:
     """Load JSON-lines facts into working memory; returns the count."""
     count = 0
@@ -167,7 +182,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             fault_injector=injector,
             lock_stripes=args.lock_stripes,
         )
-        result = engine.run(max_waves=args.max_cycles)
+        try:
+            result = engine.run(max_waves=args.max_cycles)
+        finally:
+            engine.close()
         replay = replay_commit_sequence(snapshot, rules, result.firings)
         validity = "consistent" if replay.consistent else "INCONSISTENT"
         if injector is not None and injector.total_injected:
@@ -189,7 +207,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             strategy=args.strategy,
             seed=args.seed,
         )
-        result = interpreter.run(max_cycles=args.max_cycles)
+        try:
+            result = interpreter.run(max_cycles=args.max_cycles)
+        finally:
+            interpreter.close()
         validity = "single-thread"
 
     print(f"stop reason: {result.stop_reason} ({validity})")
@@ -300,7 +321,10 @@ def _run_observed(
     """Run ``args.rules`` under the wave-parallel engine with a live
     observer attached; returns ``(observer, run_result)``."""
     observer, engine = _prepare_observed(args)
-    result = engine.run(max_waves=args.max_cycles)
+    try:
+        result = engine.run(max_waves=args.max_cycles)
+    finally:
+        engine.close()
     return observer, result
 
 
@@ -378,6 +402,7 @@ def _render_obs_report(observer, top: int = 10) -> str:
         coverage,
         cycle_breakdowns,
         makespan,
+        shard_attribution,
     )
 
     spans = observer.spans.spans()
@@ -410,6 +435,25 @@ def _render_obs_report(observer, top: int = 10) -> str:
             f"  ... {len(breakdowns) - top} more cycles "
             f"(top {top} by duration shown)"
         )
+
+    shards = shard_attribution(spans)
+    if shards is not None:
+        lines.append("")
+        lines.append(
+            f"match shard attribution: {shards.flushes} flushes, "
+            f"barrier wall {shards.flush_wall:.6f}s, "
+            f"shard busy {shards.busy:.6f}s, "
+            f"imbalance {shards.imbalance:.2f}x"
+        )
+        for index in sorted(shards.shard_seconds):
+            lines.append(
+                f"  shard {index}: {shards.shard_seconds[index]:.6f}s"
+            )
+        if shards.ipc_bytes:
+            lines.append(
+                f"  ipc payload: {shards.ipc_bytes} bytes "
+                f"({shards.ipc_bytes / max(shards.flushes, 1):.0f}/flush)"
+            )
 
     chains = abort_chains(spans)
     lines.append("")
@@ -526,6 +570,7 @@ def _cmd_obs_top(args: argparse.Namespace) -> int:
         thread.join(timeout=args.interval)
         if thread.is_alive():
             print(_sample_line(), flush=True)
+    engine.close()
     print(_sample_line(), flush=True)
     if "error" in outcome:
         raise ReproError(f"run failed: {outcome['error']}")
@@ -614,7 +659,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             fault_injector=injector,
             lock_stripes=args.lock_stripes,
         )
-        result = engine.run(max_waves=args.max_cycles)
+        try:
+            result = engine.run(max_waves=args.max_cycles)
+        finally:
+            engine.close()
         replay = replay_commit_sequence(snapshot, rules, result.firings)
         if not replay.consistent:
             failures += 1
@@ -828,10 +876,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--matcher",
         default="rete",
+        type=_matcher_spec,
         metavar="SPEC",
         help="rete | treat | naive | cond | "
-        "partitioned[:inner[:shards[:backend]]] "
-        "(e.g. partitioned:rete:4)",
+        "partitioned[:inner[:shards[:backend]]] with backend one of "
+        "thread|serial|des|process "
+        "(e.g. partitioned:rete:4:process)",
     )
     run.add_argument(
         "--strategy",
@@ -911,9 +961,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--matcher",
         default="rete",
+        type=_matcher_spec,
         metavar="SPEC",
         help="rete | treat | naive | cond | "
-        "partitioned[:inner[:shards[:backend]]]",
+        "partitioned[:inner[:shards[:backend]]] with backend one of "
+        "thread|serial|des|process",
     )
     chaos.add_argument(
         "--strategy",
@@ -1063,9 +1115,11 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument(
             "--matcher",
             default="rete",
+            type=_matcher_spec,
             metavar="SPEC",
             help="rete | treat | naive | cond | "
-            "partitioned[:inner[:shards[:backend]]]",
+            "partitioned[:inner[:shards[:backend]]] with backend one "
+            "of thread|serial|des|process",
         )
         parser.add_argument(
             "--strategy",

@@ -42,6 +42,30 @@ _MATCHERS: dict[str, type[BaseMatcher]] = {
 }
 
 
+def parse_matcher_spec(name: MatcherName) -> MatcherName:
+    """Validate a matcher spec without building a matcher.
+
+    Returns ``name`` unchanged when it is a known matcher name or a
+    well-formed partitioned spec; raises :class:`EngineError` (or
+    :class:`~repro.errors.MatchError`, for partitioned specs) naming
+    the valid alternatives otherwise.  The CLI uses this as the
+    ``--matcher`` argparse type so a typo like
+    ``partitioned:rete:4:prcess`` fails at parse time with the
+    valid-backend list instead of falling through to a default.
+    """
+    if name.startswith("partitioned"):
+        from repro.match.partitioned import parse_partitioned_spec
+
+        parse_partitioned_spec(name)
+        return name
+    if name not in _MATCHERS:
+        raise EngineError(
+            f"unknown matcher {name!r}; expected one of "
+            f"{sorted(_MATCHERS) + ['partitioned[:inner[:K[:backend]]]']}"
+        )
+    return name
+
+
 def build_matcher(
     name: MatcherName, memory: WorkingMemory, observer=None
 ) -> BaseMatcher:
@@ -122,6 +146,22 @@ class Interpreter:
         self.refraction = refraction
         self.executor = ActionExecutor(self.memory)
         self.result = RunResult()
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release matcher resources: the store subscription and any
+        thread/process pools (the partitioned matcher's process
+        backend keeps live worker processes until detached).
+        Idempotent; the engine must not run again afterwards.
+        """
+        self.matcher.detach()
+
+    def __enter__(self) -> "Interpreter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # -- phases ----------------------------------------------------------------------
 

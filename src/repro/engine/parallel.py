@@ -177,6 +177,22 @@ class ParallelEngine:
         #: Virtual clock accumulating retry backoff (seconds).
         self.retry_clock = VirtualSleeper()
 
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release matcher resources: the store subscription and any
+        thread/process pools (the partitioned matcher's process
+        backend keeps live worker processes until detached).
+        Idempotent; the engine must not run again afterwards.
+        """
+        self.matcher.detach()
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
     # -- wave machinery -----------------------------------------------------------------
 
     def _eligible_candidates(self) -> list[Instantiation]:

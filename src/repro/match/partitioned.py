@@ -40,11 +40,17 @@ partitioned:rete:4``).  Architecture:
 * **Substrates** — ``backend="thread"`` matches shards concurrently on
   a :class:`~concurrent.futures.ThreadPoolExecutor` (correctness under
   real concurrency; CPython's GIL means wall-clock speedup is not the
-  point).  ``backend="des"`` charges each shard its per-production
-  match cost on the discrete-event simulator's virtual clock, so
-  ``benchmarks/bench_intraphase_match.py`` can validate the analytic
-  ``lpt_makespan``/``speedup_ceiling`` curves against this executable
-  system.  ``backend="serial"`` is the in-process reference.
+  point).  ``backend="process"`` escapes the GIL: each shard lives in
+  a persistent worker *process* (:mod:`repro.match.procpool`) holding
+  a full working-memory replica; the parent streams the same delta
+  batches and folds back the conflict-set deltas the workers report,
+  so match runs on real cores while the merged set stays bit-identical
+  to the serial oracle.  ``backend="des"`` charges each shard its
+  per-production match cost on the discrete-event simulator's virtual
+  clock, so ``benchmarks/bench_intraphase_match.py`` can validate the
+  analytic ``lpt_makespan``/``speedup_ceiling`` curves against this
+  executable system.  ``backend="serial"`` is the in-process
+  reference.
 
 Observability (the PR-1 ``obs`` layer): per-shard match latency
 histogram (``match.shard_seconds``), batch size (``match.batch_size``)
@@ -70,8 +76,15 @@ from repro.errors import MatchError
 from repro.lang.production import Production
 from repro.match.base import BaseMatcher
 from repro.match.cond import CondRelationMatcher
+from repro.match.conflict_set import ConflictSetDelta
 from repro.match.instantiation import Instantiation
 from repro.match.naive import NaiveMatcher
+from repro.match.procpool import (
+    DEFAULT_TIMEOUT as PROCPOOL_TIMEOUT,
+    ProcessPool,
+    ShardReply,
+    decode_wme,
+)
 from repro.match.rete.network import ReteMatcher
 from repro.match.treat import TreatMatcher
 from repro.sim.engine import Simulator
@@ -86,7 +99,7 @@ INNER_MATCHERS: dict[str, type[BaseMatcher]] = {
     "cond": CondRelationMatcher,
 }
 
-BACKENDS = ("thread", "serial", "des")
+BACKENDS = ("thread", "serial", "des", "process")
 ASSIGNMENTS = ("round-robin", "hash", "lpt")
 DEFAULT_SHARDS = 4
 
@@ -151,6 +164,120 @@ def _merge_key(instantiation: Instantiation) -> tuple:
     )
 
 
+class _StagedDelta:
+    """Decoded worker conflict-set deltas, queued for the next merge.
+
+    Quacks like a :class:`~repro.match.conflict_set.ConflictSet` for
+    the one method :meth:`PartitionedMatcher._merge` calls —
+    ``take_delta()`` — so process shards fold into the shared set
+    through exactly the same code path as in-process shards.
+    """
+
+    __slots__ = ("_added", "_removed")
+
+    def __init__(self) -> None:
+        self._added: list[Instantiation] = []
+        self._removed: list[Instantiation] = []
+
+    def stage(
+        self,
+        added: Iterable[Instantiation],
+        removed: Iterable[Instantiation],
+    ) -> None:
+        self._added.extend(added)
+        self._removed.extend(removed)
+
+    def clear(self) -> None:
+        self._added.clear()
+        self._removed.clear()
+
+    def take_delta(self) -> ConflictSetDelta:
+        delta = ConflictSetDelta(
+            frozenset(self._added), frozenset(self._removed)
+        )
+        self.clear()
+        return delta
+
+
+class _RemoteShard:
+    """Parent-side stand-in for a worker-owned inner matcher.
+
+    Keeps the shard's production assignment and stages the decoded
+    conflict-set deltas its worker reports, exposing exactly the
+    surface the backend-agnostic partitioned paths touch
+    (``productions``, ``conflict_set.take_delta()``, production
+    add/remove).  Matching itself happens inside the worker process
+    (:mod:`repro.match.procpool`); the parent never builds
+    Rete/TREAT state for process shards.
+    """
+
+    is_attached = True
+
+    def __init__(self, owner: "PartitionedMatcher", index: int) -> None:
+        self._owner = owner
+        self.index = index
+        self.productions: dict[str, Production] = {}
+        self.conflict_set = _StagedDelta()
+
+    # -- production routing ------------------------------------------
+    #
+    # While the pool runs, changes go to the live worker and its
+    # reported delta is staged; otherwise the new assignment simply
+    # rides along in the snapshot at the next pool (re)start.
+
+    def add_production(self, production: Production) -> None:
+        self.productions[production.name] = production
+        pool = self._owner._live_procpool()
+        if pool is not None:
+            self.stage_reply(pool.add_production(self.index, production))
+            self._owner._note_procpool(pool)
+
+    def remove_production(self, name: str) -> None:
+        pool = self._owner._live_procpool()
+        if pool is not None and name in self.productions:
+            self.stage_reply(pool.remove_production(self.index, name))
+            self._owner._note_procpool(pool)
+        self.productions.pop(name, None)
+
+    # -- wire decoding -----------------------------------------------
+
+    def stage_reply(self, reply: ShardReply) -> None:
+        self.conflict_set.stage(
+            [self._decode(p) for p in reply.added],
+            [self._decode(p) for p in reply.removed],
+        )
+
+    def _decode(self, payload: tuple) -> Instantiation:
+        rule_name, wme_payloads, bindings_items = payload
+        # Resolve against the parent's canonical registry so the
+        # shared set holds the same Production objects the serial
+        # matcher would.  Removals of a just-dropped rule fall back to
+        # the shard's last-known copy — identity is (name, timetags),
+        # so the stale object still removes the right member.
+        production = self._owner._productions.get(rule_name)
+        if production is None:
+            production = self.productions[rule_name]
+        return Instantiation(
+            production,
+            tuple(decode_wme(w) for w in wme_payloads),
+            bindings_items,
+        )
+
+    # -- lifecycle surface for the backend-agnostic paths ------------
+
+    def attach_passive(self) -> None:
+        return None
+
+    def rebuild(self) -> None:
+        return None
+
+    def feed(self, delta: WMDelta) -> None:
+        raise MatchError(
+            "remote shards receive deltas through the process pool, "
+            "not feed()"
+        )
+
+
 class PartitionedMatcher(BaseMatcher):
     """Rule-sharded parallel matcher implementing :class:`Matcher`.
 
@@ -166,8 +293,12 @@ class PartitionedMatcher(BaseMatcher):
         ``WorkingMemory -> BaseMatcher`` factory.
     backend:
         ``"thread"`` (default; ThreadPoolExecutor barrier),
-        ``"serial"`` (in-process reference) or ``"des"``
-        (virtual-time, cost-charged).
+        ``"serial"`` (in-process reference), ``"des"``
+        (virtual-time, cost-charged) or ``"process"`` (persistent
+        worker-process pool with per-worker WM replicas — real
+        multi-core match; requires a *named* inner matcher so workers
+        can rebuild it, and compiled closures never cross the
+        boundary).
     assign:
         Production→shard policy: ``"round-robin"`` (default),
         ``"hash"`` (stable on rule name) or ``"lpt"`` (greedy
@@ -195,6 +326,7 @@ class PartitionedMatcher(BaseMatcher):
         cost_model: CostModel | None = None,
         observer=None,
         simulator: Simulator | None = None,
+        procpool_timeout: float = PROCPOOL_TIMEOUT,
     ) -> None:
         super().__init__(memory)
         if shards < 1:
@@ -217,6 +349,12 @@ class PartitionedMatcher(BaseMatcher):
             factory = INNER_MATCHERS[inner]
             self.inner_name = inner
         else:
+            if backend == "process":
+                raise MatchError(
+                    "process backend needs a named inner matcher (one "
+                    f"of {sorted(INNER_MATCHERS)}); a custom factory "
+                    "cannot be rebuilt inside worker processes"
+                )
             factory = inner
             self.inner_name = getattr(inner, "__name__", "custom")
         self.backend = backend
@@ -225,12 +363,21 @@ class PartitionedMatcher(BaseMatcher):
             observer if observer is not None else obs_module.get_observer()
         )
         self._cost_model = cost_model
-        self._shards = [_Shard(i, factory(memory)) for i in range(shards)]
+        if backend == "process":
+            self._shards = [
+                _Shard(i, _RemoteShard(self, i)) for i in range(shards)
+            ]
+        else:
+            self._shards = [
+                _Shard(i, factory(memory)) for i in range(shards)
+            ]
         self._rule_shard: dict[str, int] = {}
         self._registered = 0
         self._batch_depth = 0
         self._buffer: list[WMDelta] = []
         self._pool: ThreadPoolExecutor | None = None
+        self._procpool: ProcessPool | None = None
+        self.procpool_timeout = procpool_timeout
         if backend == "des":
             self.simulator = (
                 simulator if simulator is not None else Simulator()
@@ -305,6 +452,13 @@ class PartitionedMatcher(BaseMatcher):
     # -- lifecycle -----------------------------------------------------------------------
 
     def rebuild(self) -> None:
+        if self.backend == "process":
+            # Warmup/restart: spawn (or respawn) the worker pool from
+            # the current memory snapshot and reconcile the shared set
+            # against each worker's reported membership.
+            self._start_procpool()
+            self._merge()
+            return
         for shard in self._shards:
             if shard.matcher.is_attached:
                 shard.matcher.rebuild()
@@ -317,6 +471,9 @@ class PartitionedMatcher(BaseMatcher):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._procpool is not None:
+            self._procpool.shutdown()
+            self._procpool = None
 
     # -- delta batching ------------------------------------------------------------------
 
@@ -369,6 +526,8 @@ class PartitionedMatcher(BaseMatcher):
             )
         elif self.backend == "des":
             durations = self._des_replay(deltas)
+        elif self.backend == "process":
+            durations = self._process_replay(deltas)
         else:
             durations = [self._replay(shard, deltas) for shard in shards]
         merge_start = time.perf_counter()
@@ -398,13 +557,24 @@ class PartitionedMatcher(BaseMatcher):
         the DES backend, where they are virtual charges.  Per-shard
         child spans are emitted only when the recorder itself runs on
         ``perf_counter`` — under an injected (virtual) clock the
-        durations would mix timelines, so they stay as fields.
+        durations would mix timelines, so they stay as fields.  The
+        process backend also annotates instead of spanning: its
+        durations are worker-reported self-times on *other* processes'
+        clocks (they overlap in parent time), so — like DES — the
+        critical-path attribution consumes the ``shard_seconds``
+        annotation, plus the flush's IPC cost.
         """
         wall_clock = spans.clock is time.perf_counter
-        if self.backend == "des" or not wall_clock:
+        if self.backend in ("des", "process") or not wall_clock:
             flush_span.annotate(
                 shard_seconds=[round(d, 9) for d in durations]
             )
+            pool = self._procpool
+            if self.backend == "process" and pool is not None:
+                flush_span.annotate(
+                    ipc_bytes_out=pool.last_bytes_out,
+                    ipc_bytes_in=pool.last_bytes_in,
+                )
         else:
             concurrent_shards = (
                 self.backend == "thread" and len(self._shards) > 1
@@ -433,6 +603,76 @@ class PartitionedMatcher(BaseMatcher):
                 thread_name_prefix="match-shard",
             )
         return self._pool
+
+    # -- process substrate ---------------------------------------------------------------
+
+    def _live_procpool(self) -> ProcessPool | None:
+        pool = self._procpool
+        if pool is not None and pool.alive:
+            return pool
+        return None
+
+    def _start_procpool(self) -> list[float]:
+        """(Re)start the worker pool from the current memory snapshot.
+
+        Returns per-shard reset seconds.  Reconciliation: every
+        shared-set member of a shard's rules is staged for removal and
+        the worker's fresh full membership staged as adds — the merge
+        applies removals before adds and the conflict set cancels a
+        remove-then-re-add, so the net delta is exactly the difference
+        and fired marks survive for persisting members.
+        """
+        if self._procpool is not None:
+            self._procpool.shutdown()
+        pool = ProcessPool(
+            len(self._shards),
+            self.inner_name,
+            timeout=self.procpool_timeout,
+        )
+        assignments = [
+            tuple(shard.matcher.productions.values())
+            for shard in self._shards
+        ]
+        replies = pool.start(assignments, list(self.memory))
+        self._procpool = pool
+        for shard, reply in zip(self._shards, replies):
+            stub = shard.matcher
+            stub.conflict_set.clear()
+            removed = [
+                instantiation
+                for name in stub.productions
+                for instantiation in self.conflict_set.for_rule(name)
+            ]
+            stub.conflict_set.stage(
+                [stub._decode(p) for p in reply.added], removed
+            )
+        self._note_procpool(pool)
+        return [reply.seconds for reply in replies]
+
+    def _process_replay(self, deltas: Sequence[WMDelta]) -> list[float]:
+        """Fan one batch to the worker pool (shards match concurrently
+        in separate interpreters — no GIL in the way).
+
+        When the pool is down (first flush after attach without a
+        rebuild, or after a worker crash), it (re)starts from the
+        *current* memory snapshot instead: the store publishes deltas
+        post-application, so the snapshot already contains this batch
+        and replaying it on top would double-apply.
+        """
+        pool = self._live_procpool()
+        if pool is None:
+            return self._start_procpool()
+        replies = pool.replay(deltas)
+        for shard, reply in zip(self._shards, replies):
+            shard.matcher.stage_reply(reply)
+        self._note_procpool(pool)
+        return [reply.seconds for reply in replies]
+
+    def _note_procpool(self, pool: ProcessPool) -> None:
+        if self.obs.enabled:
+            self.obs.procpool_roundtrip(
+                pool.last_bytes_out, pool.last_bytes_in
+            )
 
     # -- DES substrate -------------------------------------------------------------------
 
@@ -511,4 +751,9 @@ class PartitionedMatcher(BaseMatcher):
             "deltas": self.delta_count,
             "virtual_busy": self.virtual_busy,
             "virtual_makespan": self.virtual_makespan,
+            **(
+                {"procpool": self._procpool.stats()}
+                if self._procpool is not None
+                else {}
+            ),
         }

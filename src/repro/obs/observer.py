@@ -194,6 +194,8 @@ class Observer:
         self._c_retry_exhausted = m.counter("retry.exhausted")
         self._c_deadlock_victims = m.counter("deadlock.victims")
         self._c_match_batches = m.counter("match.batches")
+        self._c_procpool_roundtrips = m.counter("procpool.roundtrips")
+        self._c_procpool_bytes = m.counter("procpool.bytes")
         self._c_ckpts = m.counter("storage.checkpoints")
         self._c_truncated = m.counter("storage.segments_truncated")
         self._c_compactions = m.counter("storage.compactions")
@@ -536,6 +538,18 @@ class Observer:
             self.trace.emit(
                 "match.batch", size=size, shards=shards,
                 merge_seconds=merge_seconds,
+            )
+
+    def procpool_roundtrip(self, bytes_out: int, bytes_in: int) -> None:
+        """The process-backend pool completed one IPC round-trip
+        (a command fanned to every worker, all replies folded back).
+        ``bytes_*`` are pickle payload bytes, headers excluded."""
+        self._c_procpool_roundtrips.inc()
+        self._c_procpool_bytes.inc(bytes_out + bytes_in)
+        if self._trace_on:
+            self.trace.emit(
+                "procpool.roundtrip", bytes_out=bytes_out,
+                bytes_in=bytes_in,
             )
 
     def match_flush(self, shards: int, seconds: float) -> None:

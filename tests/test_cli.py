@@ -93,23 +93,27 @@ class TestRun:
     def test_bad_matcher_spec_reports_error(
         self, rule_file, facts_file, capsys
     ):
-        code = main(
-            ["run", str(rule_file), "--facts", str(facts_file),
-             "--matcher", "partitioned:bogus:2"]
-        )
+        # Malformed specs now die at argparse time (SystemExit 2)
+        # with the valid alternatives, before any engine is built.
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["run", str(rule_file), "--facts", str(facts_file),
+                 "--matcher", "partitioned:bogus:2"]
+            )
         err = capsys.readouterr().err
-        assert code == 2
+        assert excinfo.value.code == 2
         assert "bogus" in err
 
     def test_unknown_matcher_name_reports_error(
         self, rule_file, facts_file, capsys
     ):
-        code = main(
-            ["run", str(rule_file), "--facts", str(facts_file),
-             "--matcher", "retee"]
-        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["run", str(rule_file), "--facts", str(facts_file),
+                 "--matcher", "retee"]
+            )
         err = capsys.readouterr().err
-        assert code == 2
+        assert excinfo.value.code == 2
         assert "unknown matcher" in err
 
     def test_empty_rule_file_fails(self, tmp_path, capsys):
